@@ -1,0 +1,41 @@
+"""Ablation: bfloat16 vs float32.
+
+Host-measured sweep cost in both storage formats (the bf16 emulation adds
+rounding work on the host, while on the device it *saves* memory traffic
+— both directions are quantified) plus the modeled device-side win and
+the memory-capacity doubling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.perf import model_single_core_step
+from repro.tpu.hbm import HBMModel
+
+from .conftest import make_compact_runner
+
+
+def test_host_sweep_float32(benchmark):
+    benchmark.group = "ablation-bf16-host"
+    benchmark(make_compact_runner(512, dtype="float32"))
+
+
+def test_host_sweep_bfloat16(benchmark):
+    benchmark.group = "ablation-bf16-host"
+    benchmark(make_compact_runner(512, dtype="bfloat16"))
+
+
+def test_modeled_device_speedup():
+    """Halved traffic shrinks the (memory-bound) formatting share."""
+    f32 = model_single_core_step((320 * 128, 320 * 128), dtype="float32")
+    bf16 = model_single_core_step((320 * 128, 320 * 128), dtype="bfloat16")
+    assert f32.step_time / bf16.step_time > 1.2
+    assert f32.bytes == pytest.approx(2 * bf16.bytes)
+
+
+def test_memory_capacity_doubles():
+    hbm = HBMModel()
+    sites_bf16 = hbm.max_square_lattice_side(2) ** 2
+    sites_f32 = hbm.max_square_lattice_side(4) ** 2
+    assert sites_bf16 / sites_f32 == pytest.approx(2.0, rel=0.02)

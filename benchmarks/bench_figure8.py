@@ -1,0 +1,37 @@
+"""Figure 8: throughput vs problem size across platforms.
+
+Measured: evaluation cost of the full comparison (the op-stream recording
+plus extrapolation).  Shape checks: the cross-platform ordering the
+figure conveys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.published import (
+    ROMERO_2019_DGX2,
+    TESLA_V100_THIS_PAPER,
+)
+from repro.harness import figure8
+from repro.harness.perf import model_pod_step, model_single_core_step
+
+
+def test_model_evaluation_cost(benchmark):
+    benchmark.group = "figure8-model-evaluation"
+    benchmark(figure8.run)
+
+
+def test_platform_ordering_matches_the_paper():
+    single_core = model_single_core_step((640 * 128, 640 * 128)).flips_per_ns
+    pod_512 = model_pod_step((896 * 128, 448 * 128), 512).flips_per_ns
+    # Single TPU core ~ single V100 (paper: "~10% gain" for TPU).
+    assert single_core == pytest.approx(TESLA_V100_THIS_PAPER.flips_per_ns, rel=0.15)
+    # DGX-2 sits between a core and a big pod slice.
+    assert single_core < ROMERO_2019_DGX2.flips_per_ns < pod_512
+
+
+def test_pods_extend_problem_size_by_orders_of_magnitude():
+    single = model_single_core_step((640 * 128, 640 * 128))
+    pod = model_pod_step((896 * 128, 448 * 128), 512)
+    assert pod.sites / single.sites > 30

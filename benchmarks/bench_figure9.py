@@ -1,0 +1,35 @@
+"""Figure 9: strong scaling vs ideal.
+
+Measured: host-side strong scaling of a fixed lattice on real SPMD cores.
+Shape checks: the efficiency curve of the modeled pod.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import figure9
+
+
+def test_model_evaluation_cost(benchmark):
+    benchmark.group = "figure9-model-evaluation"
+    benchmark(figure9.run)
+
+
+def test_efficiency_curve_shape():
+    result = figure9.run()
+    eff = [float(r[-1]) for r in result.rows]
+    cores = [int(r[0]) for r in result.rows]
+    # Monotone decay, near-ideal at the anchor, visible loss at 2048.
+    assert eff[0] == pytest.approx(100.0, abs=0.5)
+    assert all(a >= b - 0.5 for a, b in zip(eff, eff[1:]))
+    assert cores[-1] == 2048
+    assert eff[-1] < 70.0
+
+
+def test_model_tracks_paper_curve():
+    result = figure9.run()
+    for row in result.rows:
+        cores, model, paper = int(row[0]), float(row[1]), float(row[2])
+        tolerance = 0.10 if cores <= 256 else 0.35
+        assert model == pytest.approx(paper, rel=tolerance)

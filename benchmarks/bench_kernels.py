@@ -1,0 +1,65 @@
+"""Microbenchmarks of the neighbour-sum kernels and RNG substrate.
+
+The building blocks underneath every sweep: roll vs blocked-matmul vs
+compact formulations of the neighbour sum, and Philox uniform generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import NumpyBackend
+from repro.core.kernels import (
+    compact_neighbor_sums,
+    neighbor_sum_grid,
+    neighbor_sum_roll,
+)
+from repro.core.lattice import CompactLattice, plain_to_grid, random_lattice
+from repro.rng import PhiloxStream
+
+_SIDE = 1024
+
+
+@pytest.fixture(scope="module")
+def plain():
+    return random_lattice((_SIDE, _SIDE), PhiloxStream(0, 3))
+
+
+def test_neighbor_sum_roll(benchmark, plain):
+    benchmark.group = "kernels-neighbor-sum"
+    benchmark(lambda: neighbor_sum_roll(plain))
+
+
+def test_neighbor_sum_grid_matmul(benchmark, plain):
+    benchmark.group = "kernels-neighbor-sum"
+    grid = plain_to_grid(plain, (128, 128))
+    backend = NumpyBackend()
+    benchmark(lambda: neighbor_sum_grid(grid, backend))
+
+
+def test_compact_neighbor_sums_matmul(benchmark, plain):
+    benchmark.group = "kernels-neighbor-sum"
+    lat = CompactLattice.from_plain(plain, (128, 128))
+    backend = NumpyBackend()
+    benchmark(lambda: compact_neighbor_sums(lat, "black", backend))
+
+
+def test_compact_neighbor_sums_conv(benchmark, plain):
+    benchmark.group = "kernels-neighbor-sum"
+    lat = CompactLattice.from_plain(plain, (128, 128))
+    backend = NumpyBackend()
+    benchmark(lambda: compact_neighbor_sums(lat, "black", backend, method="conv"))
+
+
+def test_philox_uniforms(benchmark):
+    benchmark.group = "kernels-rng"
+    stream = PhiloxStream(0, 1)
+    benchmark(lambda: stream.uniform((1024, 1024)))
+
+
+def test_numpy_pcg64_uniforms(benchmark):
+    """Reference point: numpy's own generator on the same draw size."""
+    benchmark.group = "kernels-rng"
+    rng = np.random.default_rng(0)
+    benchmark(lambda: rng.random((1024, 1024), dtype=np.float32))

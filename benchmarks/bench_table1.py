@@ -1,0 +1,37 @@
+"""Table 1: single-core throughput and energy vs lattice size.
+
+Measured: host sweeps of the compact updater across lattice sizes (the
+real-machine analogue of the paper's size ramp).  Modeled: the calibrated
+TPU rows asserted against the paper's Table 1 within 20%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import table1
+from repro.harness.perf import model_single_core_step
+
+from .conftest import make_compact_runner
+
+
+@pytest.mark.parametrize("side", [256, 512, 1024])
+def test_host_compact_sweep(benchmark, side):
+    benchmark.group = "table1-host-sweep"
+    benchmark(make_compact_runner(side))
+
+
+def test_modeled_rows_track_paper():
+    result = table1.run()
+    rendered = result.render()
+    assert "flips/ns" in rendered
+    for k, paper_flips, paper_energy in table1.PAPER_ROWS:
+        model = model_single_core_step((k * 128, k * 128))
+        assert model.flips_per_ns == pytest.approx(paper_flips, rel=0.20)
+        assert model.energy_nj_per_flip == pytest.approx(paper_energy, rel=0.20)
+
+
+def test_throughput_rises_with_size_like_the_paper():
+    small = model_single_core_step((20 * 128, 20 * 128)).flips_per_ns
+    large = model_single_core_step((640 * 128, 640 * 128)).flips_per_ns
+    assert large / small > 1.25  # paper: 12.88 / 8.19 ~ 1.57

@@ -1,0 +1,44 @@
+"""Table 2: weak scaling on pod slices.
+
+Measured: real lockstep SPMD sweeps (halo exchange included) at small
+per-core lattices across core grids.  Modeled: the paper's five rows
+within 2%, and linearity of the scaling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributed import DistributedIsing
+from repro.harness import table2
+from repro.harness.perf import model_pod_step
+
+from .conftest import BETA_C
+
+
+@pytest.mark.parametrize("core_grid", [(1, 2), (2, 2), (2, 4)])
+def test_host_distributed_sweep(benchmark, core_grid):
+    benchmark.group = "table2-host-distributed"
+    sim = DistributedIsing(
+        (128 * core_grid[0], 128 * core_grid[1]),
+        1.0 / BETA_C,
+        core_grid=core_grid,
+        seed=1,
+    )
+    benchmark(lambda: sim.sweep(1))
+
+
+def test_modeled_rows_track_paper():
+    for n, paper_ms, paper_flips, paper_energy in table2.PAPER_ROWS:
+        model = model_pod_step(table2.PER_CORE_SHAPE, n * n * 2)
+        assert model.step_time * 1e3 == pytest.approx(paper_ms, rel=0.02)
+        assert model.flips_per_ns == pytest.approx(paper_flips, rel=0.02)
+        assert model.energy_nj_per_flip == pytest.approx(paper_energy, rel=0.02)
+
+
+def test_scaling_is_linear():
+    rates = {
+        n: model_pod_step(table2.PER_CORE_SHAPE, n * n * 2).flips_per_ns
+        for n in (1, 16)
+    }
+    assert rates[16] / rates[1] == pytest.approx(256.0, rel=0.01)

@@ -1,0 +1,49 @@
+"""Table 3: per-category time breakdown.
+
+Measured: cost of one fully-accounted sweep (TPUBackend charging) vs the
+bare numpy sweep — the overhead of the profiling substrate itself.
+Modeled: breakdown percentages against the paper's rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.tpu_backend import TPUBackend
+from repro.core.compact import CompactUpdater
+from repro.core.lattice import random_lattice
+from repro.harness import table3
+from repro.harness.perf import model_pod_step
+from repro.rng import PhiloxStream
+from repro.tpu.tensorcore import TensorCore
+
+from .conftest import BETA_C, make_compact_runner
+
+
+def test_host_sweep_with_accounting(benchmark):
+    benchmark.group = "table3-accounting-overhead"
+    updater = CompactUpdater(
+        BETA_C, TPUBackend(TensorCore(core_id=0), "float32"), block_shape=(128, 128)
+    )
+    state = updater.to_state(random_lattice((512, 512), PhiloxStream(0, 7)))
+    stream = PhiloxStream(1, 7)
+    holder = {"state": state}
+
+    def run():
+        holder["state"] = updater.sweep(holder["state"], stream)
+
+    benchmark(run)
+
+
+def test_host_sweep_without_accounting(benchmark):
+    benchmark.group = "table3-accounting-overhead"
+    benchmark(make_compact_runner(512))
+
+
+def test_modeled_breakdown_tracks_paper():
+    for n, p_mxu, p_vpu, p_fmt, p_cp in table3.PAPER_ROWS:
+        b = model_pod_step((896 * 128, 448 * 128), n * n * 2).breakdown()
+        assert 100 * b["mxu"] == pytest.approx(p_mxu, abs=1.5)
+        assert 100 * b["vpu"] == pytest.approx(p_vpu, abs=1.5)
+        assert 100 * b["formatting"] == pytest.approx(p_fmt, abs=1.5)
+        assert 100 * b["communication"] == pytest.approx(p_cp, abs=0.15)

@@ -1,0 +1,43 @@
+"""Table 4: step time vs collective_permute time.
+
+Measured: the runtime cost of one real collective_permute across
+in-process cores.  Modeled: the paper's 3x3 grid of (step, cp) pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness import table4
+from repro.harness.perf import model_pod_step
+from repro.mesh.collectives import collective_permute
+from repro.mesh.topology import Torus2D
+
+
+@pytest.mark.parametrize("n_cores", [4, 16, 64])
+def test_host_collective_permute(benchmark, n_cores):
+    benchmark.group = "table4-collective-permute"
+    torus = Torus2D(1, n_cores)
+    pairs = torus.shift_pairs("east")
+    values = [np.zeros(57_344, dtype=np.float32) for _ in range(n_cores)]
+    benchmark(lambda: collective_permute(values, pairs))
+
+
+def test_modeled_grid_tracks_paper():
+    for shape, entries in table4.PAPER_GRID.items():
+        for n, (paper_step, paper_cp) in entries.items():
+            model = model_pod_step(shape, n * n * 2)
+            assert model.step_time * 1e3 == pytest.approx(paper_step, rel=0.55)
+            assert model.seconds["communication"] * 1e3 == pytest.approx(
+                paper_cp, rel=0.45
+            )
+
+
+def test_communication_is_latency_dominated():
+    """Paper's claim: cp time grows with cores, not with bytes."""
+    big = model_pod_step((896 * 128, 448 * 128), 512).seconds["communication"]
+    small = model_pod_step((224 * 128, 112 * 128), 512).seconds["communication"]
+    assert big / small < 2.0  # 16x the bytes, <2x the time
+    few = model_pod_step((896 * 128, 448 * 128), 32).seconds["communication"]
+    assert big / few > 1.5  # 16x the cores, visible growth

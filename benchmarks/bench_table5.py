@@ -1,0 +1,43 @@
+"""Table 5: roofline placement.
+
+Measured: the raw numpy band-matmul kernel (the op the MXU model rates).
+Modeled: scale-independence of the roofline fractions and the
+memory-bound placement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import kernel_K_hat
+from repro.harness import table5
+from repro.harness.perf import model_pod_step
+from repro.tpu.cost_model import TPU_V3
+
+
+def test_host_band_matmul(benchmark):
+    benchmark.group = "table5-band-matmul"
+    rng = np.random.default_rng(0)
+    batch = rng.standard_normal((4, 2, 128, 128), dtype=np.float32)
+    k_hat = kernel_K_hat(128)
+    benchmark(lambda: batch @ k_hat)
+
+
+def test_modeled_fractions_are_scale_independent():
+    fractions = []
+    for n, _, _ in [(r[0], 0, 0) for r in table5.PAPER_ROWS]:
+        model = model_pod_step((896 * 128, 448 * 128), n * n * 2)
+        fractions.append(
+            TPU_V3.roofline_fraction(
+                model.achieved_flops_rate, model.arithmetic_intensity
+            )
+        )
+    assert max(fractions) - min(fractions) < 0.01
+
+
+def test_operating_point_is_memory_bound():
+    model = model_pod_step((896 * 128, 448 * 128), 2)
+    ridge = TPU_V3.mxu.peak_flops / TPU_V3.hbm.bandwidth
+    assert model.arithmetic_intensity < ridge
+    assert TPU_V3.peak_fraction(model.achieved_flops_rate) < 0.2

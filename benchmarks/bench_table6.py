@@ -1,0 +1,38 @@
+"""Table 6 (appendix): conv-implementation weak scaling.
+
+Measured: host sweeps of the conv updater.  Modeled: all three packing
+densities against the paper's rows within 5%, plus linearity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import table6
+from repro.harness.perf import model_pod_step
+
+from .conftest import make_compact_runner
+
+
+@pytest.mark.parametrize("side", [256, 512, 1024])
+def test_host_conv_sweep(benchmark, side):
+    benchmark.group = "table6-host-conv-sweep"
+    benchmark(make_compact_runner(side, nn_method="conv"))
+
+
+def test_modeled_rows_track_paper():
+    for section, (mult, entries) in table6.PAPER_SECTIONS.items():
+        per_core = (mult[0] * 128, mult[1] * 128)
+        for topology, paper_ms, paper_flips in entries:
+            model = model_pod_step(
+                per_core, topology[0] * topology[1], updater="conv"
+            )
+            assert model.step_time * 1e3 == pytest.approx(paper_ms, rel=0.05), section
+            assert model.flips_per_ns == pytest.approx(paper_flips, rel=0.05), section
+
+
+def test_full_pod_reaches_paper_scale():
+    """Largest configuration: 2048 cores, (128 x 20160)^2 ~ 6.7e12 sites."""
+    model = model_pod_step((448 * 128, 448 * 128), 2025, updater="conv")
+    assert model.sites > 6.5e12
+    assert model.flips_per_ns == pytest.approx(40418.07, rel=0.05)

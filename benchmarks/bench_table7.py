@@ -1,0 +1,47 @@
+"""Table 7 / Figure 9 (appendix): strong scaling.
+
+Measured: real SPMD sweeps of a fixed 256x256 lattice over growing core
+grids (host-side strong scaling, where the Python per-core overhead
+plays the role of the latency floor).  Modeled: the paper's nine rows
+and the departure from ideal beyond ~1000 cores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributed import DistributedIsing
+from repro.harness import table7
+from repro.harness.perf import model_pod_step
+
+from .conftest import BETA_C
+
+
+@pytest.mark.parametrize("core_grid", [(1, 1), (2, 2), (4, 4)])
+def test_host_strong_scaling(benchmark, core_grid):
+    benchmark.group = "table7-host-strong-scaling"
+    sim = DistributedIsing(
+        (256, 256), 1.0 / BETA_C, core_grid=core_grid, seed=2
+    )
+    benchmark(lambda: sim.sweep(1))
+
+
+def test_modeled_rows_track_paper():
+    for topology, mult, paper_ms, paper_flips in table7.PAPER_ROWS:
+        n_cores = topology[0] * topology[1]
+        model = model_pod_step(
+            (mult[0] * 128, mult[1] * 128), n_cores, updater="conv"
+        )
+        tolerance = 0.10 if n_cores <= 256 else 0.35
+        assert model.step_time * 1e3 == pytest.approx(paper_ms, rel=tolerance)
+        assert model.flips_per_ns == pytest.approx(paper_flips, rel=tolerance)
+
+
+def test_efficiency_decays_beyond_1000_cores():
+    per_core_8 = (
+        model_pod_step((896 * 128, 448 * 128), 8, updater="conv").flips_per_ns / 8
+    )
+    per_core_2048 = (
+        model_pod_step((56 * 128, 28 * 128), 2048, updater="conv").flips_per_ns / 2048
+    )
+    assert per_core_2048 < 0.7 * per_core_8

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_table*.py`` / ``bench_figure*.py`` module pairs
+
+* **measured** host-side benchmarks of the real kernels (pytest-benchmark
+  timings of actual numpy sweeps at laptop scale), with
+* **modeled** paper-scale reproductions from the calibrated TPU cost
+  model, asserted against the paper's published rows.
+
+Run ``pytest benchmarks/ --benchmark-only`` for timings; the shape checks
+run in either mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import NumpyBackend
+from repro.core.compact import CompactUpdater
+from repro.core.lattice import random_lattice
+from repro.rng import PhiloxStream
+
+#: Inverse critical temperature — the hardest (most correlated) regime.
+BETA_C = 0.4406868
+
+
+def make_compact_runner(side: int, nn_method: str = "matmul", dtype: str = "float32"):
+    """A zero-argument callable running one compact sweep on a side^2 lattice."""
+    updater = CompactUpdater(
+        BETA_C, NumpyBackend(dtype), block_shape=(128, 128), nn_method=nn_method
+    )
+    state = updater.to_state(random_lattice((side, side), PhiloxStream(0, 7)))
+    stream = PhiloxStream(1, 7)
+    holder = {"state": state}
+
+    def run():
+        holder["state"] = updater.sweep(holder["state"], stream)
+
+    return run
+
+
+def flips_per_ns(side: int, mean_seconds: float) -> float:
+    """Host throughput of one whole-lattice sweep."""
+    return side * side / (mean_seconds * 1e9)

@@ -1,0 +1,65 @@
+"""Simulated annealing with the Ising machinery — the intro's use-case.
+
+The paper motivates Ising simulation partly through combinatorial
+optimization (VLSI placement, operations research): finding low-energy
+spin configurations *is* an optimization problem.  This example contrasts
+
+* an **instant quench** (run directly at very low temperature), which
+  traps domain walls and stalls above the ground-state energy, with
+* a **geometric annealing schedule** through Tc, which heals the domains
+  and reaches (near-)ground-state energy e = -2.
+
+Usage::
+
+    python examples/annealing_optimization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IsingSimulation
+from repro.harness.report import format_table
+
+
+def quench(size: int, seed: int) -> float:
+    """Run directly at T = 0.5 from a hot start."""
+    sim = IsingSimulation(size, 0.5, seed=seed, initial="hot")
+    sim.run(300)
+    return sim.energy_per_spin()
+
+
+def anneal(size: int, seed: int) -> float:
+    """Cool geometrically from T = 3.5 through Tc down to T = 0.5."""
+    temperatures = 3.5 * (0.5 / 3.5) ** np.linspace(0.0, 1.0, 12)
+    sim = IsingSimulation(size, float(temperatures[0]), seed=seed, initial="hot")
+    lattice = sim.lattice
+    for idx, t in enumerate(temperatures):
+        sim = IsingSimulation(
+            size, float(t), seed=seed, stream_id=idx + 1, initial=lattice
+        )
+        sim.run(25)
+        lattice = sim.lattice
+    return sim.energy_per_spin()
+
+
+def main() -> None:
+    size = 64
+    rows = []
+    for seed in range(4):
+        e_quench = quench(size, seed)
+        e_anneal = anneal(size, seed)
+        rows.append([seed, round(e_quench, 4), round(e_anneal, 4)])
+    print(format_table(
+        ["seed", "e after quench", "e after annealing"],
+        rows,
+        title=f"ground-state search on a {size}x{size} lattice (exact minimum: -2)",
+    ))
+    quenches = [r[1] for r in rows]
+    anneals = [r[2] for r in rows]
+    print(f"\nmean quench energy:    {np.mean(quenches):+.4f} (trapped domain walls)")
+    print(f"mean annealed energy:  {np.mean(anneals):+.4f} (near the ground state)")
+
+
+if __name__ == "__main__":
+    main()

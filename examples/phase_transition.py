@@ -1,0 +1,44 @@
+"""Reproduce the paper's Figure 4 at laptop scale.
+
+Scans temperatures through the phase transition for several lattice
+sizes, prints the m(T) / U4(T) tables and ascii plots, and reports where
+the Binder-cumulant curves cross (the finite-size estimate of Tc).
+
+Usage::
+
+    python examples/phase_transition.py [--full]
+
+``--full`` uses larger lattices and longer chains (minutes instead of
+seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.harness.figure4 import run as run_figure4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="bigger, slower, sharper")
+    args = parser.parse_args()
+
+    if args.full:
+        result = run_figure4(
+            sizes=(16, 32, 64), n_samples=4000, burn_in=1000, seed=0
+        )
+    else:
+        result = run_figure4(
+            sizes=(8, 16, 32),
+            t_over_tc=(0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5),
+            n_samples=800,
+            burn_in=250,
+            seed=0,
+            dtypes=("float32",),
+        )
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

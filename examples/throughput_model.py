@@ -1,0 +1,24 @@
+"""Regenerate the paper's performance tables from the calibrated model.
+
+Prints the Table 1 (single core), Table 2 (weak scaling) and Figure 8
+(all-platform comparison) reproductions side by side with the paper's
+numbers.  Pure cost-model evaluation — finishes in seconds.
+
+Usage::
+
+    python examples/throughput_model.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_experiment
+
+
+def main() -> None:
+    for name in ("table1", "table2", "figure8"):
+        print(run_experiment(name).render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — a reproduction of "High Performance Monte Carlo Simulation of
+Ising Model on TPU Clusters" (Yang et al., SC 2019) on a simulated TPU
+substrate.
+
+The package implements the paper's checkerboard Metropolis algorithms
+(naive, compact, conv), a software TPU v3 (bfloat16 numerics, MXU/VPU/HBM
+cost model, profiler), a 2D toroidal mesh with ``collective_permute`` and
+a lockstep SPMD runtime, counter-based Philox RNG, exact physics oracles,
+the GPU-style baselines, and a harness that regenerates every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import IsingSimulation
+    sim = IsingSimulation(128, temperature=2.0, seed=0)
+    result = sim.sample(n_samples=1000, burn_in=200)
+    print(result.abs_m, result.u4)
+"""
+
+from .core import (
+    CheckerboardUpdater,
+    CompactLattice,
+    CompactUpdater,
+    ConvUpdater,
+    DistributedIsing,
+    Ising3D,
+    IsingSimulation,
+    MaskedConvUpdater,
+    run_temperature_scan,
+)
+from .backend import Backend, NumpyBackend
+from .observables import (
+    T_CRITICAL,
+    binder_cumulant,
+    critical_temperature,
+    energy_per_spin,
+    magnetization,
+    spontaneous_magnetization,
+)
+from .rng import PhiloxStream
+from .tpu import BFLOAT16, FLOAT32, PodSlice, TPU_V3, TensorCore
+from .version import __version__
+
+__all__ = [
+    "CheckerboardUpdater",
+    "CompactLattice",
+    "CompactUpdater",
+    "ConvUpdater",
+    "DistributedIsing",
+    "Ising3D",
+    "IsingSimulation",
+    "MaskedConvUpdater",
+    "run_temperature_scan",
+    "Backend",
+    "NumpyBackend",
+    "T_CRITICAL",
+    "binder_cumulant",
+    "critical_temperature",
+    "energy_per_spin",
+    "magnetization",
+    "spontaneous_magnetization",
+    "PhiloxStream",
+    "BFLOAT16",
+    "FLOAT32",
+    "PodSlice",
+    "TPU_V3",
+    "TensorCore",
+    "__version__",
+]

@@ -1,0 +1,234 @@
+"""Backend op vocabulary for the Ising updaters.
+
+The paper expresses one lattice sweep entirely in terms of a small set of
+TensorFlow/XLA operations: batched matmul (MXU), elementwise arithmetic,
+comparison and exp (VPU), stateless uniform RNG (VPU), and slicing /
+concatenation / rolling (data formatting).  Every updater in
+:mod:`repro.core` is written against this vocabulary, so the same
+algorithm code runs on:
+
+* :class:`~repro.backend.numpy_backend.NumpyBackend` — plain numpy, no
+  accounting (fast path, used by the physics tests);
+* :class:`~repro.backend.tpu_backend.TPUBackend` — numpy execution plus
+  per-op time charging into a simulated TensorCore's profiler, and
+  optional bfloat16 storage rounding (used by the performance harness and
+  the bf16 study).
+
+Every op quantizes its *result* with the backend dtype, which emulates a
+device that stores all intermediates in that format.  Matmuls accumulate
+in float32 regardless of dtype (MXU semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..rng.streams import PhiloxStream
+from ..tpu.dtypes import DType, FLOAT32, resolve_dtype
+
+__all__ = ["Backend"]
+
+
+class Backend:
+    """Executes the op vocabulary in numpy, with charging hooks.
+
+    Subclasses override :meth:`_charge` to account for op cost; the base
+    implementation is a no-op, so ``Backend`` itself is a pure numpy
+    executor.
+    """
+
+    def __init__(self, dtype: DType | str = FLOAT32) -> None:
+        self.dtype = resolve_dtype(dtype)
+
+    # -- charging hook ---------------------------------------------------
+
+    def _charge(
+        self,
+        category: str,
+        *,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        batch: float | None = None,
+    ) -> None:
+        """Record the cost of one op.  Overridden by accounting backends.
+
+        ``batch`` is the number of independent matrix blocks in a batched
+        matmul (drives the MXU pipeline-utilization ramp).
+        """
+
+    def _nbytes(self, *arrays: np.ndarray) -> float:
+        """Total HBM bytes of the given arrays under the backend dtype."""
+        return float(sum(a.size for a in arrays)) * self.dtype.itemsize
+
+    # -- tensor materialisation -------------------------------------------
+
+    def array(self, x) -> np.ndarray:
+        """Materialise ``x`` as a device tensor (quantized to the dtype)."""
+        return self.dtype.quantize(np.asarray(x, dtype=np.float32))
+
+    # -- MXU ---------------------------------------------------------------
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Batched matrix multiply with float32 accumulation.
+
+        Inputs are assumed already quantized (the MXU rounds its inputs to
+        bfloat16; our tensors are stored pre-rounded).  The result is
+        quantized on store.
+        """
+        out = np.matmul(a.astype(np.float32), b.astype(np.float32))
+        # FLOP count: 2 * (output elements) * (contraction length).
+        k = a.shape[-1]
+        batch = out.size / (out.shape[-1] * out.shape[-2]) if out.ndim >= 2 else 1.0
+        self._charge(
+            "mxu",
+            flops=2.0 * out.size * k,
+            bytes_moved=self._nbytes(a, b, out),
+            batch=batch,
+        )
+        return self.dtype.quantize(out)
+
+    # -- VPU: elementwise --------------------------------------------------
+
+    def _elementwise(self, out: np.ndarray, *operands: np.ndarray, flops_per_elem: float = 1.0) -> np.ndarray:
+        self._charge(
+            "vpu",
+            flops=flops_per_elem * out.size,
+            bytes_moved=self._nbytes(*operands, out),
+        )
+        return self.dtype.quantize(out)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._elementwise(np.add(a, b), a, b)
+
+    def subtract(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._elementwise(np.subtract(a, b), a, b)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._elementwise(np.multiply(a, b), a, b)
+
+    def exp(self, a: np.ndarray) -> np.ndarray:
+        # Transcendentals cost several VPU ops; use the common estimate of
+        # ~8 flops per element for exp.  Energy-lowering flips produce
+        # positive exponents that may overflow float32 to +inf, which is
+        # the correct "always accept" ratio — silence the warning.
+        with np.errstate(over="ignore"):
+            out = np.exp(a)
+        return self._elementwise(out, a, flops_per_elem=8.0)
+
+    def less(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise a < b as 0.0/1.0 (devices keep masks in float)."""
+        out = np.less(a, b).astype(np.float32)
+        return self._elementwise(out, a, b)
+
+    def where(self, cond: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = np.where(cond != 0, a, b).astype(np.float32)
+        return self._elementwise(out, cond, a, b)
+
+    def add_at_slice(self, target: np.ndarray, index: tuple, update: np.ndarray) -> np.ndarray:
+        """In-place ``target[index] += update`` (boundary compensation).
+
+        Counted as formatting plus a vector add: the dominant cost on real
+        hardware is the strided gather/scatter of the boundary slab.
+        """
+        target[index] = self.dtype.quantize(target[index] + update)
+        self._charge(
+            "formatting",
+            flops=float(update.size),
+            bytes_moved=2.0 * self._nbytes(update),
+        )
+        return target
+
+    def shifted_pair_sum(self, a: np.ndarray, axis: int, offset: int) -> np.ndarray:
+        """``a + shift(a, offset)`` along a block axis, zero-filled at the edge.
+
+        This is the appendix-7.2 building block: one 2-tap convolution
+        replacing one band matmul — e.g. ``offset=-1, axis=-1`` computes
+        ``a[..., j] + a[..., j-1]`` with 0 at j = 0, exactly what
+        ``matmul(a, K_hat)`` produces, but with far better operand reuse
+        on the MXU.  Block-boundary compensation stays identical to the
+        matmul path.  Only the two block axes (-1, -2) are legal.
+        """
+        if axis not in (-1, -2):
+            raise ValueError(f"axis must be -1 or -2 (block axes), got {axis}")
+        if offset not in (-1, 1):
+            raise ValueError(f"offset must be +1 or -1, got {offset}")
+        shifted = np.zeros_like(a, dtype=np.float32)
+        src = slice(None, -1) if offset == -1 else slice(1, None)
+        dst = slice(1, None) if offset == -1 else slice(None, -1)
+        if axis == -1:
+            shifted[..., dst] = a[..., src]
+        else:
+            shifted[..., dst, :] = a[..., src, :]
+        out = (a + shifted).astype(np.float32)
+        # 2-tap im2col conv: 2 MACs = 4 flops per output element.
+        self._charge(
+            "conv", flops=4.0 * out.size, bytes_moved=self._nbytes(a, out)
+        )
+        return self.dtype.quantize(out)
+
+    def conv2d_neighbors(self, a: np.ndarray) -> np.ndarray:
+        """4-neighbour sum on the torus as one fused convolution.
+
+        This is the appendix-7.2 implementation: a ``tf.nn.conv2d`` with a
+        cross-shaped 3x3 kernel, which the MXU executes far more
+        efficiently than the band matmuls because each loaded operand is
+        reused across the whole kernel window.  Charged to the "conv"
+        category so the cost model can rate it separately.
+        """
+        out = (
+            np.roll(a, 1, axis=0)
+            + np.roll(a, -1, axis=0)
+            + np.roll(a, 1, axis=1)
+            + np.roll(a, -1, axis=1)
+        ).astype(np.float32)
+        # im2col-style dense conv: 2 flops per kernel tap per output element.
+        self._charge(
+            "conv", flops=2.0 * 9.0 * out.size, bytes_moved=self._nbytes(a, out)
+        )
+        return self.dtype.quantize(out)
+
+    # -- VPU: RNG ------------------------------------------------------------
+
+    def random_uniform(
+        self, shape: tuple[int, ...], stream: PhiloxStream
+    ) -> np.ndarray:
+        """Stateless-style uniform tensor in [0, 1) from a Philox stream."""
+        out = stream.uniform(shape)
+        # Philox4x32-10: 10 rounds x (2 mul + 4 xor/add) per 4 words, plus
+        # the int->float conversion: ~20 flops per element is a fair model.
+        self._charge(
+            "vpu", flops=20.0 * out.size, bytes_moved=self._nbytes(out)
+        )
+        return self.dtype.quantize(out)
+
+    # -- data formatting -------------------------------------------------------
+
+    def roll(self, a: np.ndarray, shift: int, axis: int) -> np.ndarray:
+        out = np.roll(a, shift, axis=axis)
+        self._charge("formatting", bytes_moved=2.0 * self._nbytes(a))
+        return out
+
+    def concat(self, parts: Sequence[np.ndarray], axis: int) -> np.ndarray:
+        out = np.concatenate(parts, axis=axis)
+        self._charge("formatting", bytes_moved=2.0 * self._nbytes(out))
+        return out
+
+    def slice_copy(self, a: np.ndarray, index: tuple) -> np.ndarray:
+        """Materialise a copy of ``a[index]`` (XLA slices always copy)."""
+        out = np.ascontiguousarray(a[index])
+        self._charge("formatting", bytes_moved=2.0 * self._nbytes(out))
+        return out
+
+    def reshape(self, a: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+        out = np.reshape(a, shape)
+        # Logical reshapes are free on layouts that match tiling; charge a
+        # token byte count so pathological reshape-heavy code is visible.
+        self._charge("formatting", bytes_moved=0.0)
+        return out
+
+    def copy(self, a: np.ndarray) -> np.ndarray:
+        out = np.array(a, dtype=np.float32, copy=True)
+        self._charge("formatting", bytes_moved=2.0 * self._nbytes(a))
+        return out

@@ -1,0 +1,20 @@
+"""Pure-numpy backend: the base op vocabulary with no cost accounting."""
+
+from __future__ import annotations
+
+from ..tpu.dtypes import DType, FLOAT32
+from .base import Backend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(Backend):
+    """Executes ops in numpy with no charging; the physics fast path.
+
+    Identical numerics to :class:`~repro.backend.tpu_backend.TPUBackend`
+    with the same dtype — only the accounting differs — which is what lets
+    the test suite verify chain equivalence between the two.
+    """
+
+    def __init__(self, dtype: DType | str = FLOAT32) -> None:
+        super().__init__(dtype)

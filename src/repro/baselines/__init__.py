@@ -1,0 +1,38 @@
+"""Baseline implementations and published comparison numbers."""
+
+from .multispin import MultispinState, MultispinUpdater, pack_bits, unpack_bits
+from .numpy_roll import RollUpdater
+from .published import (
+    ALL_BENCHMARKS,
+    BLOCK_2010_GPU,
+    FPGA_ORTEGA_2016,
+    MULTI_GPU_64_BLOCK_2010,
+    PREIS_2009_GPU,
+    PublishedBenchmark,
+    ROMERO_2019_DGX2,
+    ROMERO_2019_DGX2H,
+    ROMERO_2019_V100,
+    TESLA_V100_THIS_PAPER,
+    TPU_V3_POD_512,
+    TPU_V3_SINGLE_CORE,
+)
+
+__all__ = [
+    "MultispinState",
+    "MultispinUpdater",
+    "pack_bits",
+    "unpack_bits",
+    "RollUpdater",
+    "ALL_BENCHMARKS",
+    "BLOCK_2010_GPU",
+    "FPGA_ORTEGA_2016",
+    "MULTI_GPU_64_BLOCK_2010",
+    "PREIS_2009_GPU",
+    "PublishedBenchmark",
+    "ROMERO_2019_DGX2",
+    "ROMERO_2019_DGX2H",
+    "ROMERO_2019_V100",
+    "TESLA_V100_THIS_PAPER",
+    "TPU_V3_POD_512",
+    "TPU_V3_SINGLE_CORE",
+]

@@ -1,0 +1,72 @@
+"""The paper's primary contribution: checkerboard Ising MCMC updaters.
+
+* :class:`CheckerboardUpdater` — Algorithm 1 (naive, masked).
+* :class:`CompactUpdater` — Algorithm 2 (compact sub-lattices; the
+  production updater).
+* :class:`ConvUpdater` — the appendix-7.2 convolution variant.
+* :class:`IsingSimulation` — single-core chain driver.
+* :class:`DistributedIsing` — the multi-core pod simulation (in
+  :mod:`repro.core.distributed`).
+"""
+
+from .checkerboard import CheckerboardUpdater
+from .compact import CompactUpdater
+from .distributed import DistributedIsing
+from .ising3d import Ising3D, T_CRITICAL_3D
+from .conv import ConvUpdater, MaskedConvUpdater
+from .kernels import (
+    PhaseHalos,
+    compact_neighbor_sums,
+    kernel_K,
+    kernel_K_hat,
+    neighbor_sum_grid,
+    neighbor_sum_roll,
+)
+from .lattice import (
+    CompactLattice,
+    checkerboard_mask,
+    cold_lattice,
+    grid_to_plain,
+    plain_to_grid,
+    plain_to_quarters,
+    quarters_to_plain,
+    random_lattice,
+    validate_spins,
+)
+from .metropolis import metropolis_chain, metropolis_sweep
+from .wolff import WolffUpdater
+from .simulation import ChainResult, IsingSimulation, run_temperature_scan
+from .update import acceptance_ratio, metropolis_flip
+
+__all__ = [
+    "CheckerboardUpdater",
+    "CompactUpdater",
+    "DistributedIsing",
+    "Ising3D",
+    "T_CRITICAL_3D",
+    "ConvUpdater",
+    "MaskedConvUpdater",
+    "PhaseHalos",
+    "compact_neighbor_sums",
+    "kernel_K",
+    "kernel_K_hat",
+    "neighbor_sum_grid",
+    "neighbor_sum_roll",
+    "CompactLattice",
+    "checkerboard_mask",
+    "cold_lattice",
+    "grid_to_plain",
+    "plain_to_grid",
+    "plain_to_quarters",
+    "quarters_to_plain",
+    "random_lattice",
+    "validate_spins",
+    "metropolis_chain",
+    "metropolis_sweep",
+    "WolffUpdater",
+    "ChainResult",
+    "IsingSimulation",
+    "run_temperature_scan",
+    "acceptance_ratio",
+    "metropolis_flip",
+]

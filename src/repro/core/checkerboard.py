@@ -1,0 +1,119 @@
+"""Algorithm 1: the naive checkerboard updater (``UpdateNaive``).
+
+One colour phase computes neighbour sums for *every* site via blocked
+matmuls, draws uniforms for *every* site, and then masks the flips down to
+the active colour — the three redundancies the paper's compact Algorithm 2
+eliminates.  It is retained both as the reference TPU mapping and as the
+ablation partner for the "about 3x faster" claim.
+
+State is the rank-4 grid form ``[m, n, r, c]``; helpers accept plain
+lattices for convenience.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backend.base import Backend
+from ..backend.numpy_backend import NumpyBackend
+from ..rng.streams import PhiloxStream
+from .kernels import neighbor_sum_grid
+from .lattice import checkerboard_mask, grid_to_plain, plain_to_grid
+from .update import metropolis_flip
+
+__all__ = ["CheckerboardUpdater"]
+
+
+class CheckerboardUpdater:
+    """Stateless driver for Algorithm 1 sweeps.
+
+    Parameters
+    ----------
+    beta:
+        Inverse temperature (J = 1, k_B = 1).
+    backend:
+        Op executor; defaults to a pure float32 numpy backend.
+    block_shape:
+        (r, c) of the grid blocks; 128 x 128 on the real device.
+    """
+
+    def __init__(
+        self,
+        beta: float,
+        backend: Backend | None = None,
+        block_shape: tuple[int, int] = (128, 128),
+        field: float = 0.0,
+    ) -> None:
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = float(beta)
+        self.field = float(field)
+        self.backend = backend if backend is not None else NumpyBackend()
+        self.block_shape = tuple(block_shape)
+        self._mask_cache: dict[tuple[int, int, int, int], dict[str, np.ndarray]] = {}
+
+    def _masks(self, grid_shape: tuple[int, int, int, int]) -> dict[str, np.ndarray]:
+        """Colour masks ``M`` / ``1 - M`` in grid form, cached per shape."""
+        masks = self._mask_cache.get(grid_shape)
+        if masks is None:
+            m, n, r, c = grid_shape
+            plain_shape = (m * r, n * c)
+            masks = {
+                color: self.backend.array(
+                    plain_to_grid(checkerboard_mask(plain_shape, color), (r, c))
+                )
+                for color in ("black", "white")
+            }
+            self._mask_cache[grid_shape] = masks
+        return masks
+
+    def update_color(
+        self,
+        grid: np.ndarray,
+        color: str,
+        stream: PhiloxStream | None = None,
+        probs: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One colour phase: lines 1-10 of Algorithm 1.
+
+        ``probs`` (full-lattice uniforms in grid form) may be supplied for
+        deterministic cross-implementation tests; otherwise they are drawn
+        from ``stream``.
+        """
+        if probs is None:
+            if stream is None:
+                raise ValueError("either stream or probs must be provided")
+            probs = self.backend.random_uniform(grid.shape, stream)
+        elif probs.shape != grid.shape:
+            raise ValueError(f"probs shape {probs.shape} != grid shape {grid.shape}")
+        nn = neighbor_sum_grid(grid, self.backend)
+        mask = self._masks(grid.shape)[color]
+        return metropolis_flip(
+            self.backend, grid, nn, probs, self.beta, mask=mask, field=self.field
+        )
+
+    def sweep(
+        self,
+        grid: np.ndarray,
+        stream: PhiloxStream | None = None,
+        probs_black: np.ndarray | None = None,
+        probs_white: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One full sweep: a black phase followed by a white phase."""
+        grid = self.update_color(grid, "black", stream, probs_black)
+        return self.update_color(grid, "white", stream, probs_white)
+
+    # -- plain-lattice conveniences ---------------------------------------
+
+    def to_state(self, plain: np.ndarray) -> np.ndarray:
+        """Convert a plain lattice into this updater's grid state."""
+        return self.backend.array(plain_to_grid(plain, self.block_shape))
+
+    def to_plain(self, grid: np.ndarray) -> np.ndarray:
+        return grid_to_plain(grid)
+
+    def sweep_plain(
+        self, plain: np.ndarray, stream: PhiloxStream
+    ) -> np.ndarray:
+        """One sweep on a plain lattice (converting in and out)."""
+        return self.to_plain(self.sweep(self.to_state(plain), stream))

@@ -1,0 +1,148 @@
+"""Algorithm 2: the optimized compact checkerboard updater (``UpdateOptim``).
+
+The lattice lives as four interleaved compact sub-lattices (see
+:class:`~repro.core.lattice.CompactLattice`).  Per colour phase only the
+two active tensors draw uniforms and get updated, and only the two
+opposite-colour tensors are read for neighbour sums — eliminating the
+masking, the wasted RNG and the wasted matmuls of Algorithm 1.  The paper
+measures this at about 3x faster with a smaller HBM footprint.
+
+The updater also exposes the per-phase halo hook used by the distributed
+pod simulation: :meth:`update_color` takes a
+:class:`~repro.core.kernels.PhaseHalos` that replaces the local torus
+wrap with boundary rows/columns received from neighbouring cores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backend.base import Backend
+from ..backend.numpy_backend import NumpyBackend
+from ..rng.streams import PhiloxStream
+from .kernels import PhaseHalos, compact_neighbor_sums
+from .lattice import CompactLattice
+from .update import metropolis_flip
+
+__all__ = ["CompactUpdater"]
+
+
+class CompactUpdater:
+    """Stateless driver for Algorithm 2 sweeps over a CompactLattice."""
+
+    def __init__(
+        self,
+        beta: float,
+        backend: Backend | None = None,
+        block_shape: tuple[int, int] | None = (128, 128),
+        nn_method: str = "matmul",
+        field: float = 0.0,
+    ) -> None:
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        if nn_method not in ("matmul", "conv"):
+            raise ValueError(
+                f"nn_method must be 'matmul' or 'conv', got {nn_method!r}"
+            )
+        self.beta = float(beta)
+        self.backend = backend if backend is not None else NumpyBackend()
+        self.block_shape = tuple(block_shape) if block_shape is not None else None
+        self.nn_method = nn_method
+        self.field = float(field)
+
+    def update_color(
+        self,
+        lat: CompactLattice,
+        color: str,
+        stream: PhiloxStream | None = None,
+        probs: tuple[np.ndarray, np.ndarray] | None = None,
+        halos: PhaseHalos | None = None,
+    ) -> CompactLattice:
+        """One colour phase of Algorithm 2.
+
+        Parameters
+        ----------
+        lat:
+            Current compact state.
+        color:
+            "black" updates (s00, s11); "white" updates (s01, s10).
+        stream:
+            Uniform source; draws two tensors shaped like the active
+            sub-lattices (probs0 for s00/s01, then probs1 for s11/s10 —
+            the draw order of Algorithm 2 lines 1-2).
+        probs:
+            Explicit (probs0, probs1) overriding the stream, for
+            deterministic cross-implementation tests.
+        halos:
+            Optional inter-core boundary values (distributed mode).
+
+        Returns a new CompactLattice; the two passive tensors are shared
+        with the input (they are unchanged by construction).
+        """
+        shape = lat.grid_shape
+        if probs is None:
+            if stream is None:
+                raise ValueError("either stream or probs must be provided")
+            probs0 = self.backend.random_uniform(shape, stream)
+            probs1 = self.backend.random_uniform(shape, stream)
+        else:
+            probs0, probs1 = probs
+            if probs0.shape != shape or probs1.shape != shape:
+                raise ValueError(
+                    f"probs shapes {probs0.shape}, {probs1.shape} != grid shape {shape}"
+                )
+
+        nn0, nn1 = compact_neighbor_sums(
+            lat, color, self.backend, halos=halos, method=self.nn_method
+        )
+        if color == "black":
+            new00 = metropolis_flip(
+                self.backend, lat.s00, nn0, probs0, self.beta, field=self.field
+            )
+            new11 = metropolis_flip(
+                self.backend, lat.s11, nn1, probs1, self.beta, field=self.field
+            )
+            return CompactLattice(s00=new00, s01=lat.s01, s10=lat.s10, s11=new11)
+        new01 = metropolis_flip(
+            self.backend, lat.s01, nn0, probs0, self.beta, field=self.field
+        )
+        new10 = metropolis_flip(
+            self.backend, lat.s10, nn1, probs1, self.beta, field=self.field
+        )
+        return CompactLattice(s00=lat.s00, s01=new01, s10=new10, s11=lat.s11)
+
+    def sweep(
+        self,
+        lat: CompactLattice,
+        stream: PhiloxStream | None = None,
+        probs_black: tuple[np.ndarray, np.ndarray] | None = None,
+        probs_white: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> CompactLattice:
+        """One full sweep: black phase then white phase."""
+        lat = self.update_color(lat, "black", stream, probs_black)
+        return self.update_color(lat, "white", stream, probs_white)
+
+    # -- plain-lattice conveniences ---------------------------------------
+
+    def to_state(self, plain: np.ndarray) -> CompactLattice:
+        """Convert a plain lattice into compact grid state."""
+        lat = CompactLattice.from_plain(plain, self._block_for(plain.shape))
+        return CompactLattice(
+            s00=self.backend.array(lat.s00),
+            s01=self.backend.array(lat.s01),
+            s10=self.backend.array(lat.s10),
+            s11=self.backend.array(lat.s11),
+        )
+
+    def _block_for(self, plain_shape: tuple[int, int]) -> tuple[int, int]:
+        if self.block_shape is not None:
+            return self.block_shape
+        return plain_shape[0] // 2, plain_shape[1] // 2
+
+    @staticmethod
+    def to_plain(lat: CompactLattice) -> np.ndarray:
+        return lat.to_plain()
+
+    def sweep_plain(self, plain: np.ndarray, stream: PhiloxStream) -> np.ndarray:
+        """One sweep on a plain lattice (converting in and out)."""
+        return self.to_plain(self.sweep(self.to_state(plain), stream))

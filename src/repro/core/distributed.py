@@ -1,0 +1,324 @@
+"""Distributed SPMD simulation of the Ising model on a simulated pod slice.
+
+The whole lattice is block-decomposed over a 2D grid of TensorCores; each
+core owns a compact sub-lattice and runs Algorithm 2 locally.  Per colour
+phase the four boundary slabs that would wrap around the local torus are
+instead exchanged with the neighbouring cores via ``collective_permute``
+over the simulated toroidal mesh (Fig. 5 of the paper), and spliced into
+the neighbour sums through the :class:`~repro.core.kernels.PhaseHalos`
+hook.  All cores advance in lockstep under the SPMD runtime, every
+compute op charges the owning core's profiler, and communication time is
+booked by the mesh link model — which is exactly the machinery behind the
+weak-scaling (Table 2/6), breakdown (Table 3), communication (Table 4)
+and strong-scaling (Table 7) reproductions.
+
+A 1 x 1 "distributed" run degenerates to the single-core torus (the self
+halos equal the local wrap), and for identical per-site uniforms the
+multi-core chain is bit-identical to the single-core one — both are
+enforced by the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..backend.base import Backend
+from ..backend.tpu_backend import TPUBackend
+from ..mesh.links import LinkModel
+from ..mesh.runtime import PermuteRequest, SPMDRuntime
+from ..mesh.topology import Torus2D
+from ..observables.energy import energy_per_spin
+from ..observables.magnetization import magnetization
+from ..rng.streams import PhiloxStream
+from ..tpu.device import PodSlice
+from ..tpu.dtypes import DType, FLOAT32, resolve_dtype
+from .compact import CompactUpdater
+from .kernels import PhaseHalos
+from .lattice import (
+    CompactLattice,
+    cold_lattice,
+    plain_to_grid,
+    plain_to_quarters,
+    random_lattice,
+    validate_spins,
+)
+
+__all__ = ["DistributedIsing"]
+
+_ALL = slice(None)
+
+#: Per colour phase: (halo field, slab of which tensor, slab index,
+#: permute direction that delivers it).  "Direction" is where each core
+#: *sends* its slab; e.g. sending south means every core receives its
+#: north halo.  Derived from the Algorithm 2 boundary terms — see
+#: repro.core.kernels.compact_neighbor_sums.
+_PHASE_EXCHANGES = {
+    "black": (
+        ("north", "s10", (-1, _ALL, -1, _ALL), "south"),
+        ("south", "s01", (0, _ALL, 0, _ALL), "north"),
+        ("west", "s01", (_ALL, -1, _ALL, -1), "east"),
+        ("east", "s10", (_ALL, 0, _ALL, 0), "west"),
+    ),
+    "white": (
+        ("north", "s11", (-1, _ALL, -1, _ALL), "south"),
+        ("south", "s00", (0, _ALL, 0, _ALL), "north"),
+        ("west", "s11", (_ALL, -1, _ALL, -1), "east"),
+        ("east", "s00", (_ALL, 0, _ALL, 0), "west"),
+    ),
+}
+
+
+class DistributedIsing:
+    """A multi-core checkerboard Ising chain on a simulated pod slice.
+
+    Parameters
+    ----------
+    global_shape:
+        Whole-lattice shape (rows, cols) or single side length.
+    temperature:
+        Temperature in J / k_B units.
+    core_grid:
+        (rows, cols) of the core decomposition; each core gets a
+        ``global/rows x global/cols`` sub-lattice (sides must divide
+        evenly into even local sides).
+    pod:
+        An existing :class:`~repro.tpu.device.PodSlice` whose core grid
+        matches; one is created when omitted.
+    dtype:
+        "float32" or "bfloat16" storage on every core.
+    block_shape:
+        Compact grid block size per core (default: one block per local
+        quarter; pass (128, 128) for TPU-shaped accounting).
+    seed:
+        Global Philox seed; core i uses stream id i + 1, the host
+        (initial state) uses stream id 0.
+    initial:
+        "hot", "cold", or an explicit global +/-1 array.
+    link_model:
+        Interconnect timing model override.
+    """
+
+    def __init__(
+        self,
+        global_shape: int | tuple[int, int],
+        temperature: float,
+        core_grid: tuple[int, int],
+        pod: PodSlice | None = None,
+        dtype: DType | str = FLOAT32,
+        block_shape: tuple[int, int] | None = None,
+        seed: int = 0,
+        initial: str | np.ndarray = "hot",
+        link_model: LinkModel | None = None,
+        record_trace: bool = False,
+        updater: str = "compact",
+        field: float = 0.0,
+    ) -> None:
+        if updater not in ("compact", "conv"):
+            raise ValueError(
+                f"updater must be 'compact' or 'conv', got {updater!r}"
+            )
+        if isinstance(global_shape, (int, np.integer)):
+            global_shape = (int(global_shape), int(global_shape))
+        rows, cols = global_shape
+        p_rows, p_cols = core_grid
+        if p_rows <= 0 or p_cols <= 0:
+            raise ValueError(f"core grid must be positive, got {core_grid}")
+        if rows % p_rows or cols % p_cols:
+            raise ValueError(
+                f"global shape {global_shape} not divisible by core grid {core_grid}"
+            )
+        local_rows, local_cols = rows // p_rows, cols // p_cols
+        if local_rows % 2 or local_cols % 2:
+            raise ValueError(
+                f"per-core lattice {local_rows}x{local_cols} must have even sides"
+            )
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+
+        self.global_shape = (rows, cols)
+        self.core_grid = (p_rows, p_cols)
+        self.local_shape = (local_rows, local_cols)
+        self.temperature = float(temperature)
+        self.beta = 1.0 / self.temperature
+        self.field = float(field)
+        self.dtype = resolve_dtype(dtype)
+        self.seed = int(seed)
+        self.sweeps_done = 0
+
+        self.pod = pod if pod is not None else PodSlice(core_grid, record_trace=record_trace)
+        if self.pod.core_grid != self.core_grid:
+            raise ValueError(
+                f"pod core grid {self.pod.core_grid} != requested {self.core_grid}"
+            )
+        self.torus = Torus2D(p_rows, p_cols)
+        self.runtime = SPMDRuntime(self.torus, link_model, cores=self.pod.cores)
+
+        self._backends: list[Backend] = [
+            TPUBackend(core, self.dtype) for core in self.pod.cores
+        ]
+        self.updater_name = updater
+        self._updaters = [
+            CompactUpdater(
+                self.beta,
+                backend,
+                block_shape=block_shape
+                if block_shape is not None
+                else (local_rows // 2, local_cols // 2),
+                nn_method="conv" if updater == "conv" else "matmul",
+                field=self.field,
+            )
+            for backend in self._backends
+        ]
+        self._streams = [
+            PhiloxStream(self.seed, core_id + 1) for core_id in range(self.num_cores)
+        ]
+
+        global_plain = self._initial_lattice(initial)
+        self._states: list[CompactLattice] = [
+            self._updaters[cid].to_state(self._local_slice(global_plain, cid))
+            for cid in range(self.num_cores)
+        ]
+
+    # -- setup helpers ------------------------------------------------------
+
+    def _initial_lattice(self, initial: str | np.ndarray) -> np.ndarray:
+        if isinstance(initial, str):
+            if initial == "hot":
+                return random_lattice(self.global_shape, PhiloxStream(self.seed, 0))
+            if initial == "cold":
+                return cold_lattice(self.global_shape)
+            raise ValueError(
+                f"initial must be 'hot', 'cold' or an array, got {initial!r}"
+            )
+        plain = np.asarray(initial, dtype=np.float32)
+        if plain.shape != self.global_shape:
+            raise ValueError(
+                f"initial lattice shape {plain.shape} != {self.global_shape}"
+            )
+        validate_spins(plain)
+        return plain
+
+    def _local_slice(self, global_plain: np.ndarray, core_id: int) -> np.ndarray:
+        ci, cj = self.torus.coords(core_id)
+        lr, lc = self.local_shape
+        return global_plain[ci * lr : (ci + 1) * lr, cj * lc : (cj + 1) * lc]
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return self.torus.num_cores
+
+    @property
+    def n_sites(self) -> int:
+        return self.global_shape[0] * self.global_shape[1]
+
+    def gather_lattice(self) -> np.ndarray:
+        """Assemble the global plain lattice from all cores (host-side)."""
+        rows, cols = self.global_shape
+        lr, lc = self.local_shape
+        plain = np.empty((rows, cols), dtype=np.float32)
+        for cid, state in enumerate(self._states):
+            ci, cj = self.torus.coords(cid)
+            plain[ci * lr : (ci + 1) * lr, cj * lc : (cj + 1) * lc] = state.to_plain()
+        return plain
+
+    def magnetization(self) -> float:
+        return magnetization(self.gather_lattice())
+
+    def energy_per_spin(self) -> float:
+        return energy_per_spin(self.gather_lattice())
+
+    # -- evolution ------------------------------------------------------------
+
+    def sweep(
+        self,
+        n_sweeps: int = 1,
+        probs_black: np.ndarray | None = None,
+        probs_white: np.ndarray | None = None,
+    ) -> None:
+        """Advance the whole lattice by ``n_sweeps`` sweeps in lockstep.
+
+        ``probs_black`` / ``probs_white`` are optional *global* uniform
+        fields (one per colour phase, full-lattice shape) for
+        deterministic equivalence tests; they require ``n_sweeps == 1``.
+        """
+        if n_sweeps < 0:
+            raise ValueError(f"n_sweeps must be >= 0, got {n_sweeps}")
+        if (probs_black is not None or probs_white is not None) and n_sweeps != 1:
+            raise ValueError("explicit probs require n_sweeps == 1")
+        for _ in range(n_sweeps):
+            self._states = self.runtime.run(
+                lambda cid: self._sweep_program(cid, probs_black, probs_white)
+            )
+            self.pod.mark_step()
+            self.sweeps_done += 1
+
+    def _phase_probs(
+        self, core_id: int, color: str, global_probs: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Slice a global uniform field into this core's compact pair."""
+        if global_probs is None:
+            return None
+        if global_probs.shape != self.global_shape:
+            raise ValueError(
+                f"probs shape {global_probs.shape} != global {self.global_shape}"
+            )
+        local = self._local_slice(global_probs, core_id)
+        q00, q01, q10, q11 = plain_to_quarters(local.astype(np.float32))
+        block = self._updaters[core_id].block_shape
+        if color == "black":
+            return plain_to_grid(q00, block), plain_to_grid(q11, block)
+        return plain_to_grid(q01, block), plain_to_grid(q10, block)
+
+    def _sweep_program(
+        self,
+        core_id: int,
+        probs_black: np.ndarray | None,
+        probs_white: np.ndarray | None,
+    ) -> Generator[PermuteRequest, np.ndarray, CompactLattice]:
+        """The per-core SPMD program for one sweep (two colour phases)."""
+        lat = self._states[core_id]
+        updater = self._updaters[core_id]
+        backend = self._backends[core_id]
+        stream = self._streams[core_id]
+        global_probs = {"black": probs_black, "white": probs_white}
+
+        for color in ("black", "white"):
+            halos: dict[str, np.ndarray] = {}
+            for field, tensor_name, index, send_dir in _PHASE_EXCHANGES[color]:
+                slab = backend.slice_copy(getattr(lat, tensor_name), index)
+                halos[field] = yield PermuteRequest(
+                    tensor=slab,
+                    pairs=self.torus.shift_pairs(send_dir),
+                    name=f"halo_{color}_{field}",
+                )
+            lat = updater.update_color(
+                lat,
+                color,
+                stream=stream,
+                probs=self._phase_probs(core_id, color, global_probs[color]),
+                halos=PhaseHalos(**halos),
+            )
+        return lat
+
+    # -- performance accounting -------------------------------------------------
+
+    def step_time(self) -> float:
+        """Modeled seconds of the last marked step (slowest core)."""
+        steps = self.pod.cores[0].profiler.steps
+        if not steps:
+            raise RuntimeError("no sweeps have been run yet")
+        return max(
+            core.profiler.steps[-1].total for core in self.pod.cores
+        )
+
+    def throughput_flips_per_ns(self) -> float:
+        """Whole-lattice site updates per nanosecond at the modeled step time."""
+        return self.n_sites / (self.step_time() * 1e9)
+
+    def breakdown(self) -> dict[str, float]:
+        """Pod-wide per-category time fractions (Table 3 row)."""
+        return self.pod.aggregate_profiler().breakdown()

@@ -1,0 +1,109 @@
+"""Wolff cluster algorithm — an independent cross-check sampler.
+
+Not part of the paper's TPU mapping (cluster growth is inherently
+sequential and irregular), but indispensable to a production Ising
+library for two reasons:
+
+* it is a *completely different* Markov chain targeting the same
+  Boltzmann distribution, so statistical agreement with the checkerboard
+  updaters is a powerful end-to-end validation (used by the test suite);
+* it does not suffer critical slowing-down, making it the reference
+  sampler near Tc where the local updaters decorrelate slowly — the
+  trade-off the paper's raw flips/ns metric deliberately sets aside.
+
+The implementation grows clusters with a vectorised frontier BFS: each
+round activates all aligned torus neighbours of the current frontier
+with probability ``p = 1 - exp(-2 beta)`` (zero-field Wolff), then flips
+the whole cluster.  One :meth:`step` is one cluster; :meth:`sweep_equivalent`
+advances until ~N sites have been touched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng.streams import PhiloxStream
+
+__all__ = ["WolffUpdater"]
+
+
+class WolffUpdater:
+    """Cluster-flip sampler for the zero-field 2D Ising model."""
+
+    def __init__(self, beta: float) -> None:
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = float(beta)
+        self.p_add = 1.0 - float(np.exp(-2.0 * beta))
+
+    def step(self, plain: np.ndarray, stream: PhiloxStream) -> tuple[np.ndarray, int]:
+        """Grow and flip one cluster; returns (new lattice, cluster size)."""
+        rows, cols = plain.shape
+        sigma = plain.copy()
+
+        seed_draw = stream.uniform(2)
+        i = int(seed_draw[0] * rows)
+        j = int(seed_draw[1] * cols)
+        seed_spin = sigma[i, j]
+
+        in_cluster = np.zeros((rows, cols), dtype=bool)
+        frontier = np.zeros((rows, cols), dtype=bool)
+        in_cluster[i, j] = True
+        frontier[i, j] = True
+
+        while frontier.any():
+            # Count bonds from the (new) frontier to each site: every
+            # bond is an independent p_add trial, so a site touched by k
+            # frontier bonds joins with probability 1 - (1 - p)^k.  Bonds
+            # are tested at most once because the frontier holds only
+            # newly added sites.
+            frontier_int = frontier.astype(np.int8)
+            bond_count = (
+                np.roll(frontier_int, 1, axis=0)
+                + np.roll(frontier_int, -1, axis=0)
+                + np.roll(frontier_int, 1, axis=1)
+                + np.roll(frontier_int, -1, axis=1)
+            )
+            candidates = (bond_count > 0) & ~in_cluster & (sigma == seed_spin)
+            if not candidates.any():
+                break
+            p_join = 1.0 - (1.0 - self.p_add) ** bond_count
+            accept = stream.uniform((rows, cols)) < p_join.astype(np.float32)
+            added = candidates & accept
+            in_cluster |= added
+            frontier = added
+
+        sigma[in_cluster] = -seed_spin
+        return sigma, int(in_cluster.sum())
+
+    def sweep_equivalent(
+        self, plain: np.ndarray, stream: PhiloxStream
+    ) -> np.ndarray:
+        """Flip clusters until ~one lattice worth of sites has been touched.
+
+        This is the conventional unit for comparing cluster and local
+        updates: expected work comparable to one checkerboard sweep.
+        """
+        n_sites = plain.size
+        touched = 0
+        sigma = plain
+        while touched < n_sites:
+            sigma, size = self.step(sigma, stream)
+            touched += size
+        return sigma
+
+    # -- uniform interface ---------------------------------------------------
+
+    @staticmethod
+    def to_state(plain: np.ndarray) -> np.ndarray:
+        return np.asarray(plain, dtype=np.float32)
+
+    @staticmethod
+    def to_plain(state: np.ndarray) -> np.ndarray:
+        return state
+
+    def sweep(self, state: np.ndarray, stream: PhiloxStream) -> np.ndarray:
+        return self.sweep_equivalent(state, stream)
+
+    def sweep_plain(self, plain: np.ndarray, stream: PhiloxStream) -> np.ndarray:
+        return self.sweep_equivalent(self.to_state(plain), stream)

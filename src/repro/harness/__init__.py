@@ -1,0 +1,23 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run(...) -> ExperimentResult`` and embeds the
+paper's reference values so the output is a side-by-side model-vs-paper
+comparison.  The ``ising-tpu`` CLI (see :mod:`repro.harness.runner`)
+regenerates any of them.
+"""
+
+from .perf import BLOCK, StepModel, model_pod_step, model_single_core_step
+from .report import ExperimentResult, ascii_plot, format_table
+from .runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "BLOCK",
+    "StepModel",
+    "model_pod_step",
+    "model_single_core_step",
+    "ExperimentResult",
+    "ascii_plot",
+    "format_table",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,95 @@
+"""Figure 8: throughput vs problem size across all platforms.
+
+A log-log comparison of every reported performance number: our modeled
+TPU configurations (single core across sizes, the Table 2 pods, the
+Table 6 conv pods) and the published GPU / multi-GPU / DGX-2 points.
+The reproduced claim is the *ordering*: single-core TPU ~ V100 << DGX-2
+<< TPU pod slices, with TPU pods extending to lattices orders of
+magnitude beyond anything else.
+"""
+
+from __future__ import annotations
+
+from ..baselines.published import (
+    MULTI_GPU_64_BLOCK_2010,
+    PREIS_2009_GPU,
+    ROMERO_2019_DGX2,
+    ROMERO_2019_V100,
+    TESLA_V100_THIS_PAPER,
+)
+from .perf import model_pod_step, model_single_core_step
+from .report import ExperimentResult, ascii_plot
+from .table2 import PER_CORE_SHAPE
+
+__all__ = ["run"]
+
+
+def run(dtype: str = "bfloat16") -> ExperimentResult:
+    """Collect all series and render the log-log comparison."""
+    rows = []
+    single_sizes, single_thr = [], []
+    for k in (20, 40, 80, 160, 320, 640):
+        model = model_single_core_step((k * 128, k * 128), dtype=dtype)
+        single_sizes.append(float(model.sites))
+        single_thr.append(model.flips_per_ns)
+        rows.append(["TPU core (model)", f"({k}x128)^2", model.sites, round(model.flips_per_ns, 2)])
+
+    pod_sizes, pod_thr = [], []
+    for n in (1, 2, 4, 8, 16):
+        n_cores = n * n * 2
+        model = model_pod_step(PER_CORE_SHAPE, n_cores, dtype=dtype)
+        pod_sizes.append(float(model.sites))
+        pod_thr.append(model.flips_per_ns)
+        rows.append(
+            ["TPU pod compact (model)", f"{n_cores} cores", model.sites, round(model.flips_per_ns, 2)]
+        )
+
+    conv_sizes, conv_thr = [], []
+    for topo in ((2, 4), (4, 8), (8, 16), (16, 32), (32, 64)):
+        n_cores = topo[0] * topo[1]
+        model = model_pod_step(PER_CORE_SHAPE, n_cores, updater="conv", dtype=dtype)
+        conv_sizes.append(float(model.sites))
+        conv_thr.append(model.flips_per_ns)
+        rows.append(
+            ["TPU pod conv (model)", f"{n_cores} cores", model.sites, round(model.flips_per_ns, 2)]
+        )
+
+    published = {
+        PREIS_2009_GPU: 1024**2,
+        TESLA_V100_THIS_PAPER: 81920**2,
+        ROMERO_2019_V100: 81920**2,
+        MULTI_GPU_64_BLOCK_2010: 800000**2,
+        ROMERO_2019_DGX2: 327680**2,
+    }
+    pub_sizes, pub_thr = [], []
+    for bench, sites in published.items():
+        pub_sizes.append(float(sites))
+        pub_thr.append(bench.flips_per_ns)
+        flag = " (approx)" if bench.approximate else ""
+        rows.append([bench.system + flag, "-", sites, round(bench.flips_per_ns, 2)])
+
+    plot = ascii_plot(
+        {
+            "TPU core": (single_sizes, single_thr),
+            "TPU pod compact": (pod_sizes, pod_thr),
+            "TPU pod conv": (conv_sizes, conv_thr),
+            "GPU/published": (pub_sizes, pub_thr),
+        },
+        logx=True,
+        logy=True,
+        title="Figure 8: throughput vs problem size (log-log)",
+        xlabel="lattice sites",
+        ylabel="flips/ns",
+    )
+    return ExperimentResult(
+        name="Figure 8",
+        description="performance and throughput over problem sizes, all platforms",
+        headers=["system", "config", "sites", "flips/ns"],
+        rows=rows,
+        plots=[plot],
+        notes=(
+            "Published lattice sizes for single-device points are the largest "
+            "reported by each source; DGX-2 points are approximate (read off "
+            "the original figure)."
+        ),
+    )

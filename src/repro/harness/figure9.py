@@ -1,0 +1,53 @@
+"""Figure 9 (appendix): strong-scaling curve vs ideal linear scaling.
+
+The Table 7 throughputs plotted against the ideal line anchored at the
+8-core configuration: near-ideal up to a few hundred cores, with the
+visible departure beyond ~1000 cores as communication stops amortising.
+"""
+
+from __future__ import annotations
+
+from .perf import model_pod_step
+from .report import ExperimentResult, ascii_plot
+from .table7 import PAPER_ROWS
+
+__all__ = ["run"]
+
+
+def run(dtype: str = "bfloat16") -> ExperimentResult:
+    """Render the strong-scaling speedup curve."""
+    cores_list, model_thr, paper_thr = [], [], []
+    for topology, mult, _paper_ms, paper_flips in PAPER_ROWS:
+        n_cores = topology[0] * topology[1]
+        per_core = (mult[0] * 128, mult[1] * 128)
+        model = model_pod_step(per_core, n_cores, updater="conv", dtype=dtype)
+        cores_list.append(float(n_cores))
+        model_thr.append(model.flips_per_ns)
+        paper_thr.append(paper_flips)
+
+    ideal = [model_thr[0] * c / cores_list[0] for c in cores_list]
+    rows = [
+        [int(c), round(m, 1), round(p, 1), round(i, 1), round(100 * m / i, 1)]
+        for c, m, p, i in zip(cores_list, model_thr, paper_thr, ideal)
+    ]
+    plot = ascii_plot(
+        {
+            "model": (cores_list, model_thr),
+            "paper": (cores_list, paper_thr),
+            "ideal": (cores_list, ideal),
+        },
+        logx=True,
+        logy=True,
+        title="Figure 9: strong scaling vs ideal (log-log)",
+        xlabel="cores",
+        ylabel="flips/ns",
+    )
+    return ExperimentResult(
+        name="Figure 9",
+        description="strong-scaling throughput vs the ideal linear curve",
+        headers=["cores", "flips/ns (model)", "flips/ns (paper)", "ideal", "efficiency %"],
+        rows=rows,
+        plots=[plot],
+        notes="Efficiency decays once per-core compute shrinks toward the "
+        "communication latency floor (>1000 cores).",
+    )

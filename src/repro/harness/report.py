@@ -1,0 +1,148 @@
+"""Plain-text rendering of experiment results: tables and ascii plots.
+
+The harness prints the same rows/series the paper reports; everything is
+terminal-friendly text so the full reproduction can run in a headless
+environment (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ExperimentResult", "format_table", "ascii_plot"]
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Render an aligned ascii table."""
+    cells = [[_fmt_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(cells):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Scatter several (x, y) series on a character grid.
+
+    Each series gets a marker from ``*+ox#@%&``; axes are annotated with
+    the data ranges.  Good enough to see crossings, linear scaling and
+    saturation — the qualitative content of the paper's figures.
+    """
+    markers = "*+ox#@%&"
+    points = []
+    for idx, (label, (xs, ys)) in enumerate(series.items()):
+        if len(xs) != len(ys):
+            raise ValueError(f"series {label!r} has mismatched x/y lengths")
+        marker = markers[idx % len(markers)]
+        for x, y in zip(xs, ys):
+            points.append((float(x), float(y), marker))
+    if not points:
+        raise ValueError("nothing to plot")
+
+    def tx(v: float) -> float:
+        if logx:
+            if v <= 0:
+                raise ValueError("log x axis requires positive values")
+            return math.log10(v)
+        return v
+
+    def ty(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValueError("log y axis requires positive values")
+            return math.log10(v)
+        return v
+
+    xs_t = [tx(p[0]) for p in points]
+    ys_t = [ty(p[1]) for p in points]
+    x_lo, x_hi = min(xs_t), max(xs_t)
+    y_lo, y_hi = min(ys_t), max(ys_t)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int(round((tx(x) - x_lo) / x_span * (width - 1)))
+        row = int(round((ty(y) - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{10**y_hi if logy else y_hi:.3g}"
+    y_bot = f"{10**y_lo if logy else y_lo:.3g}"
+    pad = max(len(y_top), len(y_bot))
+    for i, row in enumerate(grid):
+        label = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    lines.append(f"{' ' * pad} +{'-' * width}")
+    x_left = f"{10**x_lo if logx else x_lo:.3g}"
+    x_right = f"{10**x_hi if logx else x_hi:.3g}"
+    gap = width - len(x_left) - len(x_right)
+    lines.append(f"{' ' * pad}  {x_left}{' ' * max(gap, 1)}{x_right}")
+    if xlabel or ylabel:
+        lines.append(f"{' ' * pad}  x: {xlabel}   y: {ylabel}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(f"{' ' * pad}  {legend}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: table rows plus optional plots and notes."""
+
+    name: str
+    description: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    plots: list[str] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [format_table(self.headers, self.rows, title=f"{self.name}: {self.description}")]
+        parts.extend(self.plots)
+        if self.notes:
+            parts.append(self.notes)
+        return "\n\n".join(parts)

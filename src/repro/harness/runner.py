@@ -1,0 +1,89 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Installed as ``ising-tpu``::
+
+    ising-tpu list                 # show available experiments
+    ising-tpu table2               # regenerate one experiment
+    ising-tpu figure4 --quick      # cheaper settings for the MCMC figures
+    ising-tpu all                  # everything (quick mode for the figures)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import figure4, figure7, figure8, figure9
+from . import table1, table2, table3, table4, table5, table6, table7
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+_QUICK_MCMC = dict(sizes=(8, 16), n_samples=300, burn_in=150)
+
+EXPERIMENTS = {
+    "table1": (table1.run, "single-core throughput vs lattice size"),
+    "table2": (table2.run, "weak scaling (compact implementation)"),
+    "table3": (table3.run, "per-category time breakdown"),
+    "table4": (table4.run, "step vs collective_permute time grid"),
+    "table5": (table5.run, "roofline placement"),
+    "table6": (table6.run, "weak scaling (conv implementation)"),
+    "table7": (table7.run, "strong scaling (conv implementation)"),
+    "figure4": (figure4.run, "m(T) and U4(T), float32 vs bfloat16 [runs MCMC]"),
+    "figure7": (figure7.run, "conv-implementation correctness [runs MCMC]"),
+    "figure8": (figure8.run, "throughput vs problem size, all platforms"),
+    "figure9": (figure9.run, "strong scaling vs ideal"),
+}
+
+_MCMC_EXPERIMENTS = {"figure4", "figure7"}
+
+
+def run_experiment(name: str, quick: bool = False):
+    """Run one experiment by name and return its ExperimentResult."""
+    try:
+        fn, _ = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    if quick and name in _MCMC_EXPERIMENTS:
+        return fn(**_QUICK_MCMC)
+    return fn()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ising-tpu",
+        description="Regenerate the tables and figures of 'High Performance "
+        "Monte Carlo Simulation of Ising Model on TPU Clusters' (SC19) on "
+        "the simulated TPU substrate.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller lattices / shorter chains for the MCMC figures",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        try:
+            result = run_experiment(name, quick=args.quick or args.experiment == "all")
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

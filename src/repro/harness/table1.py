@@ -1,0 +1,71 @@
+"""Table 1: single-core throughput and energy vs lattice size.
+
+The paper measures flips/ns and estimates nJ/flip for square lattices
+from (20 x 128)^2 to (640 x 128)^2 on one TPU v3 core, against the
+published GPU/FPGA baselines and their own V100 implementation.  We
+regenerate the TPU rows from the calibrated cost model and print the
+baseline rows from :mod:`repro.baselines.published`.
+"""
+
+from __future__ import annotations
+
+from ..baselines.published import (
+    FPGA_ORTEGA_2016,
+    PREIS_2009_GPU,
+    TESLA_V100_THIS_PAPER,
+)
+from .perf import model_single_core_step
+from .report import ExperimentResult
+
+__all__ = ["PAPER_ROWS", "run"]
+
+#: (multiplier k for side k*128, paper flips/ns, paper nJ/flip).
+PAPER_ROWS = (
+    (20, 8.1920, 12.2070),
+    (40, 9.3623, 10.6811),
+    (80, 12.3362, 8.1062),
+    (160, 12.8266, 7.7963),
+    (320, 12.9056, 7.7486),
+    (640, 12.8783, 7.7650),
+)
+
+
+def run(dtype: str = "bfloat16") -> ExperimentResult:
+    """Regenerate Table 1 (modeled TPU rows + published baselines)."""
+    rows = []
+    for k, paper_flips, paper_energy in PAPER_ROWS:
+        model = model_single_core_step((k * 128, k * 128), dtype=dtype)
+        rows.append(
+            [
+                f"({k}x128)^2",
+                round(model.flips_per_ns, 4),
+                round(paper_flips, 4),
+                round(model.energy_nj_per_flip, 4),
+                round(paper_energy, 4),
+            ]
+        )
+    for bench in (PREIS_2009_GPU, TESLA_V100_THIS_PAPER, FPGA_ORTEGA_2016):
+        rows.append(
+            [
+                bench.system,
+                "-",
+                round(bench.flips_per_ns, 4),
+                "-",
+                round(bench.energy_nj_per_flip, 4)
+                if bench.energy_nj_per_flip is not None
+                else "-",
+            ]
+        )
+    return ExperimentResult(
+        name="Table 1",
+        description=f"single-core throughput vs lattice size ({dtype})",
+        headers=["lattice", "flips/ns (model)", "flips/ns (paper)", "nJ/flip (model)", "nJ/flip (paper)"],
+        rows=rows,
+        notes=(
+            "Model calibrated at the Table 2 superdense anchor; the paper's "
+            "own Table 1 asymptote (12.88) sits ~11% above its Table 2 "
+            "per-core rate (11.43), which the single-anchor model cannot "
+            "reproduce simultaneously — the ramp *shape* (throughput rising "
+            "with lattice size, saturating above (80x128)^2) is preserved."
+        ),
+    )

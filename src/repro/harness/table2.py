@@ -1,0 +1,84 @@
+"""Table 2: weak scaling on pod slices (original compact implementation).
+
+Each core holds a [896 x 128, 448 x 128] sub-lattice; slices of
+n x n x 2 cores (n in 1..16) update the whole lattice in lockstep.  The
+paper observes a constant ~575 ms step and strictly linear flips/ns; the
+64-GPU MPI row of Block et al. is the comparison point (250% per-device
+speedup).
+"""
+
+from __future__ import annotations
+
+from ..baselines.published import MULTI_GPU_64_BLOCK_2010
+from .perf import model_pod_step
+from .report import ExperimentResult
+
+__all__ = ["PAPER_ROWS", "PER_CORE_SHAPE", "run"]
+
+#: Per-core lattice of the paper's Table 2 (superdense packing).
+PER_CORE_SHAPE = (896 * 128, 448 * 128)
+
+#: (chip grid n, paper step ms, paper flips/ns, paper nJ/flip).
+PAPER_ROWS = (
+    (1, 574.7, 22.8873, 8.7385),
+    (2, 574.9, 91.5174, 8.7415),
+    (4, 575.0, 366.0059, 8.7430),
+    (8, 575.2, 1463.5146, 8.7461),
+    (16, 575.3, 5853.0408, 8.7476),
+)
+
+
+def run(dtype: str = "bfloat16") -> ExperimentResult:
+    """Regenerate Table 2 from the pod step model."""
+    rows = []
+    for n, paper_ms, paper_flips, paper_energy in PAPER_ROWS:
+        n_cores = n * n * 2
+        model = model_pod_step(PER_CORE_SHAPE, n_cores, dtype=dtype)
+        rows.append(
+            [
+                f"{n}x{n}x2",
+                n_cores,
+                f"({512 * n}x128)^2",
+                round(model.step_time * 1e3, 2),
+                paper_ms,
+                round(model.flips_per_ns, 2),
+                round(paper_flips, 2),
+                round(model.energy_nj_per_flip, 4),
+                paper_energy,
+            ]
+        )
+    gpu = MULTI_GPU_64_BLOCK_2010
+    rows.append(
+        [
+            gpu.system,
+            gpu.n_devices,
+            gpu.lattice,
+            "~3000",
+            "~3000",
+            round(gpu.flips_per_ns, 1),
+            round(gpu.flips_per_ns, 1),
+            "-",
+            "-",
+        ]
+    )
+    return ExperimentResult(
+        name="Table 2",
+        description="weak scaling, per-core [896x128, 448x128] compact sweeps",
+        headers=[
+            "cores",
+            "#",
+            "lattice",
+            "step ms (model)",
+            "step ms (paper)",
+            "flips/ns (model)",
+            "flips/ns (paper)",
+            "nJ/flip (model)",
+            "nJ/flip (paper)",
+        ],
+        rows=rows,
+        notes=(
+            "Linear scaling holds because halo exchange stays <0.15% of the "
+            "step; per-core rate ~11.44 flips/ns vs 3.22 per GPU in the "
+            "64-GPU MPI baseline (~250% speedup, as the paper reports)."
+        ),
+    )

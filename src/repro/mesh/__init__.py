@@ -1,0 +1,19 @@
+"""Simulated TPU pod interconnect: topology, collectives and SPMD runtime."""
+
+from .collectives import all_gather, all_reduce, collective_permute, validate_pairs
+from .links import LinkModel
+from .runtime import LockstepError, PermuteRequest, SPMDRuntime
+from .topology import DIRECTIONS, Torus2D
+
+__all__ = [
+    "all_gather",
+    "all_reduce",
+    "collective_permute",
+    "validate_pairs",
+    "LinkModel",
+    "LockstepError",
+    "PermuteRequest",
+    "SPMDRuntime",
+    "DIRECTIONS",
+    "Torus2D",
+]

@@ -1,0 +1,32 @@
+"""The Binder cumulant U4 — the paper's sensitive phase-transition probe.
+
+``U4(T) = 1 - <m^4> / (3 <m^2>^2)`` (the kurtosis of the magnetization
+distribution).  Its size-independence at Tc makes curves for different
+lattice sizes cross at the critical point (Fig. 4 middle), which is a far
+sharper test of simulation correctness than m(T) itself.  Deep in the
+ordered phase U4 -> 2/3; in the disordered phase (Gaussian m) U4 -> 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["binder_cumulant", "binder_from_moments"]
+
+
+def binder_from_moments(m2: float, m4: float) -> float:
+    """U4 from the second and fourth magnetization moments."""
+    if m2 <= 0.0:
+        raise ValueError(f"<m^2> must be positive, got {m2}")
+    if m4 < 0.0:
+        raise ValueError(f"<m^4> must be non-negative, got {m4}")
+    return 1.0 - m4 / (3.0 * m2 * m2)
+
+
+def binder_cumulant(m_samples: np.ndarray) -> float:
+    """U4 estimated from a series of per-sweep magnetization samples."""
+    m = np.asarray(m_samples, dtype=np.float64)
+    if m.size == 0:
+        raise ValueError("need at least one magnetization sample")
+    m_sq = m * m
+    return binder_from_moments(float(np.mean(m_sq)), float(np.mean(m_sq * m_sq)))

@@ -1,0 +1,89 @@
+"""Spatial correlation functions and the magnetic susceptibility.
+
+Extensions beyond the paper's reported observables, of the kind any
+downstream statistical-physics user needs: the two-point connected
+correlation function G(r) (FFT-accelerated, azimuthally averaged along
+the axes), an exponential-fit correlation length, and the susceptibility
+``chi = beta * N * (<m^2> - <|m|>^2)``, which peaks at the (finite-size)
+critical temperature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "correlation_function",
+    "correlation_length",
+    "susceptibility",
+]
+
+
+def correlation_function(plain: np.ndarray, max_distance: int | None = None) -> np.ndarray:
+    """Connected two-point correlation ``G(r)`` along the lattice axes.
+
+    ``G(r) = <sigma_0 sigma_r> - <sigma>^2`` averaged over all sites and
+    both axis directions, computed with one FFT per axis.  Returns the
+    array ``G[0..max_distance]`` (``G[0] = 1 - <sigma>^2``).
+    """
+    sigma = np.asarray(plain, dtype=np.float64)
+    if sigma.ndim != 2:
+        raise ValueError(f"expected a 2D lattice, got shape {sigma.shape}")
+    rows, cols = sigma.shape
+    if max_distance is None:
+        max_distance = min(rows, cols) // 2
+    if not 0 <= max_distance <= min(rows, cols) // 2:
+        raise ValueError(
+            f"max_distance must be in [0, {min(rows, cols) // 2}], got {max_distance}"
+        )
+    mean = sigma.mean()
+
+    # <sigma_0 sigma_r> along an axis via the Wiener-Khinchin theorem.
+    def axis_correlation(axis: int) -> np.ndarray:
+        f = np.fft.fft(sigma, axis=axis)
+        acf = np.fft.ifft(f * np.conj(f), axis=axis).real
+        acf /= sigma.shape[axis]
+        return acf.mean(axis=1 - axis)
+
+    corr_rows = axis_correlation(0)[: max_distance + 1]
+    corr_cols = axis_correlation(1)[: max_distance + 1]
+    return (corr_rows + corr_cols) / 2.0 - mean * mean
+
+
+def correlation_length(g: np.ndarray) -> float:
+    """Correlation length from a log-linear fit of ``G(r) ~ exp(-r/xi)``.
+
+    Fits over the positive, decreasing prefix of ``G``; raises if fewer
+    than three usable points exist (e.g. deep in the disordered phase on
+    a tiny lattice where G dives below zero immediately).
+    """
+    g = np.asarray(g, dtype=np.float64)
+    usable = 1
+    while usable < g.size and g[usable] > 0 and g[usable] < g[usable - 1]:
+        usable += 1
+    if usable < 3:
+        raise ValueError(
+            "need at least 3 positive decreasing G(r) points for a fit"
+        )
+    r = np.arange(usable)
+    slope = np.polyfit(r, np.log(g[:usable]), 1)[0]
+    if slope >= 0:
+        raise ValueError("G(r) does not decay; correlation length undefined")
+    return float(-1.0 / slope)
+
+
+def susceptibility(m_samples: np.ndarray, beta: float, n_sites: int) -> float:
+    """``chi = beta * N * (<m^2> - <|m|>^2)`` from magnetization samples.
+
+    Uses ``<|m|>`` (the standard finite-size convention) so chi stays
+    finite and peaked near Tc instead of diverging from the symmetry of
+    +-m in the ordered phase.
+    """
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    if n_sites <= 0:
+        raise ValueError(f"n_sites must be positive, got {n_sites}")
+    m = np.asarray(m_samples, dtype=np.float64)
+    if m.size == 0:
+        raise ValueError("need at least one magnetization sample")
+    return float(beta * n_sites * (np.mean(m * m) - np.mean(np.abs(m)) ** 2))

@@ -1,0 +1,29 @@
+"""Counter-based random number generation (Philox4x32-10).
+
+The TPU's stateless RNG is the reason the paper's distributed simulation is
+trivially reproducible across cores; this package provides the same
+guarantees in numpy.
+"""
+
+from .philox import (
+    PHILOX_M0,
+    PHILOX_M1,
+    PHILOX_W0,
+    PHILOX_W1,
+    philox4x32,
+    philox_uniform_bits,
+    uint32_to_uniform,
+)
+from .streams import PhiloxStream, split_key
+
+__all__ = [
+    "PHILOX_M0",
+    "PHILOX_M1",
+    "PHILOX_W0",
+    "PHILOX_W1",
+    "philox4x32",
+    "philox_uniform_bits",
+    "uint32_to_uniform",
+    "PhiloxStream",
+    "split_key",
+]

@@ -1,0 +1,145 @@
+"""Philox4x32-10 counter-based pseudo-random number generator.
+
+TPUs use stateless (counter-based) RNGs so that every core can draw an
+independent, reproducible stream without shared mutable state.  This module
+implements the Philox4x32 generator of Salmon et al. (SC 2011, "Parallel
+random numbers: as easy as 1, 2, 3") in fully vectorised numpy.  It is the
+random-number substrate for the whole library: the checkerboard updaters
+draw their per-site acceptance uniforms from per-core keyed Philox streams
+(see :mod:`repro.rng.streams`).
+
+The generator maps a 128-bit counter and a 64-bit key to 128 bits of
+output through 10 rounds of a simple multiply/xor network.  Distinct
+(counter, key) pairs give statistically independent outputs, so parallel
+streams are obtained by giving each core its own key and letting each core
+advance its own counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PHILOX_M0",
+    "PHILOX_M1",
+    "PHILOX_W0",
+    "PHILOX_W1",
+    "philox4x32",
+    "philox_uniform_bits",
+    "uint32_to_uniform",
+]
+
+# Multiplication and Weyl-sequence constants from the Random123 reference
+# implementation.
+PHILOX_M0 = np.uint64(0xD2511F53)
+PHILOX_M1 = np.uint64(0xCD9E8D57)
+PHILOX_W0 = np.uint32(0x9E3779B9)
+PHILOX_W1 = np.uint32(0xBB67AE85)
+
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+
+
+def _mulhilo(mult: np.uint64, value: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return the (high, low) 32-bit halves of ``mult * value``.
+
+    ``value`` is a uint32 array; the product is formed in uint64 so both
+    halves are exact.
+    """
+    product = mult * value.astype(np.uint64)
+    hi = (product >> _SHIFT32).astype(np.uint32)
+    lo = (product & _MASK32).astype(np.uint32)
+    return hi, lo
+
+
+def philox4x32(
+    counter: np.ndarray, key: np.ndarray, rounds: int = 10
+) -> np.ndarray:
+    """Apply the Philox4x32 bijection to a batch of counters.
+
+    Parameters
+    ----------
+    counter:
+        uint32 array of shape ``(4, n)`` (or ``(4,)`` for a single
+        counter); ``counter[0]`` is the least-significant word.
+    key:
+        uint32 array of shape ``(2, n)`` or ``(2,)``; broadcast against
+        the counters.
+    rounds:
+        Number of rounds; 10 is the standard, crush-resistant choice.
+
+    Returns
+    -------
+    uint32 array with the same shape as ``counter``: 128 bits of output
+    per counter.
+    """
+    counter = np.asarray(counter, dtype=np.uint32)
+    key = np.asarray(key, dtype=np.uint32)
+    if counter.shape[0] != 4:
+        raise ValueError(f"counter must have leading dimension 4, got {counter.shape}")
+    if key.shape[0] != 2:
+        raise ValueError(f"key must have leading dimension 2, got {key.shape}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+
+    c0, c1, c2, c3 = (np.array(c, dtype=np.uint32, copy=True) for c in counter)
+    k0 = np.array(key[0], dtype=np.uint32, copy=True)
+    k1 = np.array(key[1], dtype=np.uint32, copy=True)
+
+    # uint32 arithmetic wraps; numpy warns on overflow for scalars only,
+    # and arrays wrap silently, which is exactly what we want here.
+    with np.errstate(over="ignore"):
+        for _ in range(rounds):
+            hi0, lo0 = _mulhilo(PHILOX_M0, c0)
+            hi1, lo1 = _mulhilo(PHILOX_M1, c2)
+            c0, c1, c2, c3 = hi1 ^ c1 ^ k0, lo1, hi0 ^ c3 ^ k1, lo0
+            k0 = k0 + PHILOX_W0
+            k1 = k1 + PHILOX_W1
+    return np.stack([c0, c1, c2, c3])
+
+
+def philox_uniform_bits(
+    start_counter: int, n_words: int, key: tuple[int, int]
+) -> np.ndarray:
+    """Generate ``n_words`` uint32 words from consecutive Philox counters.
+
+    The 128-bit counter space is indexed by ``start_counter`` (a Python
+    int, taken modulo 2**128); each counter produces four output words.
+    """
+    if n_words <= 0:
+        return np.empty(0, dtype=np.uint32)
+    n_counters = -(-n_words // 4)
+    start_counter %= 1 << 128
+
+    base_lo = start_counter & ((1 << 64) - 1)
+    base_hi = start_counter >> 64
+    idx = np.arange(n_counters, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        lo = np.uint64(base_lo) + idx
+    # Wrap-around of the low 64-bit limb carries into the high limb.
+    carry = (lo < np.uint64(base_lo)).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        hi = np.uint64(base_hi & ((1 << 64) - 1)) + carry
+
+    counter = np.empty((4, n_counters), dtype=np.uint32)
+    counter[0] = (lo & _MASK32).astype(np.uint32)
+    counter[1] = (lo >> _SHIFT32).astype(np.uint32)
+    counter[2] = (hi & _MASK32).astype(np.uint32)
+    counter[3] = (hi >> _SHIFT32).astype(np.uint32)
+
+    key_arr = np.array(
+        [key[0] & 0xFFFFFFFF, key[1] & 0xFFFFFFFF], dtype=np.uint32
+    ).reshape(2, 1)
+    out = philox4x32(counter, key_arr)
+    # Interleave so that consecutive words come from output lanes 0..3 of
+    # consecutive counters: transpose (4, n) -> (n, 4) -> flatten.
+    return out.T.reshape(-1)[:n_words]
+
+
+def uint32_to_uniform(bits: np.ndarray) -> np.ndarray:
+    """Map uint32 words to float32 uniforms in [0, 1).
+
+    Uses the top 24 bits so every result is exactly representable in
+    float32 (and the mapping is the one TF's stateless uniform uses).
+    """
+    return ((bits >> np.uint32(8)).astype(np.float32)) * np.float32(2.0**-24)

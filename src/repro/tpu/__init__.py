@@ -1,0 +1,51 @@
+"""The simulated TPU v3 substrate: numerics, device model and profiling."""
+
+from .bfloat16 import (
+    BF16_EPS,
+    BF16_MAX,
+    BF16_SMALLEST_NORMAL,
+    from_bits,
+    is_representable,
+    round_to_bfloat16,
+    to_bits,
+)
+from .cost_model import TPUCostModel, TPU_V3
+from .device import CHIPS_PER_BOARD, CORES_PER_CHIP, PodSlice
+from .dtypes import BFLOAT16, FLOAT32, DType, resolve_dtype
+from .hbm import HBMModel, tensor_bytes, tiled_shape
+from .mxu import MXUModel
+from .power import TESLA_V100_WATTS, TPU_V3_CORE_WATTS, energy_per_flip_nj
+from .profiler import CATEGORIES, Profiler, TraceEvent
+from .tensorcore import TensorCore
+from .vpu import VPUModel
+
+__all__ = [
+    "BF16_EPS",
+    "BF16_MAX",
+    "BF16_SMALLEST_NORMAL",
+    "from_bits",
+    "is_representable",
+    "round_to_bfloat16",
+    "to_bits",
+    "TPUCostModel",
+    "TPU_V3",
+    "CHIPS_PER_BOARD",
+    "CORES_PER_CHIP",
+    "PodSlice",
+    "BFLOAT16",
+    "FLOAT32",
+    "DType",
+    "resolve_dtype",
+    "HBMModel",
+    "tensor_bytes",
+    "tiled_shape",
+    "MXUModel",
+    "TESLA_V100_WATTS",
+    "TPU_V3_CORE_WATTS",
+    "energy_per_flip_nj",
+    "CATEGORIES",
+    "Profiler",
+    "TraceEvent",
+    "TensorCore",
+    "VPUModel",
+]

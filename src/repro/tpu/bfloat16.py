@@ -1,0 +1,75 @@
+"""Software emulation of the bfloat16 floating-point format.
+
+bfloat16 (1 sign bit, 8 exponent bits, 7 mantissa bits) is the storage and
+MXU-input format on TPUs.  numpy has no native bfloat16, so we represent a
+"bfloat16 tensor" as a float32 array whose values are all exactly
+representable in bfloat16, and provide the round-to-nearest-even rounding
+step that hardware applies on every store / MXU input.
+
+Because bfloat16 shares float32's exponent range, rounding float32 ->
+bfloat16 is a pure mantissa truncation with RNE tie-breaking, which can be
+done exactly with integer bit tricks on the float32 representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "round_to_bfloat16",
+    "to_bits",
+    "from_bits",
+    "is_representable",
+    "BF16_EPS",
+    "BF16_MAX",
+    "BF16_SMALLEST_NORMAL",
+]
+
+# Machine epsilon of bfloat16: 2**-7 (7 explicit mantissa bits).
+BF16_EPS = float(2.0**-7)
+# Largest finite bfloat16: bit pattern 0x7F7F == 2**127 * (2 - 2**-7).
+BF16_MAX = float(np.array(0x7F7F0000, dtype=np.uint32).view(np.float32))
+# Smallest positive normal: 2**-126 (same exponent range as float32).
+BF16_SMALLEST_NORMAL = float(2.0**-126)
+
+
+def round_to_bfloat16(x: np.ndarray | float) -> np.ndarray:
+    """Round float32 values to the nearest bfloat16 (ties to even).
+
+    Returns a float32 array whose every element is exactly representable
+    in bfloat16.  Values overflowing bfloat16's finite range round to
+    +/-inf, matching hardware behaviour; NaNs stay NaN.
+    """
+    arr = np.asarray(x, dtype=np.float32)
+    bits = arr.view(np.uint32).copy()
+    # Classic RNE trick: add 0x7FFF plus the LSB of the surviving mantissa,
+    # then truncate the low 16 bits.  NaNs are excluded so the payload
+    # cannot be accidentally rounded into infinity.
+    nan_mask = np.isnan(arr)
+    with np.errstate(over="ignore"):
+        rounding_bias = ((bits >> np.uint32(16)) & np.uint32(1)) + np.uint32(0x7FFF)
+        bits = bits + rounding_bias
+    bits &= np.uint32(0xFFFF0000)
+    out = bits.view(np.float32).copy()
+    if nan_mask.any():
+        out[nan_mask] = np.nan
+    return out
+
+
+def to_bits(x: np.ndarray | float) -> np.ndarray:
+    """Encode values into their uint16 bfloat16 bit patterns (rounding first)."""
+    rounded = round_to_bfloat16(x)
+    return (rounded.view(np.uint32) >> np.uint32(16)).astype(np.uint16)
+
+
+def from_bits(bits: np.ndarray) -> np.ndarray:
+    """Decode uint16 bfloat16 bit patterns into float32 values (exact)."""
+    bits = np.asarray(bits, dtype=np.uint16)
+    return (bits.astype(np.uint32) << np.uint32(16)).view(np.float32)
+
+
+def is_representable(x: np.ndarray | float) -> np.ndarray:
+    """True where ``x`` is already exactly representable in bfloat16."""
+    arr = np.asarray(x, dtype=np.float32)
+    rounded = round_to_bfloat16(arr)
+    return (arr == rounded) | (np.isnan(arr) & np.isnan(rounded))

@@ -1,0 +1,114 @@
+"""Device topology: chips, boards and pod slices of simulated TensorCores.
+
+Cloud TPU v3 packaging, as described in the paper's Sec. 2: one chip has
+two TensorCores; four chips form a board ("TPU unit"); boards connect
+into a pod through the 2D toroidal mesh, and experiments run on
+rectangular pod *slices*.  The paper labels its multi-core runs
+``n x n x 2``: an n x n grid of chips with 2 cores each, which we realise
+as an ``n x 2n`` logical core grid (cores are the units that hold
+sub-lattices and communicate).
+"""
+
+from __future__ import annotations
+
+from .cost_model import TPUCostModel, TPU_V3
+from .profiler import Profiler
+from .tensorcore import TensorCore
+
+__all__ = ["CORES_PER_CHIP", "CHIPS_PER_BOARD", "PodSlice"]
+
+CORES_PER_CHIP = 2
+CHIPS_PER_BOARD = 4
+
+
+class PodSlice:
+    """A rectangular slice of a TPU pod: a 2D grid of TensorCores.
+
+    Parameters
+    ----------
+    core_grid:
+        (rows, cols) of logical cores.  ``PodSlice.from_chip_grid(n, n)``
+        builds the paper's ``n x n x 2`` configuration.
+    cost_model:
+        Shared performance model for every core.
+    record_trace:
+        Keep per-op trace events in each core's profiler.
+    """
+
+    def __init__(
+        self,
+        core_grid: tuple[int, int],
+        cost_model: TPUCostModel = TPU_V3,
+        record_trace: bool = False,
+    ) -> None:
+        rows, cols = core_grid
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"core grid must be positive, got {core_grid}")
+        self.core_grid = (rows, cols)
+        self.cost_model = cost_model
+        self.cores = [
+            TensorCore(
+                core_id=i * cols + j,
+                coords=(i, j),
+                cost_model=cost_model,
+                profiler=Profiler(record_trace=record_trace),
+            )
+            for i in range(rows)
+            for j in range(cols)
+        ]
+
+    @classmethod
+    def from_chip_grid(
+        cls,
+        chips_x: int,
+        chips_y: int,
+        cost_model: TPUCostModel = TPU_V3,
+        record_trace: bool = False,
+    ) -> "PodSlice":
+        """The paper's ``chips_x x chips_y x 2`` slice as a core grid.
+
+        The two cores of each chip are laid out side by side along the
+        second axis, giving a ``chips_x x (2 * chips_y)`` core grid.
+        """
+        return cls(
+            (chips_x, CORES_PER_CHIP * chips_y),
+            cost_model=cost_model,
+            record_trace=record_trace,
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def num_chips(self) -> int:
+        return self.num_cores // CORES_PER_CHIP
+
+    def core_at(self, row: int, col: int) -> TensorCore:
+        rows, cols = self.core_grid
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise IndexError(f"core ({row}, {col}) outside grid {self.core_grid}")
+        return self.cores[row * cols + col]
+
+    # -- aggregation ---------------------------------------------------------
+
+    def step_time(self) -> float:
+        """Pod step time: the cores run in lockstep, so the slowest wins."""
+        return max(core.step_time for core in self.cores)
+
+    def aggregate_profiler(self) -> Profiler:
+        """Sum of all per-core profiles (for pod-wide breakdowns)."""
+        total = Profiler()
+        for core in self.cores:
+            total.merge(core.profiler)
+        return total
+
+    def mark_step(self) -> float:
+        """Close a step on every core; returns the slowest core's step time."""
+        return max(core.mark_step().total for core in self.cores)
+
+    def reset(self) -> None:
+        for core in self.cores:
+            core.reset()

@@ -1,0 +1,65 @@
+"""Numeric dtype descriptors for the simulated TPU.
+
+The paper's central numerics question is float32 vs bfloat16; a
+:class:`DType` bundles everything the backend needs to emulate a storage
+format: the per-element byte width (for HBM accounting) and the rounding
+function hardware applies on stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .bfloat16 import round_to_bfloat16
+
+__all__ = ["DType", "FLOAT32", "BFLOAT16", "resolve_dtype"]
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float32)
+
+
+@dataclass(frozen=True)
+class DType:
+    """A storage format on the simulated device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name ("float32" / "bfloat16").
+    itemsize:
+        Bytes per element in HBM (drives memory-capacity and bandwidth
+        accounting — bfloat16 halves both).
+    quantize:
+        Rounding applied whenever a tensor of this dtype is materialised.
+        Arrays are always *carried* as float32; for bfloat16 the carried
+        values are constrained to the bfloat16-representable subset.
+    """
+
+    name: str
+    itemsize: int
+    quantize: Callable[[np.ndarray], np.ndarray] = field(repr=False)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+FLOAT32 = DType(name="float32", itemsize=4, quantize=_identity)
+BFLOAT16 = DType(name="bfloat16", itemsize=2, quantize=round_to_bfloat16)
+
+_BY_NAME = {"float32": FLOAT32, "f32": FLOAT32, "bfloat16": BFLOAT16, "bf16": BFLOAT16}
+
+
+def resolve_dtype(dtype: "DType | str") -> DType:
+    """Accept a DType or a name ("float32", "bf16", ...) and normalise it."""
+    if isinstance(dtype, DType):
+        return dtype
+    try:
+        return _BY_NAME[str(dtype).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown dtype {dtype!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

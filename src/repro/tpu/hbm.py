@@ -1,0 +1,87 @@
+"""Model of a TensorCore's high-bandwidth memory (HBM).
+
+Covers the three HBM properties the paper leans on:
+
+* **capacity** — 16 GiB per core bounds the largest lattice; bfloat16
+  halves the footprint, which is one of the paper's two arguments for
+  low precision (they reach (656 x 128)^2 at 96% utilization);
+* **tiling** — arrays are tiled (8, 128): the minor dimension pads to a
+  multiple of 128 and the second-minor to a multiple of 8, so
+  badly-shaped tensors waste memory and bandwidth (the paper's
+  performance guide discussion);
+* **bandwidth** — the roofline's memory roof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HBMModel", "tiled_shape", "tensor_bytes"]
+
+_LANE = 128
+_SUBLANE = 8
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+def tiled_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    """The physical (padded) shape under TPU (8, 128) tiling.
+
+    The last dimension pads to a multiple of 128, the second-to-last to a
+    multiple of 8; leading dimensions are unaffected.  Scalars and rank-1
+    tensors are padded as a single row.
+    """
+    if len(shape) == 0:
+        return (_SUBLANE, _LANE)
+    if len(shape) == 1:
+        return (_SUBLANE, _round_up(max(shape[0], 1), _LANE))
+    padded = list(shape)
+    padded[-1] = _round_up(max(padded[-1], 1), _LANE)
+    padded[-2] = _round_up(max(padded[-2], 1), _SUBLANE)
+    return tuple(padded)
+
+
+def tensor_bytes(shape: tuple[int, ...], itemsize: int) -> int:
+    """Physical HBM bytes of a tensor, including tiling padding."""
+    if itemsize <= 0:
+        raise ValueError(f"itemsize must be positive, got {itemsize}")
+    return int(np.prod(tiled_shape(shape), dtype=np.int64)) * itemsize
+
+
+@dataclass
+class HBMModel:
+    """Capacity and bandwidth of one core's HBM.
+
+    ``temp_fraction`` models XLA's working buffers (uniforms, neighbour
+    sums) after buffer reuse, as a fraction of the resident lattice —
+    calibrated so the paper's "(656 x 128)^2 consumes 96% of memory"
+    anchor holds in bfloat16.
+    """
+
+    capacity_bytes: int = 16 * 1024**3
+    bandwidth: float = 900e9
+    temp_fraction: float = 0.17
+
+    def lattice_footprint(self, n_sites: int, itemsize: int) -> float:
+        """Resident bytes for an n_sites lattice plus working buffers."""
+        if n_sites <= 0:
+            raise ValueError(f"n_sites must be positive, got {n_sites}")
+        return n_sites * itemsize * (1.0 + self.temp_fraction)
+
+    def utilization(self, n_sites: int, itemsize: int) -> float:
+        """Fraction of HBM used by the simulation state."""
+        return self.lattice_footprint(n_sites, itemsize) / self.capacity_bytes
+
+    def fits(self, n_sites: int, itemsize: int) -> bool:
+        return self.lattice_footprint(n_sites, itemsize) <= self.capacity_bytes
+
+    def max_square_lattice_side(self, itemsize: int, multiple: int = 128) -> int:
+        """Largest side (a multiple of ``multiple``) that fits in HBM."""
+        side = int(
+            np.sqrt(self.capacity_bytes / (itemsize * (1.0 + self.temp_fraction)))
+        )
+        return (side // multiple) * multiple

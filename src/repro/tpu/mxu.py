@@ -1,0 +1,71 @@
+"""Model of the TPU v3 matrix unit (MXU).
+
+Each TensorCore has two 128x128 systolic MXUs that perform a 128x128
+multiply-accumulate per cycle: inputs are rounded to bfloat16 and products
+accumulate in float32.  The checkerboard kernels ``K`` / ``K_hat`` are
+sparse diagonal bands, so the *useful* fraction of each dense 128x128
+pass is small — which is why the paper's achieved program FLOPS sits at
+~9% of hardware peak and why the authors suggest smaller kernels as
+future work.  The model therefore separates:
+
+* ``peak_flops`` — the dense hardware peak (Table 5's "% of HW peak"
+  denominator);
+* ``effective_flops`` — the achieved rate for the band-matmul op mix,
+  calibrated against the paper's anchor step time;
+* a batch-utilization ramp — small grids cannot keep the systolic
+  pipelines full, reproducing Table 1's throughput ramp with lattice
+  size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MXUModel"]
+
+
+@dataclass(frozen=True)
+class MXUModel:
+    """Timing model for matmul/conv work on one TensorCore.
+
+    Parameters
+    ----------
+    peak_flops:
+        Dense bf16 hardware peak of the core (both MXUs), flops/s.
+    effective_flops:
+        Achieved rate for the paper's band-kernel batched matmuls at
+        large batch, flops/s.
+    conv_effective_flops:
+        Achieved rate for the appendix conv formulation, flops/s.  The
+        fused 2-tap convs charge only the 4 useful flops per output
+        element (vs the 256 mostly-wasted flops of a dense 128-wide band
+        matmul), so despite the much lower per-charged-flop rate the conv
+        variant's MXU time per site is ~3.3x lower — which is what turns
+        Table 2's 575 ms anchor step into Table 6's ~332 ms.
+    batch_half_utilization:
+        Batch size (number of 128x128 blocks in the batched matmul) at
+        which the pipeline reaches half of its asymptotic utilization.
+    """
+
+    peak_flops: float = 52.5e12
+    effective_flops: float = 9.83e12
+    conv_effective_flops: float = 5.09e11
+    batch_half_utilization: float = 16.0
+
+    def utilization(self, batch: float) -> float:
+        """Pipeline utilization ramp in (0, 1] as a function of batch size."""
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        return batch / (batch + self.batch_half_utilization)
+
+    def matmul_time(self, flops: float, batch: float = 1e9) -> float:
+        """Seconds to execute a batched band-kernel matmul of given flops."""
+        if flops < 0:
+            raise ValueError(f"flops must be >= 0, got {flops}")
+        return flops / (self.effective_flops * self.utilization(batch))
+
+    def conv_time(self, flops: float) -> float:
+        """Seconds to execute convolution work of given (im2col) flops."""
+        if flops < 0:
+            raise ValueError(f"flops must be >= 0, got {flops}")
+        return flops / self.conv_effective_flops

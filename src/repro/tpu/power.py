@@ -1,0 +1,33 @@
+"""Energy-per-flip estimation (the nJ/flip columns of Tables 1 and 2).
+
+The paper's estimate is deliberately a rough upper bound: assume each
+processor runs at its TDP-like average power P during the whole step, so
+the energy per spin flip is ``P / F`` nanojoules when the throughput is
+``F`` flips/ns.  The same constants are used here: 100 W per TPU v3 core
+(half of the 200 W/chip estimate the paper cites) and 250 W for a PCIe
+Tesla V100.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TPU_V3_CORE_WATTS",
+    "TESLA_V100_WATTS",
+    "energy_per_flip_nj",
+]
+
+TPU_V3_CORE_WATTS = 100.0
+TESLA_V100_WATTS = 250.0
+
+
+def energy_per_flip_nj(power_watts: float, flips_per_ns: float) -> float:
+    """Upper-bound energy estimate in nanojoules per flip.
+
+    With throughput F flips/ns = F * 1e9 flips/s, energy per flip is
+    P / (F * 1e9) joules = (P / F) nJ.
+    """
+    if power_watts <= 0:
+        raise ValueError(f"power must be positive, got {power_watts}")
+    if flips_per_ns <= 0:
+        raise ValueError(f"throughput must be positive, got {flips_per_ns}")
+    return power_watts / flips_per_ns

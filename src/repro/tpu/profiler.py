@@ -1,0 +1,154 @@
+"""Per-category time accounting — the software stand-in for the TPU profiler.
+
+The paper's performance analysis (Sec. 5.2, Tables 3-5, Fig. 6) is built
+on Google's TPU profiling tool, which attributes step time to HLO-level
+categories: MXU (matmul/conv), VPU (elementwise + RNG), data formatting,
+and inter-core communication.  Our simulated TensorCore charges every
+backend op into a :class:`Profiler` with the same categories, so the same
+breakdown tables can be regenerated.
+
+The profiler also keeps optional trace events (category, name, start,
+duration) — a light-weight version of the trace viewer in the paper's
+Fig. 6 — and supports step marking so per-step times can be separated
+from warm-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CATEGORIES", "TraceEvent", "Profiler"]
+
+#: Charge categories, mirroring the paper's Table 3 columns.  "conv" is
+#: the appendix implementation's convolution work; reports fold it into
+#: the MXU column.
+CATEGORIES = ("mxu", "conv", "vpu", "formatting", "communication")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One op occurrence on the simulated timeline."""
+
+    category: str
+    name: str
+    start: float
+    duration: float
+
+
+@dataclass
+class StepRecord:
+    """Accumulated per-category seconds for one marked step."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+
+class Profiler:
+    """Accumulates modeled op time, flops and bytes per category."""
+
+    def __init__(self, record_trace: bool = False) -> None:
+        self.record_trace = record_trace
+        self.seconds: dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self.flops: dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self.bytes: dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self.op_counts: dict[str, int] = {c: 0 for c in CATEGORIES}
+        self.trace: list[TraceEvent] = []
+        self.steps: list[StepRecord] = []
+        self._step_start: dict[str, float] = dict(self.seconds)
+
+    # -- charging --------------------------------------------------------
+
+    def charge(
+        self,
+        category: str,
+        seconds: float,
+        *,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        name: str = "",
+    ) -> None:
+        """Record one op's modeled cost."""
+        if category not in self.seconds:
+            raise ValueError(
+                f"unknown category {category!r}; expected one of {CATEGORIES}"
+            )
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if self.record_trace:
+            self.trace.append(
+                TraceEvent(category, name, self.total_seconds, seconds)
+            )
+        self.seconds[category] += seconds
+        self.flops[category] += flops
+        self.bytes[category] += bytes_moved
+        self.op_counts[category] += 1
+
+    # -- aggregation -------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    @property
+    def total_flops(self) -> float:
+        return sum(self.flops.values())
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.bytes.values())
+
+    def breakdown(self, merge_conv: bool = True) -> dict[str, float]:
+        """Fractions of total time per category (the Table 3 percentages).
+
+        With ``merge_conv`` the "conv" charges are reported inside "mxu",
+        matching how the TPU profiler attributes convolutions to the MXU.
+        """
+        total = self.total_seconds
+        seconds = dict(self.seconds)
+        if merge_conv:
+            seconds["mxu"] += seconds.pop("conv")
+        if total == 0.0:
+            return {c: 0.0 for c in seconds}
+        return {c: s / total for c, s in seconds.items()}
+
+    def mark_step(self) -> StepRecord:
+        """Close the current step and return its per-category seconds."""
+        record = StepRecord(
+            seconds={
+                c: self.seconds[c] - self._step_start.get(c, 0.0)
+                for c in CATEGORIES
+            }
+        )
+        self.steps.append(record)
+        self._step_start = dict(self.seconds)
+        return record
+
+    def step_seconds(self) -> list[float]:
+        """Total modeled seconds of each marked step."""
+        return [s.total for s in self.steps]
+
+    def reset(self) -> None:
+        self.seconds = {c: 0.0 for c in CATEGORIES}
+        self.flops = {c: 0.0 for c in CATEGORIES}
+        self.bytes = {c: 0.0 for c in CATEGORIES}
+        self.op_counts = {c: 0 for c in CATEGORIES}
+        self.trace.clear()
+        self.steps.clear()
+        self._step_start = dict(self.seconds)
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's totals into this one (pod aggregation)."""
+        for c in CATEGORIES:
+            self.seconds[c] += other.seconds[c]
+            self.flops[c] += other.flops[c]
+            self.bytes[c] += other.bytes[c]
+            self.op_counts[c] += other.op_counts[c]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{c}={self.seconds[c] * 1e3:.3f}ms" for c in CATEGORIES if self.seconds[c]
+        )
+        return f"Profiler({parts or 'empty'})"

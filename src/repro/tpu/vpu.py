@@ -1,0 +1,32 @@
+"""Model of the TPU v3 vector processing unit (VPU).
+
+The VPU executes elementwise arithmetic, comparisons, transcendentals and
+the stateless RNG.  In the paper's profile this is ~12% of step time,
+dominated by ``tf.random_uniform`` (Philox) generation.  The model is a
+single effective elementwise rate; op flop counts come from the backend
+(e.g. ~20 flops/element for Philox uniforms, 8 for exp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VPUModel"]
+
+
+@dataclass(frozen=True)
+class VPUModel:
+    """Timing model for vector work on one TensorCore.
+
+    ``effective_flops`` is the achieved elementwise rate (flops/s),
+    calibrated so that RNG + acceptance arithmetic lands at the paper's
+    ~12% share of the anchor step.
+    """
+
+    effective_flops: float = 3.3e12
+
+    def elementwise_time(self, flops: float) -> float:
+        """Seconds of vector work for the given flop count."""
+        if flops < 0:
+            raise ValueError(f"flops must be >= 0, got {flops}")
+        return flops / self.effective_flops

@@ -1,0 +1,70 @@
+"""Roll-based baseline and published-number tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_BENCHMARKS,
+    MULTI_GPU_64_BLOCK_2010,
+    PREIS_2009_GPU,
+    RollUpdater,
+    TESLA_V100_THIS_PAPER,
+    FPGA_ORTEGA_2016,
+)
+from repro.rng import PhiloxStream
+
+from .conftest import make_lattice
+
+
+class TestRollUpdater:
+    def test_sweep_preserves_spins(self):
+        out = RollUpdater(0.44).sweep_plain(make_lattice((8, 8)), PhiloxStream(1, 0))
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_reproducible(self):
+        plain = make_lattice((8, 8))
+        a = RollUpdater(0.44).sweep_plain(plain, PhiloxStream(2, 0))
+        b = RollUpdater(0.44).sweep_plain(plain, PhiloxStream(2, 0))
+        assert np.array_equal(a, b)
+
+    def test_requires_stream_or_probs(self):
+        with pytest.raises(ValueError, match="stream or probs"):
+            RollUpdater(0.44).update_color(make_lattice((4, 4)), "black")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="beta"):
+            RollUpdater(-0.1)
+
+    def test_one_phase_freezes_other_color(self):
+        from repro.core.lattice import checkerboard_mask
+
+        plain = make_lattice((8, 8))
+        after = RollUpdater(0.44).update_color(plain, "white", PhiloxStream(3, 0))
+        black = checkerboard_mask((8, 8), "black").astype(bool)
+        assert np.array_equal(after[black], plain[black])
+
+
+class TestPublishedNumbers:
+    def test_paper_table1_rows(self):
+        assert PREIS_2009_GPU.flips_per_ns == pytest.approx(7.9774)
+        assert TESLA_V100_THIS_PAPER.flips_per_ns == pytest.approx(11.3704)
+        assert TESLA_V100_THIS_PAPER.energy_nj_per_flip == pytest.approx(21.9869)
+        assert FPGA_ORTEGA_2016.flips_per_ns == pytest.approx(614.4)
+
+    def test_per_device_throughput(self):
+        assert MULTI_GPU_64_BLOCK_2010.flips_per_ns_per_device == pytest.approx(
+            206.0 / 64.0
+        )
+
+    def test_catalog_has_provenance(self):
+        for bench in ALL_BENCHMARKS:
+            assert bench.source, f"{bench.system} missing source"
+            assert bench.flips_per_ns > 0
+
+    def test_approximate_points_flagged(self):
+        approx = [b for b in ALL_BENCHMARKS if b.approximate]
+        assert approx, "figure-derived points must be flagged approximate"
+        for bench in approx:
+            assert "Fig. 8" in bench.notes

@@ -1,0 +1,115 @@
+"""bfloat16 emulation: bit-exact RNE rounding semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tpu.bfloat16 import (
+    BF16_EPS,
+    BF16_MAX,
+    BF16_SMALLEST_NORMAL,
+    from_bits,
+    is_representable,
+    round_to_bfloat16,
+    to_bits,
+)
+
+
+class TestExactValues:
+    def test_spins_and_small_integers_exact(self):
+        values = np.array([-4, -3, -2, -1, 0, 1, 2, 3, 4], dtype=np.float32)
+        assert np.array_equal(round_to_bfloat16(values), values)
+
+    def test_powers_of_two_exact(self):
+        values = np.array([2.0**e for e in range(-30, 31)], dtype=np.float32)
+        assert np.array_equal(round_to_bfloat16(values), values)
+
+    def test_mantissa_granularity(self):
+        # 1 + eps/2 rounds to even (1.0); 1 + eps stays.
+        assert round_to_bfloat16(np.float32(1.0 + BF16_EPS)) == np.float32(1.0 + BF16_EPS)
+        assert round_to_bfloat16(np.float32(1.0 + BF16_EPS / 2)) == np.float32(1.0)
+
+    def test_round_to_nearest_even_tie(self):
+        # 1 + 3*eps/2 is exactly halfway between 1+eps and 1+2eps;
+        # RNE picks the even mantissa (1 + 2 eps).
+        tie = np.float32(1.0 + 1.5 * BF16_EPS)
+        assert round_to_bfloat16(tie) == np.float32(1.0 + 2.0 * BF16_EPS)
+
+    def test_known_rounding(self):
+        # 0.1 in bfloat16 is 0x3DCD = 0.100097656...
+        assert round_to_bfloat16(np.float32(0.1)) == np.float32(0.100097656)
+
+
+class TestSpecials:
+    def test_nan_stays_nan(self):
+        out = round_to_bfloat16(np.array([np.nan], dtype=np.float32))
+        assert np.isnan(out[0])
+
+    def test_infinities_preserved(self):
+        out = round_to_bfloat16(np.array([np.inf, -np.inf], dtype=np.float32))
+        assert out[0] == np.inf and out[1] == -np.inf
+
+    def test_overflow_rounds_to_inf(self):
+        with np.errstate(over="ignore"):
+            just_above = np.float32(BF16_MAX) * np.float32(1.01)
+        assert round_to_bfloat16(just_above) == np.inf
+
+    def test_max_finite_preserved(self):
+        assert round_to_bfloat16(np.float32(BF16_MAX)) == np.float32(BF16_MAX)
+
+    def test_signed_zero(self):
+        out = round_to_bfloat16(np.array([0.0, -0.0], dtype=np.float32))
+        assert np.array_equal(np.signbit(out), [False, True])
+
+    def test_smallest_normal(self):
+        assert round_to_bfloat16(np.float32(BF16_SMALLEST_NORMAL)) == np.float32(
+            BF16_SMALLEST_NORMAL
+        )
+
+
+class TestBits:
+    def test_roundtrip_through_bits(self):
+        values = np.array([1.0, -2.5, 0.15625, 3.0e38, 1e-20], dtype=np.float32)
+        rounded = round_to_bfloat16(values)
+        assert np.array_equal(from_bits(to_bits(values)), rounded)
+
+    def test_known_bit_patterns(self):
+        assert to_bits(np.float32(1.0))[()] == 0x3F80
+        assert to_bits(np.float32(-2.0))[()] == 0xC000
+        assert from_bits(np.uint16(0x3F80)) == np.float32(1.0)
+
+    def test_is_representable(self):
+        assert bool(is_representable(np.float32(1.0)))
+        assert not bool(is_representable(np.float32(1.0 + BF16_EPS / 2)))
+
+
+class TestProperties:
+    @given(st.floats(width=32, allow_nan=False))
+    def test_idempotent(self, x):
+        once = round_to_bfloat16(np.float32(x))
+        assert np.array_equal(round_to_bfloat16(once), once)
+
+    @given(st.floats(min_value=1e-30, max_value=1e30))
+    def test_relative_error_bounded(self, x):
+        rounded = float(round_to_bfloat16(np.float32(x)))
+        assert abs(rounded - x) <= (BF16_EPS / 2) * abs(x) * 1.0000001
+
+    @given(st.floats(min_value=-1e30, max_value=1e30))
+    def test_monotone_and_sign_preserving(self, x):
+        rounded = float(round_to_bfloat16(np.float32(x)))
+        if x > 0:
+            assert rounded >= 0
+        if x < 0:
+            assert rounded <= 0
+
+    @given(
+        st.floats(min_value=-1e30, max_value=1e30),
+        st.floats(min_value=-1e30, max_value=1e30),
+    )
+    def test_order_preserved(self, a, b):
+        ra = float(round_to_bfloat16(np.float32(a)))
+        rb = float(round_to_bfloat16(np.float32(b)))
+        if a <= b:
+            assert ra <= rb

@@ -1,0 +1,97 @@
+"""Algorithm 1 (naive checkerboard) updater tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checkerboard import CheckerboardUpdater
+from repro.core.lattice import checkerboard_mask, grid_to_plain, plain_to_grid
+from repro.rng import PhiloxStream
+
+from .conftest import make_lattice
+
+
+class TestMechanics:
+    def test_sweep_preserves_spin_values(self, backend, stream):
+        updater = CheckerboardUpdater(0.44, backend, block_shape=(4, 4))
+        grid = updater.to_state(make_lattice((8, 12)))
+        out = updater.sweep(grid, stream)
+        assert out.shape == grid.shape
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_one_phase_touches_only_one_color(self, backend, stream):
+        updater = CheckerboardUpdater(0.44, backend, block_shape=(4, 4))
+        plain = make_lattice((8, 8))
+        grid = updater.to_state(plain)
+        after = grid_to_plain(updater.update_color(grid, "black", stream))
+        changed = after != plain
+        white_mask = checkerboard_mask((8, 8), "white").astype(bool)
+        assert not changed[white_mask].any()
+        # At moderate temperature some black sites do flip.
+        assert changed.any()
+
+    def test_reproducible(self, backend):
+        updater = CheckerboardUpdater(0.44, backend, block_shape=(4, 4))
+        grid = updater.to_state(make_lattice((8, 8)))
+        a = updater.sweep(grid, PhiloxStream(3, 0))
+        b = updater.sweep(grid, PhiloxStream(3, 0))
+        assert np.array_equal(a, b)
+
+    def test_explicit_probs_override_stream(self, backend):
+        updater = CheckerboardUpdater(0.44, backend, block_shape=(4, 4))
+        grid = updater.to_state(make_lattice((8, 8)))
+        probs = plain_to_grid(np.full((8, 8), 0.5, dtype=np.float32), (4, 4))
+        out = updater.sweep(grid, probs_black=probs, probs_white=probs)
+        out2 = updater.sweep(grid, probs_black=probs, probs_white=probs)
+        assert np.array_equal(out, out2)
+
+    def test_requires_stream_or_probs(self, backend):
+        updater = CheckerboardUpdater(0.44, backend, block_shape=(4, 4))
+        grid = updater.to_state(make_lattice((8, 8)))
+        with pytest.raises(ValueError, match="stream or probs"):
+            updater.update_color(grid, "black")
+
+    def test_probs_shape_validated(self, backend, stream):
+        updater = CheckerboardUpdater(0.44, backend, block_shape=(4, 4))
+        grid = updater.to_state(make_lattice((8, 8)))
+        with pytest.raises(ValueError, match="probs shape"):
+            updater.update_color(grid, "black", probs=np.zeros((1, 1, 4, 4), dtype=np.float32))
+
+    def test_bad_beta(self, backend):
+        with pytest.raises(ValueError, match="beta"):
+            CheckerboardUpdater(0.0, backend)
+
+    def test_sweep_plain_roundtrip(self, backend, stream):
+        updater = CheckerboardUpdater(0.44, backend, block_shape=(4, 4))
+        out = updater.sweep_plain(make_lattice((8, 8)), stream)
+        assert out.shape == (8, 8)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_mask_cache_reused(self, backend, stream):
+        updater = CheckerboardUpdater(0.44, backend, block_shape=(4, 4))
+        grid = updater.to_state(make_lattice((8, 8)))
+        updater.sweep(grid, stream)
+        masks_before = updater._mask_cache[grid.shape]
+        updater.sweep(grid, stream)
+        assert updater._mask_cache[grid.shape] is masks_before
+
+
+class TestPhysicsLimits:
+    def test_high_temperature_randomizes(self, backend):
+        updater = CheckerboardUpdater(0.01, backend, block_shape=(8, 8))
+        grid = updater.to_state(np.ones((16, 16), dtype=np.float32))
+        stream = PhiloxStream(1, 0)
+        for _ in range(20):
+            grid = updater.sweep(grid, stream)
+        m = abs(float(grid_to_plain(grid).mean()))
+        assert m < 0.3
+
+    def test_low_temperature_stays_ordered(self, backend):
+        updater = CheckerboardUpdater(2.0, backend, block_shape=(8, 8))
+        grid = updater.to_state(np.ones((16, 16), dtype=np.float32))
+        stream = PhiloxStream(1, 0)
+        for _ in range(20):
+            grid = updater.sweep(grid, stream)
+        m = float(grid_to_plain(grid).mean())
+        assert m > 0.95

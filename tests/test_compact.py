@@ -1,0 +1,101 @@
+"""Algorithm 2 (compact) updater tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compact import CompactUpdater
+from repro.core.lattice import CompactLattice
+from repro.rng import PhiloxStream
+
+from .conftest import make_lattice
+
+
+class TestMechanics:
+    def test_sweep_preserves_spin_values(self, backend, stream):
+        updater = CompactUpdater(0.44, backend, block_shape=(2, 3))
+        lat = updater.to_state(make_lattice((8, 12)))
+        out = updater.sweep(lat, stream)
+        assert set(np.unique(out.to_plain())) <= {-1.0, 1.0}
+
+    def test_black_phase_shares_white_tensors(self, backend, stream):
+        updater = CompactUpdater(0.44, backend, block_shape=(2, 2))
+        lat = updater.to_state(make_lattice((8, 8)))
+        out = updater.update_color(lat, "black", stream)
+        assert out.s01 is lat.s01
+        assert out.s10 is lat.s10
+        assert out.s00 is not lat.s00
+
+    def test_white_phase_shares_black_tensors(self, backend, stream):
+        updater = CompactUpdater(0.44, backend, block_shape=(2, 2))
+        lat = updater.to_state(make_lattice((8, 8)))
+        out = updater.update_color(lat, "white", stream)
+        assert out.s00 is lat.s00
+        assert out.s11 is lat.s11
+
+    def test_reproducible(self, backend):
+        updater = CompactUpdater(0.44, backend, block_shape=(2, 2))
+        lat = updater.to_state(make_lattice((8, 8)))
+        a = updater.sweep(lat, PhiloxStream(9, 0)).to_plain()
+        b = updater.sweep(lat, PhiloxStream(9, 0)).to_plain()
+        assert np.array_equal(a, b)
+
+    def test_requires_stream_or_probs(self, backend):
+        updater = CompactUpdater(0.44, backend, block_shape=(2, 2))
+        lat = updater.to_state(make_lattice((8, 8)))
+        with pytest.raises(ValueError, match="stream or probs"):
+            updater.update_color(lat, "black")
+
+    def test_probs_shape_validated(self, backend):
+        updater = CompactUpdater(0.44, backend, block_shape=(2, 2))
+        lat = updater.to_state(make_lattice((8, 8)))
+        bad = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="probs shapes"):
+            updater.update_color(lat, "black", probs=(bad, bad))
+
+    def test_default_block_is_whole_quarter(self, backend, stream):
+        updater = CompactUpdater(0.44, backend, block_shape=None)
+        lat = updater.to_state(make_lattice((8, 12)))
+        assert lat.grid_shape == (1, 1, 4, 6)
+        out = updater.sweep(lat, stream)
+        assert set(np.unique(out.to_plain())) <= {-1.0, 1.0}
+
+    def test_nn_method_validation(self, backend):
+        with pytest.raises(ValueError, match="nn_method"):
+            CompactUpdater(0.44, backend, nn_method="fft")
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            CompactUpdater(-1.0)
+
+
+class TestRNGDrawOrder:
+    def test_stream_draw_matches_algorithm2_order(self, backend):
+        """probs0 for the first active tensor, then probs1 — lines 1-2."""
+        updater = CompactUpdater(0.44, backend, block_shape=(2, 2))
+        lat = updater.to_state(make_lattice((8, 8)))
+        stream = PhiloxStream(21, 0)
+        out_stream = updater.update_color(lat, "black", stream)
+        replay = PhiloxStream(21, 0)
+        p0 = replay.uniform(lat.grid_shape)
+        p1 = replay.uniform(lat.grid_shape)
+        out_probs = updater.update_color(lat, "black", probs=(p0, p1))
+        assert np.array_equal(out_stream.to_plain(), out_probs.to_plain())
+
+
+class TestPhysicsLimits:
+    def test_zero_temperature_limit_only_lowers_energy(self, backend):
+        """At huge beta the sweep is a strict energy descent."""
+        from repro.observables.energy import total_energy
+
+        updater = CompactUpdater(20.0, backend, block_shape=None)
+        plain = make_lattice((16, 16), seed=3)
+        lat = updater.to_state(plain)
+        stream = PhiloxStream(2, 0)
+        e_prev = total_energy(plain)
+        for _ in range(10):
+            lat = updater.sweep(lat, stream)
+            e_now = total_energy(lat.to_plain())
+            assert e_now <= e_prev + 1e-6
+            e_prev = e_now

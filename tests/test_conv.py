@@ -1,0 +1,105 @@
+"""Conv-variant updater tests (compact-conv and masked-conv)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compact import CompactUpdater
+from repro.core.conv import ConvUpdater, MaskedConvUpdater
+from repro.rng import PhiloxStream
+
+from .conftest import make_lattice
+
+
+class TestConvUpdater:
+    def test_is_compact_with_conv_sums(self, backend):
+        updater = ConvUpdater(0.44, backend, block_shape=(2, 2))
+        assert isinstance(updater, CompactUpdater)
+        assert updater.nn_method == "conv"
+
+    def test_bitwise_equal_to_matmul_path(self, backend):
+        """The conv chain is bit-identical to Algorithm 2 per sweep."""
+        plain = make_lattice((16, 16), seed=4)
+        conv = ConvUpdater(0.44, backend, block_shape=(4, 4))
+        matmul = CompactUpdater(0.44, backend, block_shape=(4, 4))
+        stream_a = PhiloxStream(8, 0)
+        stream_b = PhiloxStream(8, 0)
+        lat_a = conv.to_state(plain)
+        lat_b = matmul.to_state(plain)
+        for _ in range(5):
+            lat_a = conv.sweep(lat_a, stream_a)
+            lat_b = matmul.sweep(lat_b, stream_b)
+        assert np.array_equal(lat_a.to_plain(), lat_b.to_plain())
+
+    def test_sweep_plain(self, backend, stream):
+        out = ConvUpdater(0.44, backend, block_shape=(2, 2)).sweep_plain(
+            make_lattice((8, 8)), stream
+        )
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+
+class TestMaskedConvUpdater:
+    def test_sweep_preserves_spin_values(self, backend, stream):
+        updater = MaskedConvUpdater(0.44, backend)
+        out = updater.sweep(updater.to_state(make_lattice((8, 12))), stream)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_matches_compact_with_same_uniforms(self, backend):
+        from repro.core.lattice import plain_to_grid, plain_to_quarters
+
+        plain = make_lattice((8, 12), seed=6)
+        beta = 0.5
+        stream = PhiloxStream(13, 0)
+        u_black = stream.uniform((8, 12))
+        u_white = stream.uniform((8, 12))
+
+        masked = MaskedConvUpdater(beta, backend)
+        out_masked = masked.sweep(plain.copy(), probs_black=u_black, probs_white=u_white)
+
+        compact = CompactUpdater(beta, backend, block_shape=(2, 3))
+        lat = compact.to_state(plain)
+        qb, qw = plain_to_quarters(u_black), plain_to_quarters(u_white)
+        lat = compact.update_color(
+            lat, "black", probs=(plain_to_grid(qb[0], (2, 3)), plain_to_grid(qb[3], (2, 3)))
+        )
+        lat = compact.update_color(
+            lat, "white", probs=(plain_to_grid(qw[1], (2, 3)), plain_to_grid(qw[2], (2, 3)))
+        )
+        assert np.array_equal(out_masked, lat.to_plain())
+
+    def test_requires_stream_or_probs(self, backend):
+        updater = MaskedConvUpdater(0.44, backend)
+        with pytest.raises(ValueError, match="stream or probs"):
+            updater.update_color(make_lattice((4, 4)), "black")
+
+    def test_probs_shape_validated(self, backend, stream):
+        updater = MaskedConvUpdater(0.44, backend)
+        with pytest.raises(ValueError, match="probs shape"):
+            updater.update_color(
+                make_lattice((4, 4)), "black", probs=np.zeros((2, 2), dtype=np.float32)
+            )
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            MaskedConvUpdater(0.0)
+
+
+class TestShiftedPairSum:
+    def test_semantics(self, backend):
+        x = np.arange(6, dtype=np.float32).reshape(1, 1, 2, 3)
+        prev_col = backend.shifted_pair_sum(x, -1, -1)
+        assert np.array_equal(prev_col[0, 0], [[0, 1, 3], [3, 7, 9]])
+        next_col = backend.shifted_pair_sum(x, -1, 1)
+        assert np.array_equal(next_col[0, 0], [[1, 3, 2], [7, 9, 5]])
+        prev_row = backend.shifted_pair_sum(x, -2, -1)
+        assert np.array_equal(prev_row[0, 0], [[0, 1, 2], [3, 5, 7]])
+        next_row = backend.shifted_pair_sum(x, -2, 1)
+        assert np.array_equal(next_row[0, 0], [[3, 5, 7], [3, 4, 5]])
+
+    def test_validation(self, backend):
+        x = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="axis"):
+            backend.shifted_pair_sum(x, 0, 1)
+        with pytest.raises(ValueError, match="offset"):
+            backend.shifted_pair_sum(x, -1, 2)

@@ -1,0 +1,107 @@
+"""Correlation-function and susceptibility observable tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import IsingSimulation
+from repro.observables.correlation import (
+    correlation_function,
+    correlation_length,
+    susceptibility,
+)
+from repro.observables.onsager import T_CRITICAL
+
+
+class TestCorrelationFunction:
+    def test_ordered_lattice_fully_correlated_connected_zero(self):
+        plain = np.ones((16, 16), dtype=np.float32)
+        g = correlation_function(plain)
+        assert np.allclose(g, 0.0)  # connected part vanishes when m = 1
+
+    def test_g0_is_variance(self):
+        rng = np.random.default_rng(0)
+        plain = np.where(rng.random((64, 64)) < 0.5, 1.0, -1.0).astype(np.float32)
+        g = correlation_function(plain)
+        assert g[0] == pytest.approx(1.0 - plain.mean() ** 2, abs=1e-10)
+
+    def test_random_lattice_uncorrelated(self):
+        rng = np.random.default_rng(1)
+        plain = np.where(rng.random((128, 128)) < 0.5, 1.0, -1.0).astype(np.float32)
+        g = correlation_function(plain)
+        assert np.all(np.abs(g[1:]) < 0.05)
+
+    def test_stripe_pattern_anticorrelates_at_distance_one(self):
+        plain = np.ones((16, 16), dtype=np.float32)
+        plain[::2, :] = -1.0
+        g = correlation_function(plain)
+        # Row-direction neighbours anti-align, column-direction align:
+        # the axis average at r=1 is (-1 + 1)/2 - 0 = 0; at r=2 fully +1.
+        assert g[1] == pytest.approx(0.0, abs=1e-10)
+        assert g[2] == pytest.approx(1.0, abs=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2D"):
+            correlation_function(np.ones(5, dtype=np.float32))
+        with pytest.raises(ValueError, match="max_distance"):
+            correlation_function(np.ones((8, 8), dtype=np.float32), max_distance=10)
+
+
+class TestCorrelationLength:
+    def test_exact_exponential(self):
+        xi = 3.0
+        g = np.exp(-np.arange(10) / xi)
+        assert correlation_length(g) == pytest.approx(xi, rel=1e-6)
+
+    def test_rejects_flat_or_short(self):
+        with pytest.raises(ValueError, match="points"):
+            correlation_length(np.array([1.0, -0.1, 0.0]))
+
+    def test_mcmc_correlation_grows_toward_tc(self):
+        """xi is larger near Tc than deep in the disordered phase."""
+
+        def measure(temperature: float, seed: int) -> float:
+            sim = IsingSimulation(48, temperature, seed=seed)
+            sim.run(400)
+            g_total = np.zeros(13)
+            n_measure = 60
+            for _ in range(n_measure):
+                sim.run(5)
+                g_total += correlation_function(sim.lattice, max_distance=12)
+            return correlation_length(g_total / n_measure)
+
+        xi_near = measure(1.07 * T_CRITICAL, seed=2)
+        xi_far = measure(2.0 * T_CRITICAL, seed=3)
+        assert xi_near > 1.5 * xi_far
+
+
+class TestSusceptibility:
+    def test_formula(self):
+        m = np.array([0.5, -0.5, 0.5, -0.5])
+        # <m^2> = 0.25, <|m|> = 0.5 -> chi = 0.
+        assert susceptibility(m, beta=1.0, n_sites=100) == pytest.approx(0.0)
+        m = np.array([0.0, 1.0])
+        # <m^2> = 0.5, <|m|> = 0.5 -> chi = beta*N*0.25.
+        assert susceptibility(m, beta=0.5, n_sites=64) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="beta"):
+            susceptibility(np.ones(4), 0.0, 10)
+        with pytest.raises(ValueError, match="n_sites"):
+            susceptibility(np.ones(4), 1.0, 0)
+        with pytest.raises(ValueError, match="sample"):
+            susceptibility(np.array([]), 1.0, 10)
+
+    def test_peaks_near_tc(self):
+        """chi(Tc) exceeds chi deep in either phase (finite-size peak)."""
+        chis = {}
+        for label, frac in [("below", 0.75), ("near", 1.0), ("above", 1.6)]:
+            t = frac * T_CRITICAL
+            sim = IsingSimulation(
+                16, t, seed=6, initial="cold" if frac < 1 else "hot"
+            )
+            res = sim.sample(n_samples=3000, burn_in=600)
+            chis[label] = susceptibility(res.m_series, 1.0 / t, sim.n_sites)
+        assert chis["near"] > 3 * chis["below"]
+        assert chis["near"] > 2 * chis["above"]

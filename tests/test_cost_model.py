@@ -1,0 +1,127 @@
+"""Cost model tests: op pricing, roofline, and the paper-anchor calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpu.cost_model import TPU_V3, TPUCostModel
+from repro.tpu.mxu import MXUModel
+from repro.tpu.vpu import VPUModel
+
+
+class TestOpTimes:
+    def test_mxu_op_scales_with_flops(self):
+        t1 = TPU_V3.op_times("mxu", 1e9, 0.0, batch=1e6)
+        t2 = TPU_V3.op_times("mxu", 2e9, 0.0, batch=1e6)
+        overhead = TPU_V3.op_overhead
+        assert (t2["mxu"] - overhead) == pytest.approx(2 * (t1["mxu"] - overhead))
+
+    def test_relayout_charged_to_formatting(self):
+        times = TPU_V3.op_times("vpu", 1e6, 1e9)
+        assert times["formatting"] == pytest.approx(
+            TPU_V3.relayout_fraction * 1e9 / TPU_V3.hbm.bandwidth
+        )
+
+    def test_pure_formatting_op(self):
+        times = TPU_V3.op_times("formatting", 0.0, 9e8)
+        assert set(times) == {"formatting"}
+        assert times["formatting"] == pytest.approx(
+            9e8 / TPU_V3.hbm.bandwidth + TPU_V3.op_overhead
+        )
+
+    def test_zero_byte_op_has_no_relayout(self):
+        times = TPU_V3.op_times("vpu", 1e6, 0.0)
+        assert set(times) == {"vpu"}
+
+    def test_unknown_category(self):
+        with pytest.raises(ValueError, match="category"):
+            TPU_V3.op_times("tensorcore", 1.0, 1.0)
+
+    def test_negative_inputs(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            TPU_V3.op_times("mxu", -1.0, 0.0)
+
+
+class TestMXUModel:
+    def test_utilization_ramp(self):
+        mxu = MXUModel(batch_half_utilization=16.0)
+        assert mxu.utilization(16.0) == pytest.approx(0.5)
+        assert mxu.utilization(1e9) == pytest.approx(1.0, abs=1e-6)
+        with pytest.raises(ValueError, match="batch"):
+            mxu.utilization(0)
+
+    def test_small_batches_are_slower_per_flop(self):
+        mxu = MXUModel()
+        assert mxu.matmul_time(1e9, batch=4) > mxu.matmul_time(1e9, batch=4096)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="flops"):
+            MXUModel().matmul_time(-1.0)
+        with pytest.raises(ValueError, match="flops"):
+            MXUModel().conv_time(-1.0)
+
+
+class TestVPUModel:
+    def test_linear(self):
+        vpu = VPUModel(effective_flops=1e12)
+        assert vpu.elementwise_time(1e12) == pytest.approx(1.0)
+        with pytest.raises(ValueError, match="flops"):
+            vpu.elementwise_time(-1.0)
+
+
+class TestRoofline:
+    def test_memory_bound_region(self):
+        # Below the ridge intensity, attainable = intensity * bandwidth.
+        ridge = TPU_V3.mxu.peak_flops / TPU_V3.hbm.bandwidth
+        low = ridge / 10
+        assert TPU_V3.roofline_attainable_flops(low) == pytest.approx(
+            low * TPU_V3.hbm.bandwidth
+        )
+
+    def test_compute_bound_region(self):
+        ridge = TPU_V3.mxu.peak_flops / TPU_V3.hbm.bandwidth
+        assert TPU_V3.roofline_attainable_flops(ridge * 10) == TPU_V3.mxu.peak_flops
+
+    def test_fractions(self):
+        attainable = TPU_V3.roofline_attainable_flops(1.0)
+        assert TPU_V3.roofline_fraction(attainable / 2, 1.0) == pytest.approx(0.5)
+        assert TPU_V3.peak_fraction(TPU_V3.mxu.peak_flops) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="intensity"):
+            TPU_V3.roofline_attainable_flops(0.0)
+
+
+class TestPaperAnchorCalibration:
+    """The model must keep reproducing the paper's anchor rows; these
+    tests pin the calibration so accidental constant changes are caught."""
+
+    def test_table2_anchor_step_time(self):
+        from repro.harness.perf import model_pod_step
+
+        model = model_pod_step((896 * 128, 448 * 128), 2)
+        assert model.step_time * 1e3 == pytest.approx(574.7, rel=0.02)
+        assert model.flips_per_ns == pytest.approx(22.8873, rel=0.02)
+
+    def test_table3_anchor_breakdown(self):
+        from repro.harness.perf import model_pod_step
+
+        b = model_pod_step((896 * 128, 448 * 128), 512).breakdown()
+        assert 100 * b["mxu"] == pytest.approx(59.4, abs=1.5)
+        assert 100 * b["vpu"] == pytest.approx(12.0, abs=1.5)
+        assert 100 * b["formatting"] == pytest.approx(28.1, abs=1.5)
+        assert 100 * b["communication"] < 0.3
+
+    def test_table6_conv_anchor(self):
+        from repro.harness.perf import model_pod_step
+
+        model = model_pod_step((224 * 128, 224 * 128), 64, updater="conv")
+        assert model.step_time * 1e3 == pytest.approx(41.06, rel=0.05)
+
+    def test_custom_model_is_honoured(self):
+        custom = TPUCostModel(
+            mxu=MXUModel(effective_flops=1e12), relayout_fraction=0.0
+        )
+        t = custom.op_times("mxu", 1e12, 1e6, batch=1e9)
+        assert t["mxu"] == pytest.approx(1.0, rel=1e-3)
+        assert "formatting" not in t

@@ -1,0 +1,49 @@
+"""DType descriptors and name resolution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tpu.bfloat16 import round_to_bfloat16
+from repro.tpu.dtypes import BFLOAT16, FLOAT32, resolve_dtype
+
+
+class TestResolve:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("float32", FLOAT32),
+            ("f32", FLOAT32),
+            ("bfloat16", BFLOAT16),
+            ("bf16", BFLOAT16),
+            ("BF16", BFLOAT16),
+        ],
+    )
+    def test_names(self, name, expected):
+        assert resolve_dtype(name) is expected
+
+    def test_dtype_passthrough(self):
+        assert resolve_dtype(BFLOAT16) is BFLOAT16
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            resolve_dtype("float64")
+
+
+class TestDescriptors:
+    def test_itemsizes(self):
+        assert FLOAT32.itemsize == 4
+        assert BFLOAT16.itemsize == 2
+
+    def test_quantize_float32_is_identity(self):
+        x = np.array([0.1, 1.0 + 2.0**-20], dtype=np.float32)
+        assert np.array_equal(FLOAT32.quantize(x), x)
+
+    def test_quantize_bfloat16_rounds(self):
+        x = np.array([0.1, 1.0 + 2.0**-20], dtype=np.float32)
+        assert np.array_equal(BFLOAT16.quantize(x), round_to_bfloat16(x))
+
+    def test_str(self):
+        assert str(FLOAT32) == "float32"
+        assert str(BFLOAT16) == "bfloat16"

@@ -1,0 +1,177 @@
+"""Cross-implementation equivalence: the test-suite centrepiece.
+
+Five independent implementations of one checkerboard sweep exist in this
+repository: Algorithm 1 (masked blocked matmul), Algorithm 2 (compact
+matmul), the compact conv variant, the naive masked conv, the plain-numpy
+roll baseline, and the bit-packed multispin baseline.  Fed identical
+per-site uniforms they must produce *bit-identical* chains — any boundary
+or colouring bug in any one of them breaks these tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.backend import NumpyBackend
+from repro.baselines import MultispinUpdater, RollUpdater
+from repro.core import (
+    CheckerboardUpdater,
+    CompactLattice,
+    CompactUpdater,
+    ConvUpdater,
+    MaskedConvUpdater,
+    plain_to_grid,
+    plain_to_quarters,
+    grid_to_plain,
+)
+from repro.core.lattice import random_lattice
+from repro.rng import PhiloxStream
+
+
+def _reference_sweep(plain, beta, u_black, u_white):
+    """RollUpdater as the simple reference implementation."""
+    return RollUpdater(beta).sweep(plain.copy(), probs_black=u_black, probs_white=u_white)
+
+
+def _compact_sweep(plain, beta, u_black, u_white, block, nn_method="matmul"):
+    updater = CompactUpdater(beta, NumpyBackend(), block_shape=block, nn_method=nn_method)
+    lat = CompactLattice.from_plain(plain, block)
+    qb, qw = plain_to_quarters(u_black), plain_to_quarters(u_white)
+    lat = updater.update_color(
+        lat, "black", probs=(plain_to_grid(qb[0], block), plain_to_grid(qb[3], block))
+    )
+    lat = updater.update_color(
+        lat, "white", probs=(plain_to_grid(qw[1], block), plain_to_grid(qw[2], block))
+    )
+    return lat.to_plain()
+
+
+def _checkerboard_sweep(plain, beta, u_black, u_white, block):
+    updater = CheckerboardUpdater(beta, NumpyBackend(), block_shape=block)
+    grid = plain_to_grid(plain, block)
+    grid = updater.sweep(
+        grid,
+        probs_black=plain_to_grid(u_black, block),
+        probs_white=plain_to_grid(u_white, block),
+    )
+    return grid_to_plain(grid)
+
+
+def _masked_conv_sweep(plain, beta, u_black, u_white):
+    return MaskedConvUpdater(beta, NumpyBackend()).sweep(
+        plain.copy(), probs_black=u_black, probs_white=u_white
+    )
+
+
+def _multispin_sweep(plain, beta, u_black, u_white):
+    updater = MultispinUpdater(beta)
+    qb, qw = plain_to_quarters(u_black), plain_to_quarters(u_white)
+    state = updater.to_state(plain)
+    state = updater.update_color(state, "black", probs=(qb[0], qb[3]))
+    state = updater.update_color(state, "white", probs=(qw[1], qw[2]))
+    return state.to_plain()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    m=st.integers(1, 3),
+    n=st.integers(1, 3),
+    r=st.integers(1, 3),
+    c=st.integers(1, 3),
+    beta=st.floats(0.05, 1.5),
+    seed=st.integers(0, 10_000),
+)
+def test_all_gridable_updaters_bitwise_equal(m, n, r, c, beta, seed):
+    shape = (2 * m * r, 2 * n * c)
+    stream = PhiloxStream(seed, 0)
+    plain = random_lattice(shape, stream)
+    u_black = stream.uniform(shape)
+    u_white = stream.uniform(shape)
+
+    reference = _reference_sweep(plain, beta, u_black, u_white)
+    block_plain = (2 * r, 2 * c)  # Algorithm 1 blocks must have even sides? no — any divisor
+    assert np.array_equal(
+        _checkerboard_sweep(plain, beta, u_black, u_white, block_plain), reference
+    )
+    assert np.array_equal(
+        _compact_sweep(plain, beta, u_black, u_white, (r, c)), reference
+    )
+    assert np.array_equal(
+        _compact_sweep(plain, beta, u_black, u_white, (r, c), nn_method="conv"),
+        reference,
+    )
+    assert np.array_equal(_masked_conv_sweep(plain, beta, u_black, u_white), reference)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    rows=st.sampled_from([4, 8, 12]),
+    beta=st.floats(0.05, 1.5),
+    seed=st.integers(0, 10_000),
+)
+def test_multispin_bitwise_equal(rows, beta, seed):
+    shape = (rows, 128)  # multispin packs 64 columns per word per quarter
+    stream = PhiloxStream(seed, 1)
+    plain = random_lattice(shape, stream)
+    u_black = stream.uniform(shape)
+    u_white = stream.uniform(shape)
+    reference = _reference_sweep(plain, beta, u_black, u_white)
+    assert np.array_equal(_multispin_sweep(plain, beta, u_black, u_white), reference)
+
+
+@settings(max_examples=8, deadline=None)
+@given(beta=st.floats(0.1, 1.0), seed=st.integers(0, 1000))
+def test_block_shape_is_irrelevant(beta, seed):
+    """The compact chain does not depend on the grid blocking."""
+    shape = (24, 24)
+    stream = PhiloxStream(seed, 2)
+    plain = random_lattice(shape, stream)
+    u_black = stream.uniform(shape)
+    u_white = stream.uniform(shape)
+    results = [
+        _compact_sweep(plain, beta, u_black, u_white, block)
+        for block in [(12, 12), (6, 6), (3, 4), (4, 3), (2, 2), (1, 1)]
+    ]
+    for other in results[1:]:
+        assert np.array_equal(results[0], other)
+
+
+def test_multi_sweep_chain_equivalence():
+    """Ten full sweeps stay identical across implementations."""
+    shape = (16, 128)
+    beta = 1.0 / 2.27
+    stream = PhiloxStream(42, 3)
+    plain = random_lattice(shape, stream)
+    a, b, c = plain.copy(), plain.copy(), plain.copy()
+    ms = MultispinUpdater(beta).to_state(plain)
+    for _ in range(10):
+        u_black = stream.uniform(shape)
+        u_white = stream.uniform(shape)
+        qb, qw = plain_to_quarters(u_black), plain_to_quarters(u_white)
+        a = _reference_sweep(a, beta, u_black, u_white)
+        b = _compact_sweep(b, beta, u_black, u_white, (4, 16))
+        c = _masked_conv_sweep(c, beta, u_black, u_white)
+        updater = MultispinUpdater(beta)
+        ms = updater.update_color(ms, "black", probs=(qb[0], qb[3]))
+        ms = updater.update_color(ms, "white", probs=(qw[1], qw[2]))
+    assert np.array_equal(a, b)
+    assert np.array_equal(a, c)
+    assert np.array_equal(a, ms.to_plain())
+
+
+def test_bfloat16_pipeline_equivalence():
+    """Compact and conv paths agree in bfloat16 too (same quantized ops)."""
+    shape = (16, 16)
+    beta = 0.44
+    stream = PhiloxStream(17, 4)
+    plain = random_lattice(shape, stream)
+    be_a, be_b = NumpyBackend("bfloat16"), NumpyBackend("bfloat16")
+    compact = CompactUpdater(beta, be_a, block_shape=(4, 4))
+    conv = ConvUpdater(beta, be_b, block_shape=(4, 4))
+    lat_a, lat_b = compact.to_state(plain), conv.to_state(plain)
+    sa, sb = PhiloxStream(5, 5), PhiloxStream(5, 5)
+    for _ in range(5):
+        lat_a = compact.sweep(lat_a, sa)
+        lat_b = conv.sweep(lat_b, sb)
+    assert np.array_equal(lat_a.to_plain(), lat_b.to_plain())

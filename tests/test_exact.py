@@ -1,0 +1,166 @@
+"""Brute-force enumeration oracle tests, including kernel stationarity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.observables.exact import (
+    boltzmann_distribution,
+    checkerboard_phase_matrix,
+    checkerboard_sweep_matrix,
+    enumerate_states,
+    exact_observables,
+)
+from repro.observables.onsager import internal_energy
+
+
+class TestEnumeration:
+    def test_state_count_and_values(self):
+        spins = enumerate_states((2, 2))
+        assert spins.shape == (16, 2, 2)
+        assert set(np.unique(spins)) == {-1.0, 1.0}
+        # All states distinct.
+        assert len({s.tobytes() for s in spins}) == 16
+
+    def test_bit_mapping(self):
+        spins = enumerate_states((2, 2))
+        # State 0 is all -1; state 1 flips site (0, 0).
+        assert np.all(spins[0] == -1.0)
+        assert spins[1][0, 0] == 1.0
+        assert spins[1][0, 1] == -1.0
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError, match="capped"):
+            enumerate_states((5, 5))
+
+
+class TestBoltzmann:
+    def test_normalised(self):
+        pi = boltzmann_distribution((2, 4), 0.5)
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi > 0)
+
+    def test_ground_states_dominate_at_low_t(self):
+        pi = boltzmann_distribution((2, 2), beta=5.0)
+        spins = enumerate_states((2, 2))
+        up = int(np.argmax([np.all(s == 1) for s in spins]))
+        down = int(np.argmax([np.all(s == -1) for s in spins]))
+        assert pi[up] + pi[down] > 0.999
+
+    def test_uniform_at_infinite_temperature(self):
+        pi = boltzmann_distribution((2, 2), beta=0.0)
+        assert np.allclose(pi, 1.0 / 16.0)
+
+    def test_spin_flip_symmetry(self):
+        """pi(sigma) = pi(-sigma): complement states have equal weight."""
+        pi = boltzmann_distribution((2, 4), 0.7)
+        n = pi.size
+        complement = (n - 1) - np.arange(n)
+        assert np.allclose(pi, pi[complement])
+
+
+class TestExactObservables:
+    def test_symmetries_and_ranges(self):
+        obs = exact_observables((4, 4), 0.4)
+        assert 0.0 < obs["abs_m"] < 1.0
+        assert 0.0 < obs["m2"] < 1.0
+        assert obs["m4"] <= obs["m2"]
+        assert -2.0 < obs["energy_per_spin"] < 0.0
+
+    def test_low_temperature_limits(self):
+        obs = exact_observables((4, 4), 3.0)
+        assert obs["abs_m"] == pytest.approx(1.0, abs=1e-3)
+        assert obs["energy_per_spin"] == pytest.approx(-2.0, abs=1e-2)
+        assert obs["u4"] == pytest.approx(2.0 / 3.0, abs=1e-3)
+
+    def test_high_temperature_limits(self):
+        obs = exact_observables((4, 4), 0.01)
+        assert obs["abs_m"] < 0.3
+        assert abs(obs["energy_per_spin"]) < 0.1
+        assert obs["u4"] < 0.2
+
+    def test_4x4_energy_tracks_onsager_off_criticality(self):
+        """Finite-size corrections are small deep in either phase."""
+        for t in (1.2, 5.0):
+            obs = exact_observables((4, 4), 1.0 / t)
+            assert obs["energy_per_spin"] == pytest.approx(
+                float(internal_energy(t)), abs=0.08
+            )
+
+
+class TestCheckerboardKernel:
+    @pytest.mark.parametrize("shape", [(2, 2), (2, 4)])
+    @pytest.mark.parametrize("beta", [0.1, 0.4407, 1.0])
+    def test_phase_matrices_are_stochastic(self, shape, beta):
+        for color in ("black", "white"):
+            matrix = checkerboard_phase_matrix(shape, beta, color)
+            assert np.allclose(matrix.sum(axis=1), 1.0)
+            assert matrix.min() >= 0.0
+
+    @pytest.mark.parametrize("shape", [(2, 2), (2, 4)])
+    @pytest.mark.parametrize("beta", [0.1, 0.4407, 1.0])
+    def test_sweep_kernel_preserves_boltzmann(self, shape, beta):
+        """The appendix stationarity proof, verified numerically: pi P = pi."""
+        matrix = checkerboard_sweep_matrix(shape, beta)
+        pi = boltzmann_distribution(shape, beta)
+        assert np.allclose(pi @ matrix, pi, atol=1e-12)
+
+    def test_single_phase_also_preserves_boltzmann(self):
+        """Each colour phase alone is stationary (Metropolis-within-Gibbs)."""
+        pi = boltzmann_distribution((2, 4), 0.6)
+        for color in ("black", "white"):
+            matrix = checkerboard_phase_matrix((2, 4), 0.6, color)
+            assert np.allclose(pi @ matrix, pi, atol=1e-12)
+
+    def test_side_two_tori_are_reducible(self):
+        """Documented degeneracy: on side-2 tori the doubled bonds make
+        sigma*nn = 0 sites flip deterministically, so the checkerboard
+        chain cannot reach every state from the all-down start — even
+        though the Boltzmann distribution is still stationary.  (This is
+        a property of the algorithm on degenerate tori, not a bug; the
+        4x4 frequency test below verifies ergodic sampling on a
+        non-degenerate lattice.)"""
+        for shape in [(2, 2), (2, 4)]:
+            beta = 0.3
+            matrix = checkerboard_sweep_matrix(shape, beta)
+            state = np.zeros(matrix.shape[0])
+            state[0] = 1.0
+            for _ in range(300):
+                state = state @ matrix
+            assert (state == 0.0).any()
+            pi = boltzmann_distribution(shape, beta)
+            assert np.allclose(pi @ matrix, pi, atol=1e-12)
+
+    def test_chain_samples_magnetization_with_boltzmann_frequencies(self):
+        """Empirical ergodicity on 4x4: the distribution of the total
+        magnetization matches exact enumeration across its full support."""
+        from repro.core.simulation import IsingSimulation
+
+        beta = 0.35
+        spins = enumerate_states((4, 4))
+        pi = boltzmann_distribution((4, 4), beta)
+        totals = spins.sum(axis=(1, 2))
+        support = np.arange(-16, 17, 2)
+        exact_pm = np.array([pi[totals == m].sum() for m in support])
+
+        sim = IsingSimulation((4, 4), 1.0 / beta, seed=8)
+        sim.run(200)
+        counts = np.zeros_like(exact_pm)
+        n_sweeps = 20_000
+        for _ in range(n_sweeps):
+            sim.sweep()
+            total = float(sim.lattice.sum())
+            counts[int((total + 16) // 2)] += 1
+        empirical = counts / n_sweeps
+        assert np.max(np.abs(empirical - exact_pm)) < 0.01
+        # Every state class with non-trivial weight is actually visited.
+        assert np.all(empirical[exact_pm > 0.005] > 0)
+
+    def test_odd_sides_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            checkerboard_phase_matrix((3, 4), 0.5, "black")
+
+    def test_bad_color_rejected(self):
+        with pytest.raises(ValueError, match="color"):
+            checkerboard_phase_matrix((2, 2), 0.5, "blue")

@@ -1,0 +1,157 @@
+"""End-to-end harness tests: every table/figure regenerates and tracks
+the paper's numbers within the documented tolerances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness import runner, table1, table2, table3, table4, table5, table6, table7
+from repro.harness import figure8, figure9
+
+
+def _column(result, model_header, paper_header):
+    mi = result.headers.index(model_header)
+    pi = result.headers.index(paper_header)
+    pairs = []
+    for row in result.rows:
+        try:
+            pairs.append((float(row[mi]), float(row[pi])))
+        except (TypeError, ValueError):
+            continue  # baseline rows with "-" cells
+    return pairs
+
+
+class TestTable1:
+    def test_throughput_tracks_paper(self):
+        result = table1.run()
+        for model, paper in _column(result, "flips/ns (model)", "flips/ns (paper)"):
+            assert model == pytest.approx(paper, rel=0.20)
+
+    def test_monotone_ramp(self):
+        result = table1.run()
+        tpu_rows = [float(r[1]) for r in result.rows if str(r[0]).startswith("(")]
+        assert tpu_rows == sorted(tpu_rows)
+
+
+class TestTable2:
+    def test_step_time_and_throughput(self):
+        result = table2.run()
+        for model, paper in _column(result, "step ms (model)", "step ms (paper)"):
+            assert model == pytest.approx(paper, rel=0.02)
+        for model, paper in _column(result, "flips/ns (model)", "flips/ns (paper)"):
+            assert model == pytest.approx(paper, rel=0.02)
+
+    def test_energy_close(self):
+        result = table2.run()
+        for model, paper in _column(result, "nJ/flip (model)", "nJ/flip (paper)"):
+            assert model == pytest.approx(paper, rel=0.02)
+
+
+class TestTable3:
+    def test_breakdown_tracks_paper(self):
+        result = table3.run()
+        for model_h, paper_h, tol in [
+            ("MXU% (model)", "MXU% (paper)", 1.5),
+            ("VPU% (model)", "VPU% (paper)", 1.5),
+            ("fmt% (model)", "fmt% (paper)", 1.5),
+        ]:
+            for model, paper in _column(result, model_h, paper_h):
+                assert model == pytest.approx(paper, abs=tol)
+
+    def test_communication_negligible_but_growing(self):
+        result = table3.run()
+        cp = [m for m, _ in _column(result, "cp% (model)", "cp% (paper)")]
+        assert all(v < 0.3 for v in cp)
+        assert cp == sorted(cp)
+
+
+class TestTable4:
+    def test_collective_permute_times(self):
+        result = table4.run()
+        for model, paper in _column(result, "cp ms (model)", "cp ms (paper)"):
+            assert model == pytest.approx(paper, rel=0.45)
+
+    def test_step_times(self):
+        result = table4.run()
+        for model, paper in _column(result, "step ms (model)", "step ms (paper)"):
+            assert model == pytest.approx(paper, rel=0.55)
+
+
+class TestTable5:
+    def test_scale_independent_and_memory_bound(self):
+        result = table5.run()
+        roofline = [m for m, _ in _column(result, "% roofline (model)", "% roofline (paper)")]
+        peak = [m for m, _ in _column(result, "% peak (model)", "% peak (paper)")]
+        assert max(roofline) - min(roofline) < 1.0
+        assert max(peak) - min(peak) < 0.5
+        assert all(p < 20.0 for p in peak)  # far below peak, like the paper
+        assert "memory-bound" in result.notes
+
+
+class TestTable6:
+    def test_conv_weak_scaling(self):
+        result = table6.run()
+        for model, paper in _column(result, "step ms (model)", "step ms (paper)"):
+            assert model == pytest.approx(paper, rel=0.05)
+        for model, paper in _column(result, "flips/ns (model)", "flips/ns (paper)"):
+            assert model == pytest.approx(paper, rel=0.05)
+
+
+class TestTable7:
+    def test_strong_scaling_shape(self):
+        result = table7.run()
+        pairs = _column(result, "step ms (model)", "step ms (paper)")
+        for model, paper in pairs[:6]:  # up to 256 cores: tight
+            assert model == pytest.approx(paper, rel=0.1)
+        for model, paper in pairs[6:]:  # beyond: same order of magnitude
+            assert model == pytest.approx(paper, rel=0.35)
+
+    def test_departure_from_ideal_at_high_core_counts(self):
+        result = table7.run()
+        mi = result.headers.index("step ms (model)")
+        ii = result.headers.index("ideal ms")
+        first_gap = float(result.rows[0][mi]) / float(result.rows[0][ii])
+        last_gap = float(result.rows[-1][mi]) / float(result.rows[-1][ii])
+        assert first_gap == pytest.approx(1.0, abs=0.01)
+        assert last_gap > 1.5
+
+
+class TestFigures:
+    def test_figure8_renders_all_series(self):
+        result = figure8.run()
+        rendered = result.render()
+        assert "log-log" in rendered
+        assert any("TPU pod" in str(r[0]) for r in result.rows)
+        assert any("V100" in str(r[0]) for r in result.rows)
+
+    def test_figure9_efficiency_column(self):
+        result = figure9.run()
+        eff = [float(r[-1]) for r in result.rows]
+        assert eff[0] == pytest.approx(100.0, abs=0.5)
+        assert eff[-1] < 70.0
+
+
+class TestRunner:
+    def test_registry_covers_all_experiments(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "figure4", "figure7", "figure8", "figure9",
+        }
+        assert set(runner.EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            runner.run_experiment("table99")
+
+    def test_main_list(self, capsys):
+        assert runner.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+
+    def test_main_runs_one(self, capsys):
+        assert runner.main(["table5"]) == 0
+        assert "roofline" in capsys.readouterr().out
+
+    def test_main_unknown(self, capsys):
+        assert runner.main(["tableX"]) == 2

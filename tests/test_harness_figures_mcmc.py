@@ -1,0 +1,105 @@
+"""MCMC figure harness tests (Figure 4 / Figure 7 machinery, small scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.figure4 import binder_crossing_temperature, run as run_figure4
+from repro.harness.figure7 import run as run_figure7
+from repro.observables.onsager import T_CRITICAL
+
+
+class TestBinderCrossing:
+    def test_linear_interpolation(self):
+        t = np.array([1.0, 2.0, 3.0])
+        small = np.array([0.6, 0.5, 0.1])
+        large = np.array([0.65, 0.5, 0.0])
+        # diff = large - small = [0.05, 0.0, -0.1]: crossing at t = 2.
+        assert binder_crossing_temperature(t, small, large) == pytest.approx(2.0)
+
+    def test_no_crossing_raises(self):
+        t = np.array([1.0, 2.0])
+        with pytest.raises(ValueError, match="cross"):
+            binder_crossing_temperature(t, np.array([0.1, 0.1]), np.array([0.5, 0.5]))
+
+
+@pytest.fixture(scope="module")
+def quick_figure4():
+    """One shared small-scale Figure 4 run for all assertions below."""
+    return run_figure4(
+        sizes=(8, 16),
+        t_over_tc=(0.6, 0.9, 1.0, 1.1, 1.5),
+        n_samples=400,
+        burn_in=150,
+        seed=1,
+    )
+
+
+class TestFigure4:
+    def test_row_count(self, quick_figure4):
+        # sizes x dtypes x temperatures.
+        assert len(quick_figure4.rows) == 2 * 2 * 5
+
+    def test_magnetization_profile(self, quick_figure4):
+        rows = [
+            r
+            for r in quick_figure4.rows
+            if r[0] == 16 and r[1] == "float32"
+        ]
+        by_t = {r[2]: r[3] for r in rows}
+        assert by_t[0.6] > 0.9  # ordered phase
+        assert by_t[1.5] < 0.45  # disordered phase
+        assert by_t[0.6] > by_t[1.1] > by_t[1.5]
+
+    def test_binder_profile(self, quick_figure4):
+        rows = [
+            r
+            for r in quick_figure4.rows
+            if r[0] == 16 and r[1] == "float32"
+        ]
+        by_t = {r[2]: r[6] for r in rows}
+        assert by_t[0.6] == pytest.approx(2.0 / 3.0, abs=0.05)
+        assert by_t[1.5] < 0.45
+
+    def test_bfloat16_tracks_float32(self, quick_figure4):
+        f32 = {
+            (r[0], r[2]): r[3] for r in quick_figure4.rows if r[1] == "float32"
+        }
+        bf16 = {
+            (r[0], r[2]): r[3] for r in quick_figure4.rows if r[1] == "bfloat16"
+        }
+        deltas = [abs(f32[k] - bf16[k]) for k in f32]
+        # Statistical agreement: chains differ, physics matches.
+        assert np.mean(deltas) < 0.1
+
+    def test_plots_and_notes(self, quick_figure4):
+        rendered = quick_figure4.render()
+        assert "Binder cumulant" in rendered
+        assert "|m| vs T/Tc" in rendered
+        assert "crossing" in quick_figure4.notes
+
+
+class TestFigure7:
+    def test_conv_updater_produces_same_physics(self):
+        result = run_figure7(
+            sizes=(8,),
+            t_over_tc=(0.7, 1.4),
+            n_samples=300,
+            burn_in=100,
+            dtypes=("float32",),
+            seed=2,
+        )
+        assert result.name == "Figure 7"
+        by_t = {r[2]: r[3] for r in result.rows}
+        assert by_t[0.7] > 0.85
+        assert by_t[1.4] < 0.6
+
+
+class TestQuickRunner:
+    def test_quick_mode_uses_small_settings(self):
+        from repro.harness.runner import run_experiment
+
+        result = run_experiment("figure4", quick=True)
+        sizes = {r[0] for r in result.rows}
+        assert sizes == {8, 16}

@@ -1,0 +1,112 @@
+"""Performance-extrapolation harness tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.perf import (
+    BLOCK,
+    model_pod_step,
+    model_single_core_step,
+)
+from repro.mesh.links import LinkModel
+
+
+class TestStepModel:
+    def test_fields_and_derived_quantities(self):
+        model = model_single_core_step((20 * BLOCK, 20 * BLOCK))
+        assert model.n_cores == 1
+        assert model.sites == (20 * BLOCK) ** 2
+        assert model.step_time > 0
+        assert model.flips_per_ns == pytest.approx(
+            model.sites / model.step_time / 1e9
+        )
+        assert model.energy_nj_per_flip == pytest.approx(100.0 / model.flips_per_ns)
+        assert model.flops > 0 and model.bytes > 0
+        assert model.arithmetic_intensity == pytest.approx(model.flops / model.bytes)
+
+    def test_breakdown_sums_to_one(self):
+        model = model_pod_step((40 * BLOCK, 40 * BLOCK), 8)
+        assert sum(model.breakdown().values()) == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="multiple"):
+            model_single_core_step((100, 100))
+
+    def test_unknown_updater(self):
+        with pytest.raises(ValueError, match="updater"):
+            model_single_core_step((20 * BLOCK, 20 * BLOCK), updater="wolff")
+
+
+class TestScalingProperties:
+    def test_cost_scales_linearly_with_area(self):
+        small = model_single_core_step((40 * BLOCK, 40 * BLOCK))
+        large = model_single_core_step((80 * BLOCK, 80 * BLOCK))
+        assert large.flops == pytest.approx(4 * small.flops, rel=1e-6)
+        assert large.bytes == pytest.approx(4 * small.bytes, rel=1e-6)
+        # Time slightly better than 4x small's (utilization ramp).
+        assert large.step_time < 4 * small.step_time
+        assert large.step_time > 3.5 * small.step_time
+
+    def test_throughput_increases_with_size_and_saturates(self):
+        rates = [
+            model_single_core_step((k * BLOCK, k * BLOCK)).flips_per_ns
+            for k in (20, 40, 160, 640)
+        ]
+        assert rates == sorted(rates)
+        assert rates[-1] - rates[-2] < 0.1  # saturated
+
+    def test_bfloat16_beats_float32(self):
+        bf16 = model_single_core_step((80 * BLOCK, 80 * BLOCK), dtype="bfloat16")
+        f32 = model_single_core_step((80 * BLOCK, 80 * BLOCK), dtype="float32")
+        assert f32.step_time > bf16.step_time
+        # MXU flops identical; formatting bytes double.
+        assert f32.flops == pytest.approx(bf16.flops)
+        assert f32.bytes == pytest.approx(2 * bf16.bytes)
+
+    def test_conv_faster_than_compact(self):
+        """The appendix claim: conv implementation is ~80% faster."""
+        compact = model_single_core_step((224 * BLOCK, 224 * BLOCK))
+        conv = model_single_core_step((224 * BLOCK, 224 * BLOCK), updater="conv")
+        ratio = compact.step_time / conv.step_time
+        assert 1.5 < ratio < 2.1
+
+    def test_masked_conv_slower_than_compact_conv(self):
+        """Ablation: the naive masked conv wastes RNG and arithmetic."""
+        conv = model_single_core_step((40 * BLOCK, 40 * BLOCK), updater="conv")
+        masked = model_single_core_step((40 * BLOCK, 40 * BLOCK), updater="masked_conv")
+        assert masked.step_time > conv.step_time
+
+
+class TestPodModel:
+    def test_weak_scaling_is_linear(self):
+        shape = (896 * BLOCK, 448 * BLOCK)
+        models = [model_pod_step(shape, n) for n in (2, 32, 512)]
+        base = models[0].flips_per_ns / 2
+        for model, n in zip(models, (2, 32, 512)):
+            assert model.flips_per_ns == pytest.approx(base * n, rel=0.01)
+
+    def test_communication_grows_with_cores(self):
+        shape = (224 * BLOCK, 112 * BLOCK)
+        comm = [
+            model_pod_step(shape, n).seconds["communication"] for n in (8, 128, 2048)
+        ]
+        assert comm[0] < comm[1] < comm[2]
+
+    def test_strong_scaling_efficiency_decays(self):
+        total = 1792 * BLOCK
+        eff_128 = model_pod_step((total // 8, total // 16), 128, updater="conv")
+        eff_2048 = model_pod_step((total // 32, total // 64), 2048, updater="conv")
+        per_core_128 = eff_128.flips_per_ns / 128
+        per_core_2048 = eff_2048.flips_per_ns / 2048
+        assert per_core_2048 < 0.9 * per_core_128
+
+    def test_custom_link_model(self):
+        slow = LinkModel(base_latency=1.0)
+        model = model_pod_step((20 * BLOCK, 20 * BLOCK), 4, link_model=slow)
+        assert model.seconds["communication"] > 8.0  # 8 permutes x 1 s
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_cores"):
+            model_pod_step((20 * BLOCK, 20 * BLOCK), 0)

@@ -1,0 +1,83 @@
+"""Report-rendering tests (tables and ascii plots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.report import ExperimentResult, ascii_plot, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.0], ["bb", 22.5]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+
+    def test_cell_formats(self):
+        out = format_table(["x"], [[1.23456789], [1.5e9], [0.0001], [0]])
+        assert "1.235" in out
+        assert "1.500e+09" in out
+        assert "1.000e-04" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestAsciiPlot:
+    def test_basic_plot_contains_markers_and_legend(self):
+        out = ascii_plot(
+            {"linear": ([1, 2, 3], [1, 2, 3]), "flat": ([1, 2, 3], [2, 2, 2])},
+            width=40,
+            height=10,
+            title="demo",
+            xlabel="x",
+            ylabel="y",
+        )
+        assert "demo" in out
+        assert "*" in out and "+" in out
+        assert "linear" in out and "flat" in out
+        assert "x: x" in out
+
+    def test_log_axes(self):
+        out = ascii_plot(
+            {"s": ([1, 10, 100], [1, 10, 100])}, logx=True, logy=True, width=30, height=8
+        )
+        assert "100" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_plot({"s": ([0, 1], [1, 2])}, logx=True)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            ascii_plot({"s": ([1, 2], [1])})
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="nothing"):
+            ascii_plot({})
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot({"s": ([1, 1], [5, 5])}, width=20, height=5)
+        assert "*" in out
+
+
+class TestExperimentResult:
+    def test_render_combines_sections(self):
+        result = ExperimentResult(
+            name="Table X",
+            description="demo",
+            headers=["a"],
+            rows=[[1]],
+            plots=["PLOT"],
+            notes="NOTE",
+        )
+        rendered = result.render()
+        assert "Table X: demo" in rendered
+        assert "PLOT" in rendered
+        assert "NOTE" in rendered

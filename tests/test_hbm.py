@@ -1,0 +1,69 @@
+"""HBM capacity / tiling model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpu.hbm import HBMModel, tensor_bytes, tiled_shape
+
+
+class TestTiling:
+    def test_aligned_shapes_unchanged(self):
+        assert tiled_shape((8, 128)) == (8, 128)
+        assert tiled_shape((16, 256)) == (16, 256)
+        assert tiled_shape((2, 3, 8, 128)) == (2, 3, 8, 128)
+
+    def test_padding(self):
+        assert tiled_shape((5, 100)) == (8, 128)
+        assert tiled_shape((9, 129)) == (16, 256)
+        assert tiled_shape((1, 1)) == (8, 128)
+
+    def test_rank_one_and_scalar(self):
+        assert tiled_shape(()) == (8, 128)
+        assert tiled_shape((5,)) == (8, 128)
+        assert tiled_shape((200,)) == (8, 256)
+
+    def test_leading_dims_untouched(self):
+        assert tiled_shape((7, 7, 7)) == (7, 8, 128)
+
+    def test_tensor_bytes(self):
+        assert tensor_bytes((8, 128), 2) == 8 * 128 * 2
+        assert tensor_bytes((1, 1), 4) == 8 * 128 * 4
+        with pytest.raises(ValueError, match="itemsize"):
+            tensor_bytes((8, 128), 0)
+
+    def test_misaligned_waste_is_visible(self):
+        aligned = tensor_bytes((128, 128), 2)
+        misaligned = tensor_bytes((127, 127), 2)
+        assert misaligned == aligned  # both round up to the same tile
+
+
+class TestCapacity:
+    def test_paper_anchor_96_percent(self):
+        """The paper: a (656x128)^2 bfloat16 lattice consumes 96% of HBM."""
+        hbm = HBMModel()
+        side = 656 * 128
+        utilization = hbm.utilization(side * side, itemsize=2)
+        assert utilization == pytest.approx(0.96, abs=0.01)
+        assert hbm.fits(side * side, itemsize=2)
+
+    def test_float32_halves_the_max_lattice(self):
+        hbm = HBMModel()
+        side_bf16 = hbm.max_square_lattice_side(itemsize=2)
+        side_f32 = hbm.max_square_lattice_side(itemsize=4)
+        assert side_bf16 >= 656 * 128
+        assert side_f32 < side_bf16
+        assert side_f32 == pytest.approx(side_bf16 / 2**0.5, rel=0.02)
+
+    def test_max_side_is_aligned_and_fits(self):
+        hbm = HBMModel()
+        for itemsize in (2, 4):
+            side = hbm.max_square_lattice_side(itemsize)
+            assert side % 128 == 0
+            assert hbm.fits(side * side, itemsize)
+            bigger = side + 128
+            assert not hbm.fits(bigger * bigger, itemsize)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_sites"):
+            HBMModel().lattice_footprint(0, 2)

@@ -1,0 +1,120 @@
+"""Lockstep SPMD runtime tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh.links import LinkModel
+from repro.mesh.runtime import LockstepError, PermuteRequest, SPMDRuntime
+from repro.mesh.topology import Torus2D
+from repro.tpu.tensorcore import TensorCore
+
+
+def _make_runtime(rows=2, cols=2, with_cores=False):
+    torus = Torus2D(rows, cols)
+    cores = (
+        [TensorCore(core_id=i) for i in range(torus.num_cores)]
+        if with_cores
+        else None
+    )
+    return SPMDRuntime(torus, cores=cores), torus, cores
+
+
+class TestBasicExecution:
+    def test_programs_without_collectives(self):
+        runtime, torus, _ = _make_runtime()
+
+        def program(core_id):
+            return core_id * 10
+            yield  # pragma: no cover - makes this a generator function
+
+        results = runtime.run(program)
+        assert results == [0, 10, 20, 30]
+        assert runtime.collectives_executed == 0
+
+    def test_ring_pass(self):
+        runtime, torus, _ = _make_runtime(1, 4)
+        pairs = torus.shift_pairs("east")
+
+        def program(core_id):
+            received = yield PermuteRequest(
+                np.array([float(core_id)], dtype=np.float32), pairs
+            )
+            return float(received[0])
+
+        results = runtime.run(program)
+        # Each core receives from its west neighbour.
+        assert results == [3.0, 0.0, 1.0, 2.0]
+        assert runtime.collectives_executed == 1
+
+    def test_multiple_rounds(self):
+        runtime, torus, _ = _make_runtime(1, 3)
+        pairs = torus.shift_pairs("east")
+
+        def program(core_id):
+            value = np.array([float(core_id)], dtype=np.float32)
+            for _ in range(3):
+                value = yield PermuteRequest(value, pairs)
+            return float(value[0])
+
+        results = runtime.run(program)
+        # Three hops around a 3-ring returns each core its own value.
+        assert results == [0.0, 1.0, 2.0]
+        assert runtime.collectives_executed == 3
+
+
+class TestLockstepEnforcement:
+    def test_early_finish_detected(self):
+        runtime, torus, _ = _make_runtime(1, 2)
+        pairs = torus.shift_pairs("east")
+
+        def program(core_id):
+            if core_id == 0:
+                return 0
+            yield PermuteRequest(np.zeros(1, dtype=np.float32), pairs)
+            return 1
+
+        with pytest.raises(LockstepError, match="finished while others"):
+            runtime.run(program)
+
+    def test_diverging_pairs_detected(self):
+        runtime, torus, _ = _make_runtime(1, 2)
+
+        def program(core_id):
+            pairs = ((0, 1),) if core_id == 0 else ((1, 0),)
+            yield PermuteRequest(np.zeros(1, dtype=np.float32), pairs)
+            return core_id
+
+        with pytest.raises(LockstepError, match="globally identical"):
+            runtime.run(program)
+
+    def test_core_count_mismatch_rejected(self):
+        torus = Torus2D(2, 2)
+        with pytest.raises(ValueError, match="cores"):
+            SPMDRuntime(torus, cores=[TensorCore(core_id=0)])
+
+
+class TestCommunicationCharging:
+    def test_permutes_charge_all_cores(self):
+        runtime, torus, cores = _make_runtime(2, 2, with_cores=True)
+        pairs = torus.shift_pairs("south")
+
+        def program(core_id):
+            yield PermuteRequest(np.zeros(100, dtype=np.float32), pairs)
+            return None
+
+        runtime.run(program)
+        expected = LinkModel().permute_time(4, 400.0)
+        for core in cores:
+            assert core.profiler.seconds["communication"] == pytest.approx(expected)
+
+    def test_no_cores_no_charges(self):
+        runtime, torus, _ = _make_runtime(1, 2)
+        pairs = torus.shift_pairs("east")
+
+        def program(core_id):
+            yield PermuteRequest(np.zeros(4, dtype=np.float32), pairs)
+            return None
+
+        runtime.run(program)  # must not raise

@@ -1,0 +1,90 @@
+"""2D torus topology tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mesh.topology import DIRECTIONS, Torus2D
+
+
+class TestCoordinates:
+    def test_linear_id_roundtrip(self):
+        torus = Torus2D(3, 4)
+        for cid in range(12):
+            row, col = torus.coords(cid)
+            assert torus.linear_id(row, col) == cid
+
+    def test_wrapping(self):
+        torus = Torus2D(3, 4)
+        assert torus.linear_id(-1, 0) == torus.linear_id(2, 0)
+        assert torus.linear_id(0, 4) == torus.linear_id(0, 0)
+        assert torus.linear_id(3, -1) == torus.linear_id(0, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            Torus2D(0, 4)
+        with pytest.raises(ValueError, match="outside"):
+            Torus2D(2, 2).coords(4)
+
+
+class TestNeighbors:
+    def test_directions(self):
+        torus = Torus2D(3, 3)
+        center = torus.linear_id(1, 1)
+        assert torus.neighbor(center, "north") == torus.linear_id(0, 1)
+        assert torus.neighbor(center, "south") == torus.linear_id(2, 1)
+        assert torus.neighbor(center, "west") == torus.linear_id(1, 0)
+        assert torus.neighbor(center, "east") == torus.linear_id(1, 2)
+
+    def test_torus_wrap(self):
+        torus = Torus2D(2, 3)
+        assert torus.neighbor(torus.linear_id(0, 0), "north") == torus.linear_id(1, 0)
+        assert torus.neighbor(torus.linear_id(0, 2), "east") == torus.linear_id(0, 0)
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            Torus2D(2, 2).neighbor(0, "up")
+
+    def test_single_core_neighbors_itself(self):
+        torus = Torus2D(1, 1)
+        for direction in DIRECTIONS:
+            assert torus.neighbor(0, direction) == 0
+
+
+class TestShiftPairs:
+    def test_pairs_are_a_permutation(self):
+        torus = Torus2D(3, 4)
+        for direction in DIRECTIONS:
+            pairs = torus.shift_pairs(direction)
+            sources = [s for s, _ in pairs]
+            targets = [t for _, t in pairs]
+            assert sorted(sources) == list(range(12))
+            assert sorted(targets) == list(range(12))
+
+    def test_south_shift_semantics(self):
+        torus = Torus2D(2, 2)
+        pairs = dict(torus.shift_pairs("south"))
+        # Core (0, 0) sends to (1, 0); (1, 0) wraps to (0, 0).
+        assert pairs[torus.linear_id(0, 0)] == torus.linear_id(1, 0)
+        assert pairs[torus.linear_id(1, 0)] == torus.linear_id(0, 0)
+
+    def test_opposite_shifts_invert(self):
+        torus = Torus2D(3, 5)
+        south = dict(torus.shift_pairs("south"))
+        north = dict(torus.shift_pairs("north"))
+        for src, dst in south.items():
+            assert north[dst] == src
+
+
+class TestHopDistance:
+    def test_shortest_path_wraps(self):
+        torus = Torus2D(4, 4)
+        assert torus.hop_distance(torus.linear_id(0, 0), torus.linear_id(3, 0)) == 1
+        assert torus.hop_distance(torus.linear_id(0, 0), torus.linear_id(2, 2)) == 4
+        assert torus.hop_distance(5, 5) == 0
+
+    def test_symmetric(self):
+        torus = Torus2D(3, 7)
+        for a in range(0, 21, 5):
+            for b in range(0, 21, 4):
+                assert torus.hop_distance(a, b) == torus.hop_distance(b, a)

@@ -1,0 +1,61 @@
+"""Single-spin reference Metropolis tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metropolis import metropolis_chain, metropolis_sweep
+from repro.observables.exact import exact_observables
+from repro.rng import PhiloxStream
+
+from .conftest import make_lattice
+
+
+class TestMechanics:
+    def test_preserves_spin_values(self, stream):
+        plain = make_lattice((6, 6))
+        out = metropolis_sweep(plain, 0.44, stream)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+        assert out.shape == plain.shape
+
+    def test_out_of_place(self, stream):
+        plain = make_lattice((4, 4))
+        before = plain.copy()
+        metropolis_sweep(plain, 0.44, stream)
+        assert np.array_equal(plain, before)
+
+    def test_reproducible(self):
+        plain = make_lattice((6, 6))
+        a = metropolis_sweep(plain, 0.44, PhiloxStream(5, 0))
+        b = metropolis_sweep(plain, 0.44, PhiloxStream(5, 0))
+        assert np.array_equal(a, b)
+
+    def test_random_order_runs(self, stream):
+        out = metropolis_sweep(make_lattice((4, 4)), 0.5, stream, order="random")
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_bad_order(self, stream):
+        with pytest.raises(ValueError, match="order"):
+            metropolis_sweep(make_lattice((4, 4)), 0.5, stream, order="spiral")
+
+    def test_cold_lattice_frozen_at_low_temperature(self, stream):
+        plain = np.ones((6, 6), dtype=np.float32)
+        out = metropolis_chain(plain, 10.0, 3, stream)
+        assert np.all(out == 1.0)
+
+
+class TestPhysics:
+    def test_matches_exact_enumeration(self):
+        """<|m|> from the sequential sampler matches exact enumeration."""
+        beta = 1.0 / 2.5
+        exact = exact_observables((4, 4), beta)
+        stream = PhiloxStream(77, 0)
+        lat = make_lattice((4, 4), seed=1)
+        lat = metropolis_chain(lat, beta, 200, stream)  # burn-in
+        samples = []
+        for _ in range(4000):
+            lat = metropolis_sweep(lat, beta, stream)
+            samples.append(abs(float(lat.mean())))
+        measured = float(np.mean(samples))
+        assert measured == pytest.approx(exact["abs_m"], abs=0.02)

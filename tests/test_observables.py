@@ -1,0 +1,96 @@
+"""Magnetization, energy and Binder-cumulant observable tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.observables import (
+    abs_magnetization,
+    binder_cumulant,
+    binder_from_moments,
+    energy_per_spin,
+    magnetization,
+    total_energy,
+)
+
+from .conftest import make_lattice
+
+
+class TestMagnetization:
+    def test_ordered(self):
+        assert magnetization(np.ones((4, 4), dtype=np.float32)) == 1.0
+        assert magnetization(-np.ones((4, 4), dtype=np.float32)) == -1.0
+        assert abs_magnetization(-np.ones((4, 4), dtype=np.float32)) == 1.0
+
+    def test_balanced(self):
+        plain = np.ones((4, 4), dtype=np.float32)
+        plain[:, ::2] = -1.0
+        assert magnetization(plain) == 0.0
+
+
+class TestEnergy:
+    def test_ground_state(self):
+        assert energy_per_spin(np.ones((6, 6), dtype=np.float32)) == -2.0
+        assert total_energy(np.ones((6, 6), dtype=np.float32)) == -72.0
+
+    def test_antiferromagnetic_state(self):
+        from repro.core.lattice import checkerboard_mask
+
+        plain = (2.0 * checkerboard_mask((6, 6), "black") - 1.0).astype(np.float32)
+        assert energy_per_spin(plain) == 2.0
+
+    def test_single_flip_costs_eight(self):
+        plain = np.ones((6, 6), dtype=np.float32)
+        base = total_energy(plain)
+        plain[2, 3] = -1.0
+        assert total_energy(plain) - base == 8.0
+
+    def test_forward_sum_equals_half_full_sum(self):
+        """The forward-bond convention matches 0.5 * sum(sigma * nn)."""
+        from repro.core.kernels import neighbor_sum_roll
+
+        for seed in range(5):
+            plain = make_lattice((6, 8), seed=seed)
+            half_sum = -0.5 * float(
+                np.sum(plain.astype(np.float64) * neighbor_sum_roll(plain))
+            )
+            assert total_energy(plain) == pytest.approx(half_sum, rel=1e-12)
+
+    def test_side_two_torus_double_bonds(self):
+        """On a 2xN torus vertical bonds are doubled; conventions agree."""
+        plain = make_lattice((2, 6), seed=3)
+        from repro.core.kernels import neighbor_sum_roll
+
+        half_sum = -0.5 * float(
+            np.sum(plain.astype(np.float64) * neighbor_sum_roll(plain))
+        )
+        assert total_energy(plain) == pytest.approx(half_sum, rel=1e-12)
+
+
+class TestBinder:
+    def test_limits(self):
+        # Perfectly ordered: m = +-1 -> U4 = 2/3.
+        ordered = np.ones(1000)
+        assert binder_cumulant(ordered) == pytest.approx(2.0 / 3.0)
+        # Gaussian m (disordered phase): <m^4> = 3 <m^2>^2 -> U4 = 0.
+        rng = np.random.default_rng(0)
+        gaussian = rng.normal(0.0, 0.1, size=200_000)
+        assert binder_cumulant(gaussian) == pytest.approx(0.0, abs=0.02)
+
+    def test_from_moments(self):
+        assert binder_from_moments(1.0, 1.0) == pytest.approx(2.0 / 3.0)
+        assert binder_from_moments(1.0, 3.0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            binder_from_moments(0.0, 1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            binder_from_moments(1.0, -1.0)
+        with pytest.raises(ValueError, match="sample"):
+            binder_cumulant(np.array([]))
+
+    def test_two_point_distribution(self):
+        """m = +-m0 with equal probability gives U4 = 2/3 regardless of m0."""
+        samples = np.array([0.5, -0.5] * 100)
+        assert binder_cumulant(samples) == pytest.approx(2.0 / 3.0)

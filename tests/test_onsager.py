@@ -1,0 +1,81 @@
+"""Exact Onsager/Yang results for the infinite lattice."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.observables.onsager import (
+    BETA_CRITICAL,
+    T_CRITICAL,
+    critical_temperature,
+    internal_energy,
+    spontaneous_magnetization,
+)
+
+
+class TestCriticalTemperature:
+    def test_value(self):
+        assert T_CRITICAL == pytest.approx(2.269185314213022, rel=1e-12)
+        assert critical_temperature() == T_CRITICAL
+        assert BETA_CRITICAL == pytest.approx(1.0 / T_CRITICAL)
+
+    def test_self_duality_condition(self):
+        # Tc satisfies sinh(2/Tc) = 1 (Kramers-Wannier duality).
+        assert math.sinh(2.0 / T_CRITICAL) == pytest.approx(1.0, rel=1e-12)
+
+
+class TestSpontaneousMagnetization:
+    def test_zero_above_tc(self):
+        assert spontaneous_magnetization(T_CRITICAL) == 0.0
+        assert spontaneous_magnetization(3.0) == 0.0
+
+    def test_saturates_at_low_temperature(self):
+        assert spontaneous_magnetization(0.5) == pytest.approx(1.0, abs=1e-6)
+
+    def test_known_value(self):
+        # m(2.0) = (1 - sinh(1)^-4)^(1/8).
+        expected = (1.0 - math.sinh(1.0) ** -4) ** 0.125
+        assert spontaneous_magnetization(2.0) == pytest.approx(expected, rel=1e-12)
+
+    def test_monotone_decreasing(self):
+        t = np.linspace(0.5, T_CRITICAL - 1e-6, 50)
+        m = spontaneous_magnetization(t)
+        assert np.all(np.diff(m) < 0)
+
+    def test_continuous_at_tc(self):
+        # The 1/8 critical exponent makes the approach steep but continuous.
+        assert spontaneous_magnetization(T_CRITICAL - 1e-9) < 0.1
+        assert spontaneous_magnetization(T_CRITICAL - 1e-13) < 0.03
+
+    def test_vectorised(self):
+        out = spontaneous_magnetization(np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (3,)
+        assert out[2] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            spontaneous_magnetization(-1.0)
+
+
+class TestInternalEnergy:
+    def test_ground_state_limit(self):
+        assert internal_energy(0.1) == pytest.approx(-2.0, abs=1e-6)
+
+    def test_high_temperature_limit(self):
+        assert internal_energy(1e4) == pytest.approx(0.0, abs=1e-3)
+
+    def test_critical_value(self):
+        # u(Tc) = -sqrt(2) exactly.
+        assert internal_energy(T_CRITICAL) == pytest.approx(-math.sqrt(2.0), rel=1e-6)
+
+    def test_monotone_increasing_in_t(self):
+        t = np.concatenate([np.linspace(0.5, 2.2, 30), np.linspace(2.35, 8.0, 30)])
+        u = internal_energy(t)
+        assert np.all(np.diff(u) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            internal_energy(0.0)

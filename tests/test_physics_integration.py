@@ -1,0 +1,121 @@
+"""Full-chain physics integration tests against exact references.
+
+These are the reproduction's headline correctness checks (Sec. 4.1 of
+the paper): the parallel checkerboard chains must agree with (a) exact
+enumeration on small lattices and (b) Onsager's exact infinite-lattice
+results on larger ones, in both float32 and bfloat16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import NumpyBackend
+from repro.core.distributed import DistributedIsing
+from repro.core.simulation import IsingSimulation
+from repro.observables.exact import exact_observables
+from repro.observables.onsager import (
+    T_CRITICAL,
+    internal_energy,
+    spontaneous_magnetization,
+)
+
+
+@pytest.mark.parametrize("updater", ["compact", "conv", "checkerboard", "masked_conv"])
+def test_mcmc_matches_exact_enumeration(updater):
+    """<|m|>, <e> and U4 on 4x4 at T = 2.5 vs brute-force enumeration."""
+    temperature = 2.5
+    exact = exact_observables((4, 4), 1.0 / temperature)
+    sim = IsingSimulation((4, 4), temperature, updater=updater, seed=11)
+    res = sim.sample(n_samples=12_000, burn_in=1_500)
+    assert res.abs_m == pytest.approx(exact["abs_m"], abs=5 * res.abs_m_err + 0.005)
+    assert res.energy == pytest.approx(
+        exact["energy_per_spin"], abs=5 * res.energy_err + 0.01
+    )
+    assert res.u4 == pytest.approx(exact["u4"], abs=5 * res.u4_err + 0.01)
+
+
+@pytest.mark.parametrize("dtype", ["float32", "bfloat16"])
+def test_mcmc_matches_exact_enumeration_in_both_dtypes(dtype):
+    """The paper's Fig. 4 claim: bfloat16 does not change the physics."""
+    temperature = 2.2
+    exact = exact_observables((4, 4), 1.0 / temperature)
+    sim = IsingSimulation(
+        (4, 4), temperature, backend=NumpyBackend(dtype), seed=13
+    )
+    res = sim.sample(n_samples=12_000, burn_in=1_500)
+    assert res.abs_m == pytest.approx(exact["abs_m"], abs=5 * res.abs_m_err + 0.005)
+    assert res.u4 == pytest.approx(exact["u4"], abs=5 * res.u4_err + 0.01)
+
+
+def test_magnetization_tracks_onsager_below_tc():
+    """A 32x32 lattice deep in the ordered phase tracks Yang's exact m."""
+    temperature = 1.8
+    sim = IsingSimulation(32, temperature, seed=3, initial="cold")
+    res = sim.sample(n_samples=2_000, burn_in=400)
+    exact_m = float(spontaneous_magnetization(temperature))
+    assert res.abs_m == pytest.approx(exact_m, abs=0.01)
+
+
+def test_energy_tracks_onsager_both_phases():
+    """Internal energy matches the exact solution away from Tc."""
+    for temperature, tol in [(1.8, 0.01), (3.5, 0.02)]:
+        sim = IsingSimulation(
+            32,
+            temperature,
+            seed=5,
+            initial="cold" if temperature < T_CRITICAL else "hot",
+        )
+        res = sim.sample(n_samples=2_000, burn_in=400)
+        assert res.energy == pytest.approx(
+            float(internal_energy(temperature)), abs=5 * res.energy_err + tol
+        )
+
+
+def test_distributed_chain_has_correct_physics():
+    """A 4-core pod simulation reproduces the ordered-phase physics."""
+    temperature = 1.8
+    d = DistributedIsing(
+        (32, 32), temperature, core_grid=(2, 2), seed=7, initial="cold"
+    )
+    d.sweep(300)
+    samples = []
+    for _ in range(600):
+        d.sweep(1)
+        samples.append(abs(d.magnetization()))
+    exact_m = float(spontaneous_magnetization(temperature))
+    assert float(np.mean(samples)) == pytest.approx(exact_m, abs=0.015)
+
+
+def test_binder_ordering_brackets_tc():
+    """Below Tc the larger lattice has larger U4; above Tc smaller —
+    the mechanism behind the Fig. 4 crossing."""
+    results = {}
+    for size in (8, 24):
+        for frac in (0.8, 1.3):
+            sim = IsingSimulation(
+                size,
+                frac * T_CRITICAL,
+                seed=17,
+                initial="cold" if frac < 1 else "hot",
+            )
+            res = sim.sample(n_samples=3_000, burn_in=600)
+            results[(size, frac)] = res.u4
+    assert results[(24, 0.8)] > results[(8, 0.8)] - 0.01
+    assert results[(24, 1.3)] < results[(8, 1.3)]
+
+
+def test_bfloat16_and_float32_statistics_agree():
+    """Long 16x16 chains at Tc in both precisions agree within errors."""
+    results = {}
+    for dtype in ("float32", "bfloat16"):
+        sim = IsingSimulation(
+            16, T_CRITICAL, backend=NumpyBackend(dtype), seed=23
+        )
+        results[dtype] = sim.sample(n_samples=6_000, burn_in=1_000)
+    a, b = results["float32"], results["bfloat16"]
+    err = np.hypot(a.abs_m_err, b.abs_m_err)
+    assert a.abs_m == pytest.approx(b.abs_m, abs=5 * err + 0.005)
+    u4_err = np.hypot(a.u4_err, b.u4_err)
+    assert a.u4 == pytest.approx(b.u4, abs=5 * u4_err + 0.01)

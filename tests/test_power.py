@@ -1,0 +1,35 @@
+"""Energy-per-flip estimate tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpu.power import (
+    TESLA_V100_WATTS,
+    TPU_V3_CORE_WATTS,
+    energy_per_flip_nj,
+)
+
+
+class TestEnergyPerFlip:
+    def test_paper_v100_row(self):
+        """Table 1: V100 at 11.3704 flips/ns and 250 W -> 21.99 nJ/flip."""
+        assert energy_per_flip_nj(TESLA_V100_WATTS, 11.3704) == pytest.approx(
+            21.9869, rel=1e-3
+        )
+
+    def test_paper_tpu_row(self):
+        """Table 1: TPU core at 12.8783 flips/ns and 100 W -> 7.765 nJ/flip."""
+        assert energy_per_flip_nj(TPU_V3_CORE_WATTS, 12.8783) == pytest.approx(
+            7.7650, rel=1e-3
+        )
+
+    def test_units(self):
+        # 1 W at 1 flip/ns is exactly 1 nJ per flip.
+        assert energy_per_flip_nj(1.0, 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="power"):
+            energy_per_flip_nj(0.0, 1.0)
+        with pytest.raises(ValueError, match="throughput"):
+            energy_per_flip_nj(1.0, 0.0)

@@ -1,0 +1,112 @@
+"""Profiler accounting tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpu.profiler import CATEGORIES, Profiler
+
+
+class TestCharging:
+    def test_accumulates(self):
+        p = Profiler()
+        p.charge("mxu", 0.5, flops=100.0, bytes_moved=10.0)
+        p.charge("mxu", 0.25, flops=50.0)
+        p.charge("vpu", 0.25)
+        assert p.seconds["mxu"] == 0.75
+        assert p.flops["mxu"] == 150.0
+        assert p.bytes["mxu"] == 10.0
+        assert p.op_counts["mxu"] == 2
+        assert p.total_seconds == 1.0
+        assert p.total_flops == 150.0
+
+    def test_unknown_category(self):
+        with pytest.raises(ValueError, match="category"):
+            Profiler().charge("gpu", 1.0)
+
+    def test_negative_seconds(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Profiler().charge("mxu", -1.0)
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        p = Profiler()
+        p.charge("mxu", 0.6)
+        p.charge("vpu", 0.1)
+        p.charge("formatting", 0.3)
+        b = p.breakdown()
+        assert sum(b.values()) == pytest.approx(1.0)
+        assert b["mxu"] == pytest.approx(0.6)
+
+    def test_conv_merged_into_mxu(self):
+        p = Profiler()
+        p.charge("mxu", 0.3)
+        p.charge("conv", 0.3)
+        p.charge("vpu", 0.4)
+        assert p.breakdown()["mxu"] == pytest.approx(0.6)
+        separate = p.breakdown(merge_conv=False)
+        assert separate["conv"] == pytest.approx(0.3)
+
+    def test_empty_breakdown(self):
+        assert all(v == 0.0 for v in Profiler().breakdown().values())
+
+
+class TestSteps:
+    def test_mark_step_isolates_intervals(self):
+        p = Profiler()
+        p.charge("mxu", 1.0)
+        first = p.mark_step()
+        p.charge("mxu", 0.5)
+        p.charge("vpu", 0.5)
+        second = p.mark_step()
+        assert first.total == 1.0
+        assert second.total == 1.0
+        assert second.seconds["mxu"] == 0.5
+        assert p.step_seconds() == [1.0, 1.0]
+
+    def test_reset(self):
+        p = Profiler(record_trace=True)
+        p.charge("vpu", 1.0, name="rng")
+        p.mark_step()
+        p.reset()
+        assert p.total_seconds == 0.0
+        assert p.steps == []
+        assert p.trace == []
+
+
+class TestTrace:
+    def test_trace_events_recorded_in_order(self):
+        p = Profiler(record_trace=True)
+        p.charge("mxu", 0.5, name="matmul")
+        p.charge("vpu", 0.25, name="rng")
+        assert [e.name for e in p.trace] == ["matmul", "rng"]
+        assert p.trace[0].start == 0.0
+        assert p.trace[1].start == 0.5
+        assert p.trace[1].duration == 0.25
+
+    def test_trace_disabled_by_default(self):
+        p = Profiler()
+        p.charge("mxu", 0.5)
+        assert p.trace == []
+
+
+class TestMerge:
+    def test_merge_adds_all_categories(self):
+        a, b = Profiler(), Profiler()
+        a.charge("mxu", 1.0, flops=10)
+        b.charge("mxu", 2.0, flops=20)
+        b.charge("communication", 0.5)
+        a.merge(b)
+        assert a.seconds["mxu"] == 3.0
+        assert a.flops["mxu"] == 30.0
+        assert a.seconds["communication"] == 0.5
+
+    def test_repr(self):
+        p = Profiler()
+        p.charge("mxu", 0.001)
+        assert "mxu" in repr(p)
+        assert "empty" in repr(Profiler())
+
+    def test_categories_constant(self):
+        assert set(CATEGORIES) == {"mxu", "conv", "vpu", "formatting", "communication"}

@@ -1,0 +1,153 @@
+"""Philox4x32-10 known-answer and statistical tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng.philox import (
+    philox4x32,
+    philox_uniform_bits,
+    uint32_to_uniform,
+)
+
+
+def _single(counter, key, rounds=10):
+    c = np.array(counter, dtype=np.uint32).reshape(4, 1)
+    k = np.array(key, dtype=np.uint32).reshape(2, 1)
+    return [int(x) for x in philox4x32(c, k, rounds)[:, 0]]
+
+
+class TestKnownAnswers:
+    """Reference vectors from the Random123 kat_vectors file."""
+
+    def test_zero_counter_zero_key(self):
+        assert _single([0, 0, 0, 0], [0, 0]) == [
+            0x6627E8D5,
+            0xE169C58D,
+            0xBC57AC4C,
+            0x9B00DBD8,
+        ]
+
+    def test_all_ones(self):
+        assert _single([0xFFFFFFFF] * 4, [0xFFFFFFFF] * 2) == [
+            0x408F276D,
+            0x41C83B0E,
+            0xA20BC7C6,
+            0x6D5451FD,
+        ]
+
+    def test_pi_digits(self):
+        assert _single(
+            [0x243F6A88, 0x85A308D3, 0x13198A2E, 0x03707344],
+            [0xA4093822, 0x299F31D0],
+        ) == [0xD16CFE09, 0x94FDCCEB, 0x5001E420, 0x24126EA1]
+
+    def test_seven_rounds_kat(self):
+        # 7-round vector from the same suite checks the round loop, not
+        # just the final composition.
+        assert _single([0, 0, 0, 0], [0, 0], rounds=7) == [
+            0x5F6FB709,
+            0x0D893F64,
+            0x4F121F81,
+            0x4F730A48,
+        ]
+
+
+class TestShapeAndValidation:
+    def test_batch_shapes(self):
+        counter = np.zeros((4, 10), dtype=np.uint32)
+        counter[0] = np.arange(10)
+        out = philox4x32(counter, np.zeros((2, 1), dtype=np.uint32))
+        assert out.shape == (4, 10)
+        # Distinct counters give distinct outputs.
+        assert len({tuple(out[:, i]) for i in range(10)}) == 10
+
+    def test_bad_counter_shape_raises(self):
+        with pytest.raises(ValueError, match="leading dimension 4"):
+            philox4x32(np.zeros((3, 1), dtype=np.uint32), np.zeros((2, 1), dtype=np.uint32))
+
+    def test_bad_key_shape_raises(self):
+        with pytest.raises(ValueError, match="leading dimension 2"):
+            philox4x32(np.zeros((4, 1), dtype=np.uint32), np.zeros((3, 1), dtype=np.uint32))
+
+    def test_bad_rounds_raises(self):
+        with pytest.raises(ValueError, match="rounds"):
+            philox4x32(
+                np.zeros((4, 1), dtype=np.uint32),
+                np.zeros((2, 1), dtype=np.uint32),
+                rounds=0,
+            )
+
+    def test_input_not_mutated(self):
+        counter = np.arange(4, dtype=np.uint32).reshape(4, 1)
+        key = np.array([[1], [2]], dtype=np.uint32)
+        before_c, before_k = counter.copy(), key.copy()
+        philox4x32(counter, key)
+        assert np.array_equal(counter, before_c)
+        assert np.array_equal(key, before_k)
+
+
+class TestUniformBits:
+    def test_word_count(self):
+        for n in (0, 1, 3, 4, 5, 17, 1024):
+            assert philox_uniform_bits(0, n, (1, 2)).shape == (n,)
+
+    def test_consecutive_blocks_are_disjoint_slices(self):
+        all_words = philox_uniform_bits(0, 64, (5, 6))
+        first = philox_uniform_bits(0, 32, (5, 6))
+        second = philox_uniform_bits(8, 32, (5, 6))  # 32 words = 8 counters
+        assert np.array_equal(all_words[:32], first)
+        assert np.array_equal(all_words[32:], second)
+
+    def test_counter_wraps_at_2_128(self):
+        near_max = (1 << 128) - 2
+        words = philox_uniform_bits(near_max, 16, (0, 0))
+        wrapped = philox_uniform_bits(0, 8, (0, 0))
+        # Counters near_max, near_max+1 then 0, 1 after the wrap.
+        assert np.array_equal(words[8:], wrapped)
+
+    def test_carry_into_high_limb(self):
+        # Starting just below 2**64 exercises the low-limb carry path.
+        start = (1 << 64) - 1
+        words = philox_uniform_bits(start, 8, (3, 4))
+        direct_second = philox_uniform_bits(1 << 64, 4, (3, 4))
+        assert np.array_equal(words[4:], direct_second)
+
+    def test_key_sensitivity(self):
+        a = philox_uniform_bits(0, 128, (1, 0))
+        b = philox_uniform_bits(0, 128, (2, 0))
+        assert not np.array_equal(a, b)
+
+
+class TestUniformConversion:
+    def test_range_and_granularity(self):
+        bits = philox_uniform_bits(0, 1 << 14, (9, 9))
+        u = uint32_to_uniform(bits)
+        assert u.dtype == np.float32
+        assert float(u.min()) >= 0.0
+        assert float(u.max()) < 1.0
+        # Values are multiples of 2**-24 (exactly representable).
+        scaled = u * np.float32(2.0**24)
+        assert np.array_equal(scaled, np.round(scaled))
+
+    def test_statistics(self):
+        u = uint32_to_uniform(philox_uniform_bits(0, 1 << 16, (11, 13))).astype(
+            np.float64
+        )
+        n = u.size
+        assert abs(u.mean() - 0.5) < 4.0 / np.sqrt(12 * n)
+        assert abs(u.var() - 1.0 / 12.0) < 0.002
+        # Chi-squared over 16 equal bins.
+        counts, _ = np.histogram(u, bins=16, range=(0, 1))
+        expected = n / 16
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 45.0  # 15 dof, p ~ 1e-4 cutoff
+
+    def test_lag_correlation_small(self):
+        u = uint32_to_uniform(philox_uniform_bits(0, 1 << 15, (21, 34))).astype(
+            np.float64
+        )
+        x = u - u.mean()
+        corr = float(np.dot(x[:-1], x[1:]) / np.dot(x, x))
+        assert abs(corr) < 0.02

@@ -1,0 +1,43 @@
+"""Specific-heat observable tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import IsingSimulation
+from repro.observables.energy import specific_heat
+from repro.observables.onsager import T_CRITICAL
+
+
+class TestFormula:
+    def test_constant_energy_gives_zero(self):
+        assert specific_heat(np.full(100, -1.5), beta=0.5, n_sites=64) == 0.0
+
+    def test_known_variance(self):
+        e = np.array([-1.0, -2.0])
+        # var = 0.25 -> c = beta^2 * N * 0.25.
+        assert specific_heat(e, beta=2.0, n_sites=16) == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="beta"):
+            specific_heat(np.ones(4), 0.0, 10)
+        with pytest.raises(ValueError, match="n_sites"):
+            specific_heat(np.ones(4), 1.0, -1)
+        with pytest.raises(ValueError, match="sample"):
+            specific_heat(np.array([]), 1.0, 10)
+
+
+class TestPhysics:
+    def test_peaks_near_tc(self):
+        """c(T) has its finite-size maximum near the critical point."""
+        values = {}
+        for label, frac in [("below", 0.7), ("near", 1.0), ("above", 1.7)]:
+            t = frac * T_CRITICAL
+            sim = IsingSimulation(
+                16, t, seed=21, initial="cold" if frac < 1 else "hot"
+            )
+            res = sim.sample(n_samples=3000, burn_in=600)
+            values[label] = specific_heat(res.e_series, 1.0 / t, sim.n_sites)
+        assert values["near"] > 2 * values["below"]
+        assert values["near"] > 1.5 * values["above"]

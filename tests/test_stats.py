@@ -1,0 +1,97 @@
+"""MCMC error-analysis tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.observables.stats import (
+    binder_jackknife,
+    blocking_error,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+    jackknife,
+)
+
+
+def _ar1(n: int, phi: float, seed: int = 0) -> np.ndarray:
+    """An AR(1) series with known autocorrelation time (1+phi)/(2(1-phi))."""
+    rng = np.random.default_rng(seed)
+    noise = rng.normal(size=n)
+    x = np.empty(n)
+    x[0] = noise[0]
+    for i in range(1, n):
+        x[i] = phi * x[i - 1] + noise[i]
+    return x
+
+
+class TestBlocking:
+    def test_iid_error_matches_theory(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0.0, 1.0, size=32_768)
+        mean, err = blocking_error(x)
+        theory = 1.0 / np.sqrt(x.size)
+        assert mean == pytest.approx(0.0, abs=5 * theory)
+        assert err == pytest.approx(theory, rel=0.5)
+
+    def test_correlated_error_larger_than_naive(self):
+        x = _ar1(65_536, phi=0.95)
+        _, blocked = blocking_error(x, n_blocks=32)
+        naive = x.std(ddof=1) / np.sqrt(x.size)
+        assert blocked > 2 * naive
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="samples"):
+            blocking_error(np.arange(10), n_blocks=32)
+
+
+class TestAutocorrelation:
+    def test_iid_tau_is_half(self):
+        rng = np.random.default_rng(2)
+        tau = integrated_autocorrelation_time(rng.normal(size=65_536))
+        assert tau == pytest.approx(0.5, abs=0.1)
+
+    def test_ar1_tau_matches_theory(self):
+        phi = 0.9
+        tau = integrated_autocorrelation_time(_ar1(1 << 17, phi))
+        theory = 0.5 * (1 + phi) / (1 - phi)
+        assert tau == pytest.approx(theory, rel=0.2)
+
+    def test_constant_series(self):
+        assert integrated_autocorrelation_time(np.ones(100)) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="samples"):
+            integrated_autocorrelation_time(np.array([1.0, 2.0]))
+
+    def test_effective_sample_size(self):
+        x = _ar1(1 << 15, phi=0.8)
+        n_eff = effective_sample_size(x)
+        assert n_eff < x.size / 2
+        assert n_eff > x.size / 50
+
+
+class TestJackknife:
+    def test_linear_estimator_matches_mean(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(2.0, 1.0, size=4096)
+        est, err = jackknife(x, np.mean)
+        assert est == pytest.approx(x.mean(), rel=1e-10)
+        assert err == pytest.approx(x.std(ddof=1) / np.sqrt(x.size), rel=0.5)
+
+    def test_nonlinear_estimator_bias_correction(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(5.0, 1.0, size=8192)
+        est, err = jackknife(x, lambda s: float(np.mean(s)) ** 2)
+        assert est == pytest.approx(25.0, abs=5 * err + 0.1)
+
+    def test_binder_jackknife_on_gaussian(self):
+        rng = np.random.default_rng(5)
+        m = rng.normal(0.0, 0.3, size=65_536)
+        u4, err = binder_jackknife(m)
+        assert u4 == pytest.approx(0.0, abs=4 * err + 0.01)
+        assert err > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="samples"):
+            jackknife(np.arange(5), np.mean, n_blocks=32)

@@ -1,0 +1,84 @@
+"""TensorCore and PodSlice device-model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpu.cost_model import TPU_V3
+from repro.tpu.device import CORES_PER_CHIP, PodSlice
+from repro.tpu.tensorcore import TensorCore
+
+
+class TestTensorCore:
+    def test_charge_op_books_profiler(self):
+        core = TensorCore(core_id=0)
+        core.charge_op("mxu", flops=1e9, bytes_moved=1e6, batch=1e6)
+        assert core.profiler.seconds["mxu"] > 0
+        assert core.profiler.seconds["formatting"] > 0  # relayout share
+        assert core.step_time == core.profiler.total_seconds
+
+    def test_charge_communication(self):
+        core = TensorCore(core_id=0)
+        core.charge_communication(1e-4, bytes_moved=100.0)
+        assert core.profiler.seconds["communication"] == pytest.approx(1e-4)
+
+    def test_op_log_recording(self):
+        core = TensorCore(core_id=0, op_log=[])
+        core.charge_op("vpu", flops=10.0, bytes_moved=20.0)
+        assert core.op_log == [("vpu", 10.0, 20.0, None)]
+
+    def test_mark_step_and_reset(self):
+        core = TensorCore(core_id=1)
+        core.charge_op("vpu", flops=1e6)
+        record = core.mark_step()
+        assert record.total > 0
+        core.reset()
+        assert core.step_time == 0.0
+
+    def test_hbm_utilization_passthrough(self):
+        core = TensorCore(core_id=0)
+        sites = (656 * 128) ** 2
+        assert core.hbm_utilization(sites, 2) == pytest.approx(0.96, abs=0.01)
+
+
+class TestPodSlice:
+    def test_core_layout(self):
+        pod = PodSlice((2, 3))
+        assert pod.num_cores == 6
+        assert pod.core_at(1, 2).core_id == 5
+        assert pod.core_at(1, 2).coords == (1, 2)
+        with pytest.raises(IndexError):
+            pod.core_at(2, 0)
+
+    def test_from_chip_grid(self):
+        pod = PodSlice.from_chip_grid(4, 4)
+        assert pod.num_cores == 4 * 4 * CORES_PER_CHIP
+        assert pod.core_grid == (4, 8)
+        assert pod.num_chips == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            PodSlice((0, 2))
+
+    def test_step_time_is_slowest_core(self):
+        pod = PodSlice((1, 2))
+        pod.cores[0].charge_op("vpu", flops=1e9)
+        pod.cores[1].charge_op("vpu", flops=2e9)
+        assert pod.step_time() == pod.cores[1].step_time
+
+    def test_aggregate_and_mark(self):
+        pod = PodSlice((1, 2))
+        for core in pod.cores:
+            core.charge_op("vpu", flops=1e9)
+        total = pod.aggregate_profiler()
+        assert total.seconds["vpu"] == pytest.approx(
+            2 * pod.cores[0].profiler.seconds["vpu"]
+        )
+        slowest = pod.mark_step()
+        assert slowest == pytest.approx(pod.cores[0].profiler.steps[0].total)
+        pod.reset()
+        assert pod.step_time() == 0.0
+
+    def test_shared_cost_model(self):
+        pod = PodSlice((1, 1), cost_model=TPU_V3)
+        assert pod.cores[0].cost_model is TPU_V3

@@ -1,0 +1,104 @@
+"""Metropolis flip-rule tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import NumpyBackend
+from repro.core.kernels import neighbor_sum_roll
+from repro.core.update import acceptance_ratio, metropolis_flip
+
+from .conftest import make_lattice
+
+
+class TestAcceptanceRatio:
+    def test_values(self, backend):
+        beta = 0.5
+        sigma = np.array([[1.0, -1.0]], dtype=np.float32)
+        nn = np.array([[4.0, 4.0]], dtype=np.float32)
+        ratio = acceptance_ratio(backend, sigma, nn, beta)
+        # Flipping an aligned spin costs dE = 2*4 -> exp(-4) at beta=0.5;
+        # flipping an anti-aligned spin gains energy -> ratio > 1.
+        assert ratio[0, 0] == pytest.approx(np.exp(-4.0), rel=1e-6)
+        assert ratio[0, 1] == pytest.approx(np.exp(4.0), rel=1e-5)
+
+    def test_zero_field_ratio_is_one(self, backend):
+        sigma = np.ones((2, 2), dtype=np.float32)
+        nn = np.zeros((2, 2), dtype=np.float32)
+        assert np.all(acceptance_ratio(backend, sigma, nn, 0.7) == 1.0)
+
+
+class TestMetropolisFlip:
+    def test_always_flips_when_energy_drops(self, backend):
+        # A +1 spin surrounded by -1 neighbours flips with probability 1.
+        sigma = np.ones((3, 3), dtype=np.float32)
+        nn = np.full((3, 3), -4.0, dtype=np.float32)
+        probs = np.full((3, 3), 0.999999, dtype=np.float32)
+        out = metropolis_flip(backend, sigma, nn, probs, beta=1.0)
+        assert np.all(out == -1.0)
+
+    def test_never_flips_with_probs_above_ratio(self, backend):
+        sigma = np.ones((3, 3), dtype=np.float32)
+        nn = np.full((3, 3), 4.0, dtype=np.float32)
+        beta = 1.0
+        probs = np.full((3, 3), 0.9, dtype=np.float32)  # ratio = exp(-8) << 0.9
+        out = metropolis_flip(backend, sigma, nn, probs, beta)
+        assert np.all(out == 1.0)
+
+    def test_threshold_is_strict_less_than(self, backend):
+        sigma = np.ones((1, 1), dtype=np.float32)
+        nn = np.zeros((1, 1), dtype=np.float32)  # ratio = 1
+        probs = np.zeros((1, 1), dtype=np.float32)
+        assert metropolis_flip(backend, sigma, nn, probs, 1.0)[0, 0] == -1.0
+        # probs exactly equal to ratio (1.0 cannot occur; test with ratio<1)
+        beta = 0.5
+        nn4 = np.full((1, 1), 4.0, dtype=np.float32)
+        ratio = float(np.exp(np.float32(-2.0 * beta) * np.float32(4.0)))
+        at = np.array([[ratio]], dtype=np.float32)
+        assert metropolis_flip(backend, sigma, nn4, at, beta)[0, 0] == 1.0
+
+    def test_mask_freezes_sites(self, backend):
+        sigma = np.ones((2, 2), dtype=np.float32)
+        nn = np.full((2, 2), -4.0, dtype=np.float32)
+        probs = np.zeros((2, 2), dtype=np.float32)
+        mask = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float32)
+        out = metropolis_flip(backend, sigma, nn, probs, 1.0, mask=mask)
+        assert np.array_equal(out, [[-1.0, 1.0], [1.0, -1.0]])
+
+    def test_output_stays_pm_one(self, backend):
+        plain = make_lattice((16, 16))
+        nn = neighbor_sum_roll(plain)
+        probs = make_lattice((16, 16), seed=3) * 0.0 + 0.5
+        out = metropolis_flip(backend, plain, nn, probs.astype(np.float32), 0.44)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_shape_mismatch_raises(self, backend):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            metropolis_flip(
+                backend,
+                np.ones((2, 2), dtype=np.float32),
+                np.ones((2, 3), dtype=np.float32),
+                np.ones((2, 2), dtype=np.float32),
+                1.0,
+            )
+
+    def test_bfloat16_output_stays_pm_one(self, bf16_backend):
+        plain = make_lattice((16, 16))
+        nn = neighbor_sum_roll(plain)
+        probs = np.full((16, 16), 0.3, dtype=np.float32)
+        out = metropolis_flip(bf16_backend, plain, nn, probs, 0.44)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_acceptance_statistics(self, backend):
+        """Empirical flip rate matches min(1, exp(-2 beta sigma nn))."""
+        rng = np.random.default_rng(0)
+        beta = 0.4
+        n = 200_000
+        sigma = np.ones((1, n), dtype=np.float32)
+        nn = np.full((1, n), 2.0, dtype=np.float32)
+        probs = rng.random((1, n), dtype=np.float32)
+        out = metropolis_flip(backend, sigma, nn, probs, beta)
+        rate = float(np.mean(out == -1.0))
+        expected = float(np.exp(-2.0 * beta * 2.0))
+        assert rate == pytest.approx(expected, abs=4 * np.sqrt(expected / n))

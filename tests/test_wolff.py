@@ -1,0 +1,128 @@
+"""Wolff cluster sampler tests — the independent physics cross-check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import IsingSimulation
+from repro.core.wolff import WolffUpdater
+from repro.observables.exact import exact_observables
+from repro.observables.onsager import T_CRITICAL, spontaneous_magnetization
+from repro.rng import PhiloxStream
+
+from .conftest import make_lattice
+
+
+class TestMechanics:
+    def test_step_flips_exactly_one_cluster(self):
+        updater = WolffUpdater(0.6)
+        plain = make_lattice((8, 8))
+        out, size = updater.step(plain, PhiloxStream(1, 0))
+        changed = int(np.sum(out != plain))
+        assert changed == size
+        assert size >= 1
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_cluster_is_connected_to_seed_spin(self):
+        """All flipped sites had the seed's original orientation."""
+        updater = WolffUpdater(0.5)
+        plain = make_lattice((12, 12), seed=3)
+        out, _ = updater.step(plain, PhiloxStream(2, 0))
+        flipped = out != plain
+        original_values = plain[flipped]
+        assert len(np.unique(original_values)) <= 1
+
+    def test_low_temperature_flips_whole_lattice(self):
+        """p_add -> 1 as beta grows: the cluster spans the ordered lattice."""
+        updater = WolffUpdater(5.0)
+        plain = np.ones((8, 8), dtype=np.float32)
+        out, size = updater.step(plain, PhiloxStream(3, 0))
+        assert size == 64
+        assert np.all(out == -1.0)
+
+    def test_high_temperature_clusters_are_small(self):
+        updater = WolffUpdater(0.05)
+        plain = make_lattice((32, 32), seed=4)
+        sizes = []
+        stream = PhiloxStream(4, 0)
+        for _ in range(50):
+            plain, size = updater.step(plain, stream)
+            sizes.append(size)
+        assert np.mean(sizes) < 4.0
+
+    def test_sweep_equivalent_touches_enough_sites(self):
+        updater = WolffUpdater(0.44)
+        plain = make_lattice((16, 16), seed=5)
+        out = updater.sweep_equivalent(plain, PhiloxStream(5, 0))
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_reproducible(self):
+        updater = WolffUpdater(0.44)
+        plain = make_lattice((16, 16), seed=6)
+        a = updater.sweep_plain(plain, PhiloxStream(7, 0))
+        b = updater.sweep_plain(plain, PhiloxStream(7, 0))
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="beta"):
+            WolffUpdater(0.0)
+
+
+class TestPhysicsAgreement:
+    def test_matches_exact_enumeration(self):
+        """<|m|> and U4 on 4x4 vs brute force — a fully independent chain."""
+        temperature = 2.5
+        beta = 1.0 / temperature
+        exact = exact_observables((4, 4), beta)
+        updater = WolffUpdater(beta)
+        stream = PhiloxStream(11, 0)
+        plain = make_lattice((4, 4), seed=8)
+        for _ in range(300):
+            plain, _ = updater.step(plain, stream)
+        abs_m, m2, m4, n = 0.0, 0.0, 0.0, 6000
+        for _ in range(n):
+            plain, _ = updater.step(plain, stream)
+            m = float(plain.mean())
+            abs_m += abs(m)
+            m2 += m * m
+            m4 += m**4
+        abs_m, m2, m4 = abs_m / n, m2 / n, m4 / n
+        assert abs_m == pytest.approx(exact["abs_m"], abs=0.015)
+        u4 = 1.0 - m4 / (3.0 * m2 * m2)
+        assert u4 == pytest.approx(exact["u4"], abs=0.03)
+
+    def test_agrees_with_checkerboard_near_tc(self):
+        """Cluster and local chains give the same <|m|> at criticality —
+        the strongest mutual validation the library has."""
+        size = 16
+        beta = 1.0 / T_CRITICAL
+        # Wolff chain.
+        updater = WolffUpdater(beta)
+        stream = PhiloxStream(13, 0)
+        plain = make_lattice((size, size), seed=9)
+        for _ in range(200):
+            plain, _ = updater.step(plain, stream)
+        wolff_m, n = 0.0, 4000
+        for _ in range(n):
+            plain, _ = updater.step(plain, stream)
+            wolff_m += abs(float(plain.mean()))
+        wolff_m /= n
+        # Checkerboard chain.
+        sim = IsingSimulation(size, T_CRITICAL, seed=14)
+        res = sim.sample(n_samples=6000, burn_in=1000)
+        assert wolff_m == pytest.approx(res.abs_m, abs=5 * res.abs_m_err + 0.01)
+
+    def test_ordered_phase_magnetization(self):
+        temperature = 1.9
+        updater = WolffUpdater(1.0 / temperature)
+        stream = PhiloxStream(15, 0)
+        plain = np.ones((24, 24), dtype=np.float32)
+        for _ in range(100):
+            plain, _ = updater.step(plain, stream)
+        total, n = 0.0, 1500
+        for _ in range(n):
+            plain, _ = updater.step(plain, stream)
+            total += abs(float(plain.mean()))
+        exact_m = float(spontaneous_magnetization(temperature))
+        assert total / n == pytest.approx(exact_m, abs=0.02)
