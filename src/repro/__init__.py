@@ -23,6 +23,7 @@ from .core import (
     CompactUpdater,
     ConvUpdater,
     DistributedIsing,
+    EnsembleSimulation,
     Ising3D,
     IsingSimulation,
     MaskedConvUpdater,
@@ -47,6 +48,7 @@ __all__ = [
     "CompactUpdater",
     "ConvUpdater",
     "DistributedIsing",
+    "EnsembleSimulation",
     "Ising3D",
     "IsingSimulation",
     "MaskedConvUpdater",

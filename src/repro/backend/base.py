@@ -176,12 +176,15 @@ class Backend:
         efficiently than the band matmuls because each loaded operand is
         reused across the whole kernel window.  Charged to the "conv"
         category so the cost model can rate it separately.
+
+        The lattice axes are the trailing two, so a ``(batch, rows,
+        cols)`` ensemble stack convolves each chain independently.
         """
         out = (
-            np.roll(a, 1, axis=0)
-            + np.roll(a, -1, axis=0)
-            + np.roll(a, 1, axis=1)
-            + np.roll(a, -1, axis=1)
+            np.roll(a, 1, axis=-2)
+            + np.roll(a, -1, axis=-2)
+            + np.roll(a, 1, axis=-1)
+            + np.roll(a, -1, axis=-1)
         ).astype(np.float32)
         # im2col-style dense conv: 2 flops per kernel tap per output element.
         self._charge(
@@ -194,7 +197,13 @@ class Backend:
     def random_uniform(
         self, shape: tuple[int, ...], stream: PhiloxStream
     ) -> np.ndarray:
-        """Stateless-style uniform tensor in [0, 1) from a Philox stream."""
+        """Stateless-style uniform tensor in [0, 1) from a Philox stream.
+
+        ``stream`` may also be a
+        :class:`~repro.rng.streams.BatchedPhiloxStream`, in which case
+        ``shape`` must lead with the chain axis and every chain draws
+        from its own key — the draw contract of the batched ensemble.
+        """
         out = stream.uniform(shape)
         # Philox4x32-10: 10 rounds x (2 mul + 4 xor/add) per 4 words, plus
         # the int->float conversion: ~20 flops per element is a fair model.

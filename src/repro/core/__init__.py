@@ -33,9 +33,10 @@ from .lattice import (
     random_lattice,
     validate_spins,
 )
+from .ensemble import EnsembleSimulation
 from .metropolis import metropolis_chain, metropolis_sweep
 from .wolff import WolffUpdater
-from .simulation import ChainResult, IsingSimulation, run_temperature_scan
+from .simulation import ChainResult, IsingSimulation, run_temperature_scan, summarize_chain
 from .update import acceptance_ratio, metropolis_flip
 
 __all__ = [
@@ -65,8 +66,10 @@ __all__ = [
     "metropolis_sweep",
     "WolffUpdater",
     "ChainResult",
+    "EnsembleSimulation",
     "IsingSimulation",
     "run_temperature_scan",
+    "summarize_chain",
     "acceptance_ratio",
     "metropolis_flip",
 ]

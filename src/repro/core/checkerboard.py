@@ -39,24 +39,31 @@ class CheckerboardUpdater:
 
     def __init__(
         self,
-        beta: float,
+        beta: float | np.ndarray,
         backend: Backend | None = None,
         block_shape: tuple[int, int] = (128, 128),
         field: float = 0.0,
     ) -> None:
-        if beta <= 0:
+        if np.any(np.asarray(beta) <= 0):
             raise ValueError(f"beta must be positive, got {beta}")
-        self.beta = float(beta)
+        # Scalar for a single chain; a (batch, 1, 1, 1, 1) broadcast array
+        # when driving a batched ensemble at per-chain temperatures.
+        self.beta = float(beta) if np.ndim(beta) == 0 else np.asarray(beta, dtype=np.float64)
         self.field = float(field)
         self.backend = backend if backend is not None else NumpyBackend()
         self.block_shape = tuple(block_shape)
         self._mask_cache: dict[tuple[int, int, int, int], dict[str, np.ndarray]] = {}
 
-    def _masks(self, grid_shape: tuple[int, int, int, int]) -> dict[str, np.ndarray]:
-        """Colour masks ``M`` / ``1 - M`` in grid form, cached per shape."""
-        masks = self._mask_cache.get(grid_shape)
+    def _masks(self, grid_shape: tuple[int, ...]) -> dict[str, np.ndarray]:
+        """Colour masks ``M`` / ``1 - M`` in grid form, cached per shape.
+
+        Masks depend only on the trailing ``(m, n, r, c)`` geometry; a
+        batched grid broadcasts the rank-4 mask over its chain axis.
+        """
+        key = tuple(grid_shape[-4:])
+        masks = self._mask_cache.get(key)
         if masks is None:
-            m, n, r, c = grid_shape
+            m, n, r, c = key
             plain_shape = (m * r, n * c)
             masks = {
                 color: self.backend.array(
@@ -64,7 +71,7 @@ class CheckerboardUpdater:
                 )
                 for color in ("black", "white")
             }
-            self._mask_cache[grid_shape] = masks
+            self._mask_cache[key] = masks
         return masks
 
     def update_color(
@@ -106,10 +113,20 @@ class CheckerboardUpdater:
     # -- plain-lattice conveniences ---------------------------------------
 
     def to_state(self, plain: np.ndarray) -> np.ndarray:
-        """Convert a plain lattice into this updater's grid state."""
+        """Convert a plain lattice into this updater's grid state.
+
+        A ``(batch, rows, cols)`` stack of chains becomes the rank-5
+        batched grid ``[batch, m, n, r, c]``.
+        """
+        if plain.ndim == 3:
+            return self.backend.array(
+                np.stack([plain_to_grid(p, self.block_shape) for p in plain])
+            )
         return self.backend.array(plain_to_grid(plain, self.block_shape))
 
     def to_plain(self, grid: np.ndarray) -> np.ndarray:
+        if grid.ndim == 5:
+            return np.stack([grid_to_plain(g) for g in grid])
         return grid_to_plain(grid)
 
     def sweep_plain(

@@ -32,19 +32,21 @@ class CompactUpdater:
 
     def __init__(
         self,
-        beta: float,
+        beta: float | np.ndarray,
         backend: Backend | None = None,
         block_shape: tuple[int, int] | None = (128, 128),
         nn_method: str = "matmul",
         field: float = 0.0,
     ) -> None:
-        if beta <= 0:
+        if np.any(np.asarray(beta) <= 0):
             raise ValueError(f"beta must be positive, got {beta}")
         if nn_method not in ("matmul", "conv"):
             raise ValueError(
                 f"nn_method must be 'matmul' or 'conv', got {nn_method!r}"
             )
-        self.beta = float(beta)
+        # Scalar for a single chain; a (batch, 1, 1, 1, 1) broadcast array
+        # when driving a batched ensemble at per-chain temperatures.
+        self.beta = float(beta) if np.ndim(beta) == 0 else np.asarray(beta, dtype=np.float64)
         self.backend = backend if backend is not None else NumpyBackend()
         self.block_shape = tuple(block_shape) if block_shape is not None else None
         self.nn_method = nn_method
@@ -125,8 +127,19 @@ class CompactUpdater:
     # -- plain-lattice conveniences ---------------------------------------
 
     def to_state(self, plain: np.ndarray) -> CompactLattice:
-        """Convert a plain lattice into compact grid state."""
-        lat = CompactLattice.from_plain(plain, self._block_for(plain.shape))
+        """Convert a plain lattice into compact grid state.
+
+        A 2D lattice yields the rank-4 grid form; a ``(batch, rows,
+        cols)`` stack of independent chains yields the batched rank-5
+        form (one shared geometry, one chain per leading index).
+        """
+        block = self._block_for(plain.shape)
+        if plain.ndim == 3:
+            lat = CompactLattice.stack(
+                [CompactLattice.from_plain(p, block) for p in plain]
+            )
+        else:
+            lat = CompactLattice.from_plain(plain, block)
         return CompactLattice(
             s00=self.backend.array(lat.s00),
             s01=self.backend.array(lat.s01),
@@ -134,10 +147,10 @@ class CompactUpdater:
             s11=self.backend.array(lat.s11),
         )
 
-    def _block_for(self, plain_shape: tuple[int, int]) -> tuple[int, int]:
+    def _block_for(self, plain_shape: tuple[int, ...]) -> tuple[int, int]:
         if self.block_shape is not None:
             return self.block_shape
-        return plain_shape[0] // 2, plain_shape[1] // 2
+        return plain_shape[-2] // 2, plain_shape[-1] // 2
 
     @staticmethod
     def to_plain(lat: CompactLattice) -> np.ndarray:

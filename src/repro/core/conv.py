@@ -37,7 +37,7 @@ class ConvUpdater(CompactUpdater):
 
     def __init__(
         self,
-        beta: float,
+        beta: float | np.ndarray,
         backend: Backend | None = None,
         block_shape: tuple[int, int] | None = (128, 128),
         field: float = 0.0,
@@ -57,23 +57,31 @@ class MaskedConvUpdater:
     """
 
     def __init__(
-        self, beta: float, backend: Backend | None = None, field: float = 0.0
+        self,
+        beta: float | np.ndarray,
+        backend: Backend | None = None,
+        field: float = 0.0,
     ) -> None:
-        if beta <= 0:
+        if np.any(np.asarray(beta) <= 0):
             raise ValueError(f"beta must be positive, got {beta}")
-        self.beta = float(beta)
+        # Scalar for a single chain; a (batch, 1, 1) broadcast array when
+        # driving a batched ensemble at per-chain temperatures.
+        self.beta = float(beta) if np.ndim(beta) == 0 else np.asarray(beta, dtype=np.float64)
         self.field = float(field)
         self.backend = backend if backend is not None else NumpyBackend()
         self._mask_cache: dict[tuple[int, int], dict[str, np.ndarray]] = {}
 
-    def _masks(self, shape: tuple[int, int]) -> dict[str, np.ndarray]:
-        masks = self._mask_cache.get(shape)
+    def _masks(self, shape: tuple[int, ...]) -> dict[str, np.ndarray]:
+        # Masks depend only on the trailing (rows, cols); a batched plain
+        # lattice broadcasts the 2D mask over its chain axis.
+        key = tuple(shape[-2:])
+        masks = self._mask_cache.get(key)
         if masks is None:
             masks = {
-                color: self.backend.array(checkerboard_mask(shape, color))
+                color: self.backend.array(checkerboard_mask(key, color))
                 for color in ("black", "white")
             }
-            self._mask_cache[shape] = masks
+            self._mask_cache[key] = masks
         return masks
 
     def update_color(

@@ -1,0 +1,328 @@
+"""Batched ensemble execution: N independent chains in one vectorised sweep.
+
+The Fig. 4 / Binder-cumulant workflow runs one independent chain per
+temperature (and replicas for error bars, or f32/bf16 ablation pairs).
+Executing those chains as a serial Python loop wastes the vectorisation
+the GPU Ising literature (Romero et al.; Bisson et al.) gets by batching
+many replicas into one array op.  :class:`EnsembleSimulation` is that
+batching for this codebase: every chain's state carries a leading batch
+axis, per-chain inverse temperatures enter the Metropolis rule as a
+broadcast beta vector, and per-chain Philox keys make the batched draw
+*exactly* the B solo draws — so each chain of the ensemble is
+bit-identical to the corresponding single :class:`IsingSimulation` fed
+the same (seed, stream_id) pair.
+
+Memory: batching materialises all B lattice states (and B uniform
+tensors per colour phase) at once, so the working set grows linearly in
+the number of chains — the classic throughput-for-footprint trade.  For
+host-scale lattices this is what makes small-lattice scans fast; for
+HBM-bound lattices pick the batch so ``B * lattice_bytes`` still fits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..backend.base import Backend
+from ..backend.numpy_backend import NumpyBackend
+from ..observables.energy import energy_per_spin
+from ..observables.magnetization import magnetization
+from ..rng.streams import BatchedPhiloxStream, PhiloxStream
+from .checkerboard import CheckerboardUpdater
+from .compact import CompactUpdater
+from .conv import ConvUpdater, MaskedConvUpdater
+from .lattice import cold_lattice, random_lattice, validate_spins
+from .simulation import (
+    ChainResult,
+    IsingSimulation,
+    _backend_from_checkpoint,
+    _backend_kind,
+    _UPDATERS,
+    summarize_chain,
+)
+
+__all__ = ["EnsembleSimulation"]
+
+
+class EnsembleSimulation:
+    """B independent single-core chains advanced as one batched state.
+
+    Parameters
+    ----------
+    shape:
+        Lattice shape (rows, cols) or a single side length — shared by
+        every chain (one geometry, B states).
+    temperatures:
+        Length-B sequence of temperatures, one per chain.  A temperature
+        scan passes the scan grid; replica ensembles repeat one value.
+    updater:
+        "compact" (default), "conv", "checkerboard" or "masked_conv" —
+        the same updater drives all chains.
+    backend:
+        Op executor shared by the ensemble; default float32 numpy.
+    seed:
+        Global experiment seed shared by every chain.
+    stream_ids:
+        Length-B Philox stream ids; defaults to ``range(B)``.  Chain b
+        is bit-identical to ``IsingSimulation(..., seed=seed,
+        stream_id=stream_ids[b])``.
+    initial:
+        "hot" / "cold" (applied to every chain), a length-B sequence of
+        those strings, or an explicit ``(B, rows, cols)`` +/-1 array.
+    block_shape:
+        Grid block decomposition, as in :class:`IsingSimulation`.
+    field:
+        External magnetic field h, shared by every chain.
+    """
+
+    def __init__(
+        self,
+        shape: int | tuple[int, int],
+        temperatures: Sequence[float] | np.ndarray,
+        updater: str = "compact",
+        backend: Backend | None = None,
+        seed: int = 0,
+        stream_ids: Iterable[int] | None = None,
+        initial: str | Sequence[str] | np.ndarray = "hot",
+        block_shape: tuple[int, int] | None = None,
+        field: float = 0.0,
+    ) -> None:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape), int(shape))
+        rows, cols = shape
+        if rows % 2 or cols % 2:
+            raise ValueError(f"lattice sides must be even, got {shape}")
+        temps = np.asarray(temperatures, dtype=np.float64)
+        if temps.ndim != 1 or temps.size == 0:
+            raise ValueError(
+                f"temperatures must be a non-empty 1D sequence, got shape {temps.shape}"
+            )
+        if np.any(temps <= 0):
+            raise ValueError(f"temperatures must be positive, got {temps}")
+        if updater not in _UPDATERS:
+            raise ValueError(
+                f"unknown updater {updater!r}; expected one of {sorted(_UPDATERS)}"
+            )
+
+        self.shape = (int(rows), int(cols))
+        self.temperatures = temps
+        self.betas = 1.0 / temps
+        self.n_chains = int(temps.size)
+        self.field = float(field)
+        self.backend = backend if backend is not None else NumpyBackend()
+        self.updater_name = updater
+        self.seed = int(seed)
+        self.sweeps_done = 0
+
+        if stream_ids is None:
+            stream_ids = range(self.n_chains)
+        self.stream_ids = [int(s) for s in stream_ids]
+        if len(self.stream_ids) != self.n_chains:
+            raise ValueError(
+                f"{len(self.stream_ids)} stream ids for {self.n_chains} chains"
+            )
+
+        # The per-chain beta vector broadcasts against the batched state:
+        # rank-3 (batch, rows, cols) for masked_conv, rank-5 grids for
+        # the blocked updaters.
+        state_rank = 3 if updater == "masked_conv" else 5
+        beta_vec = self.betas.reshape((self.n_chains,) + (1,) * (state_rank - 1))
+
+        if updater == "masked_conv":
+            if block_shape is not None:
+                raise ValueError("masked_conv does not take a block_shape")
+            self._updater = MaskedConvUpdater(beta_vec, self.backend, field=self.field)
+        elif updater == "checkerboard":
+            if block_shape is None:
+                block_shape = self.shape
+            self._updater = CheckerboardUpdater(
+                beta_vec, self.backend, block_shape=block_shape, field=self.field
+            )
+        else:
+            if block_shape is None:
+                block_shape = (rows // 2, cols // 2)
+            updater_cls = ConvUpdater if updater == "conv" else CompactUpdater
+            self._updater = updater_cls(
+                beta_vec, self.backend, block_shape=block_shape, field=self.field
+            )
+        self.block_shape = getattr(self._updater, "block_shape", None)
+
+        # Per-chain initial states, drawn from each chain's own solo
+        # stream so hot starts match the corresponding IsingSimulation
+        # draw-for-draw; the batched stream then inherits the counters.
+        streams = [PhiloxStream(self.seed, sid) for sid in self.stream_ids]
+        if isinstance(initial, str):
+            initial = [initial] * self.n_chains
+        if isinstance(initial, np.ndarray):
+            plains = np.asarray(initial, dtype=np.float32)
+            if plains.shape != (self.n_chains,) + self.shape:
+                raise ValueError(
+                    f"initial lattice stack shape {plains.shape} != "
+                    f"{(self.n_chains,) + self.shape}"
+                )
+            for b in range(self.n_chains):
+                validate_spins(plains[b])
+        else:
+            if len(initial) != self.n_chains:
+                raise ValueError(
+                    f"{len(initial)} initial states for {self.n_chains} chains"
+                )
+            chain_plains = []
+            for start, stream in zip(initial, streams):
+                if start == "hot":
+                    chain_plains.append(random_lattice(self.shape, stream))
+                elif start == "cold":
+                    chain_plains.append(cold_lattice(self.shape))
+                else:
+                    raise ValueError(
+                        f"initial must be 'hot', 'cold' or an array, got {start!r}"
+                    )
+            plains = np.stack(chain_plains)
+        self.stream = BatchedPhiloxStream.from_streams(streams)
+        self._state = self._updater.to_state(plains)
+
+    # -- state access -------------------------------------------------------
+
+    @property
+    def lattices(self) -> np.ndarray:
+        """The current plain +/-1 lattices, shaped ``(B, rows, cols)``."""
+        return self._updater.to_plain(self._state)
+
+    @property
+    def n_sites(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    def to_single(self, index: int) -> IsingSimulation:
+        """Split chain ``index`` out as an equivalent solo simulation.
+
+        The returned :class:`IsingSimulation` shares the ensemble's
+        backend and continues the chain bit-identically from the current
+        lattice and Philox counter.
+        """
+        if not 0 <= index < self.n_chains:
+            raise IndexError(
+                f"chain index {index} out of range for {self.n_chains} chains"
+            )
+        sim = IsingSimulation(
+            self.shape,
+            float(self.temperatures[index]),
+            updater=self.updater_name,
+            backend=self.backend,
+            seed=self.seed,
+            stream_id=self.stream_ids[index],
+            initial=np.asarray(self.lattices[index], dtype=np.float32),
+            block_shape=self.block_shape,
+            field=self.field,
+        )
+        sim.stream = self.stream.chain(index)
+        sim.sweeps_done = self.sweeps_done
+        return sim
+
+    # -- evolution -----------------------------------------------------------
+
+    def sweep(self) -> None:
+        """Advance every chain by one full lattice sweep (both colours)."""
+        self._state = self._updater.sweep(self._state, self.stream)
+        self.sweeps_done += 1
+
+    def run(self, n_sweeps: int) -> None:
+        """Advance every chain by ``n_sweeps`` sweeps."""
+        if n_sweeps < 0:
+            raise ValueError(f"n_sweeps must be >= 0, got {n_sweeps}")
+        for _ in range(n_sweeps):
+            self.sweep()
+
+    # -- observables ---------------------------------------------------------
+
+    def magnetizations(self) -> np.ndarray:
+        """Per-chain signed magnetization, shaped ``(B,)``."""
+        plains = self.lattices
+        return np.array([magnetization(p) for p in plains], dtype=np.float64)
+
+    def energies_per_spin(self) -> np.ndarray:
+        """Per-chain energy per site, shaped ``(B,)``."""
+        plains = self.lattices
+        return np.array([energy_per_spin(p) for p in plains], dtype=np.float64)
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(
+        self,
+        n_samples: int,
+        burn_in: int = 0,
+        thin: int = 1,
+    ) -> list[ChainResult]:
+        """Burn in, then record per-sweep m and e for every chain.
+
+        Returns one :class:`ChainResult` per chain, in chain order, each
+        computed with the same estimators as
+        :meth:`IsingSimulation.sample` — a batched scan summarises
+        identically to the serial loop it replaces.
+        """
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {n_samples}")
+        if thin <= 0:
+            raise ValueError(f"thin must be positive, got {thin}")
+        self.run(burn_in)
+        m_series = np.empty((self.n_chains, n_samples), dtype=np.float64)
+        e_series = np.empty((self.n_chains, n_samples), dtype=np.float64)
+        for k in range(n_samples):
+            self.run(thin)
+            plains = self.lattices
+            for b in range(self.n_chains):
+                m_series[b, k] = magnetization(plains[b])
+                e_series[b, k] = energy_per_spin(plains[b])
+        return [
+            summarize_chain(self.temperatures[b], m_series[b], e_series[b])
+            for b in range(self.n_chains)
+        ]
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable checkpoint of the whole ensemble.
+
+        Round-trips everything a resume needs for bit-identical
+        continuation: lattices, per-chain RNG counters, backend kind,
+        dtype and block decomposition.
+        """
+        return {
+            "shape": self.shape,
+            "temperatures": self.temperatures.tolist(),
+            "field": self.field,
+            "updater": self.updater_name,
+            "backend": _backend_kind(self.backend),
+            "dtype": self.backend.dtype.name,
+            "block_shape": self.block_shape,
+            "seed": self.seed,
+            "lattices": self.lattices,
+            "stream": self.stream.state(),
+            "sweeps_done": self.sweeps_done,
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls, state: dict, backend: Backend | None = None
+    ) -> "EnsembleSimulation":
+        """Rebuild an ensemble from :meth:`state_dict` output."""
+        if backend is None:
+            backend = _backend_from_checkpoint(
+                state.get("backend", "numpy"), state["dtype"]
+            )
+        block_shape = state.get("block_shape")
+        ensemble = cls(
+            tuple(state["shape"]),
+            state["temperatures"],
+            updater=state["updater"],
+            backend=backend,
+            seed=state["seed"],
+            stream_ids=state["stream"]["stream_ids"],
+            initial=np.asarray(state["lattices"], dtype=np.float32),
+            block_shape=tuple(block_shape) if block_shape is not None else None,
+            field=state["field"],
+        )
+        ensemble.stream = BatchedPhiloxStream.from_state(state["stream"])
+        ensemble.sweeps_done = int(state["sweeps_done"])
+        return ensemble

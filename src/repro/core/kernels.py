@@ -85,40 +85,46 @@ def neighbor_sum_roll(plain: np.ndarray) -> np.ndarray:
 def neighbor_sum_grid(grid: np.ndarray, backend: Backend) -> np.ndarray:
     """Algorithm 1 lines 2-6: blocked matmul neighbour sum with compensation.
 
-    ``grid`` is ``[m, n, r, c]``; the result has the same shape and equals
-    :func:`neighbor_sum_roll` of the corresponding plain lattice.
+    ``grid`` is ``[m, n, r, c]`` or batched ``[batch, m, n, r, c]`` (any
+    number of leading batch axes); the result has the same shape and
+    equals :func:`neighbor_sum_roll` of each corresponding plain lattice.
+    All grid axes are addressed from the right, so a leading ensemble
+    axis broadcasts through untouched.
     """
-    if grid.ndim != 4:
-        raise ValueError(f"expected a rank-4 grid, got shape {grid.shape}")
-    m, n, r, c = grid.shape
+    if grid.ndim < 4:
+        raise ValueError(
+            f"expected a rank-4 (or batched rank-5) grid, got shape {grid.shape}"
+        )
+    r, c = grid.shape[-2:]
     k_row = backend.array(kernel_K(r))
     k_col = backend.array(kernel_K(c))
 
     # Internal sites: horizontal neighbours via sigma @ K, vertical via
-    # K @ sigma, batched over the (m, n) grid.
+    # K @ sigma, batched over the (m, n) grid (and any ensemble axes).
     nn = backend.add(backend.matmul(grid, k_col), backend.matmul(k_row, grid))
 
     # Northern boundaries: row 0 of block (i, j) is missing the last row of
-    # block (i-1, j); the grid wraps (torus).
+    # block (i-1, j); the grid wraps (torus).  Grid-row/grid-column axes
+    # sit at -3 / -2 of the boundary slabs regardless of batching.
     north = backend.roll(
-        backend.slice_copy(grid, (_ALL, _ALL, -1, _ALL)), 1, axis=0
+        backend.slice_copy(grid, (..., -1, _ALL)), 1, axis=-3
     )
-    nn = backend.add_at_slice(nn, (_ALL, _ALL, 0, _ALL), north)
+    nn = backend.add_at_slice(nn, (..., 0, _ALL), north)
     # Southern boundaries.
     south = backend.roll(
-        backend.slice_copy(grid, (_ALL, _ALL, 0, _ALL)), -1, axis=0
+        backend.slice_copy(grid, (..., 0, _ALL)), -1, axis=-3
     )
-    nn = backend.add_at_slice(nn, (_ALL, _ALL, -1, _ALL), south)
+    nn = backend.add_at_slice(nn, (..., -1, _ALL), south)
     # Western boundaries.
     west = backend.roll(
-        backend.slice_copy(grid, (_ALL, _ALL, _ALL, -1)), 1, axis=1
+        backend.slice_copy(grid, (..., _ALL, -1)), 1, axis=-2
     )
-    nn = backend.add_at_slice(nn, (_ALL, _ALL, _ALL, 0), west)
+    nn = backend.add_at_slice(nn, (..., _ALL, 0), west)
     # Eastern boundaries.
     east = backend.roll(
-        backend.slice_copy(grid, (_ALL, _ALL, _ALL, 0)), -1, axis=1
+        backend.slice_copy(grid, (..., _ALL, 0)), -1, axis=-2
     )
-    nn = backend.add_at_slice(nn, (_ALL, _ALL, _ALL, -1), east)
+    nn = backend.add_at_slice(nn, (..., _ALL, -1), east)
     return nn
 
 
@@ -152,14 +158,17 @@ def _shifted_slab(
 ) -> np.ndarray:
     """Roll a boundary slab along a grid axis, optionally splicing a halo.
 
-    ``slab`` is ``(m, n, c)`` for axis 0 rolls or ``(m, n, r)`` for axis 1
-    rolls.  After the roll, the entry that wrapped around the local edge is
-    replaced by ``replacement`` when given.
+    ``slab`` is ``(..., m, n, c)`` for grid-row (``axis=-3``) rolls or
+    ``(..., m, n, r)`` for grid-column (``axis=-2``) rolls; leading axes
+    are ensemble batch axes.  After the roll, the entry that wrapped
+    around the local edge is replaced by ``replacement`` when given.
     """
+    if axis not in (-3, -2):
+        raise ValueError(f"axis must be -3 (grid row) or -2 (grid col), got {axis}")
     shifted = backend.roll(slab, shift, axis=axis)
     if replacement is not None:
         edge = 0 if shift > 0 else -1
-        index = (edge,) if axis == 0 else (_ALL, edge)
+        index = (Ellipsis, edge) + (_ALL,) * (-axis - 1)
         expected = shifted[index].shape
         if replacement.shape != expected:
             raise ValueError(
@@ -194,7 +203,9 @@ def compact_neighbor_sums(
     if method not in ("matmul", "conv"):
         raise ValueError(f"method must be 'matmul' or 'conv', got {method!r}")
     halos = halos or PhaseHalos()
-    m, n, r, c = lat.grid_shape
+    # Grid axes are addressed from the right so a batched (ensemble)
+    # lattice with leading chain axes flows through unchanged.
+    r, c = lat.grid_shape[-2:]
 
     if method == "matmul":
         k_row = backend.array(kernel_K_hat(r))
@@ -218,39 +229,39 @@ def compact_neighbor_sums(
         nn0 = backend.add(prev_col(s01), prev_row(s10))
         north = _shifted_slab(
             backend,
-            backend.slice_copy(s10, (_ALL, _ALL, -1, _ALL)),
+            backend.slice_copy(s10, (..., -1, _ALL)),
             1,
-            0,
+            -3,
             halos.north,
         )
-        nn0 = backend.add_at_slice(nn0, (_ALL, _ALL, 0, _ALL), north)
+        nn0 = backend.add_at_slice(nn0, (..., 0, _ALL), north)
         west = _shifted_slab(
             backend,
-            backend.slice_copy(s01, (_ALL, _ALL, _ALL, -1)),
+            backend.slice_copy(s01, (..., _ALL, -1)),
             1,
-            1,
+            -2,
             halos.west,
         )
-        nn0 = backend.add_at_slice(nn0, (_ALL, _ALL, _ALL, 0), west)
+        nn0 = backend.add_at_slice(nn0, (..., _ALL, 0), west)
 
         # nn(s11)[i, j] = s01[i, j] + s01[i+1, j] + s10[i, j] + s10[i, j+1]
         nn1 = backend.add(next_row(s01), next_col(s10))
         south = _shifted_slab(
             backend,
-            backend.slice_copy(s01, (_ALL, _ALL, 0, _ALL)),
+            backend.slice_copy(s01, (..., 0, _ALL)),
             -1,
-            0,
+            -3,
             halos.south,
         )
-        nn1 = backend.add_at_slice(nn1, (_ALL, _ALL, -1, _ALL), south)
+        nn1 = backend.add_at_slice(nn1, (..., -1, _ALL), south)
         east = _shifted_slab(
             backend,
-            backend.slice_copy(s10, (_ALL, _ALL, _ALL, 0)),
+            backend.slice_copy(s10, (..., _ALL, 0)),
             -1,
-            1,
+            -2,
             halos.east,
         )
-        nn1 = backend.add_at_slice(nn1, (_ALL, _ALL, _ALL, -1), east)
+        nn1 = backend.add_at_slice(nn1, (..., _ALL, -1), east)
         return nn0, nn1
 
     s00, s11 = lat.s00, lat.s11
@@ -258,37 +269,37 @@ def compact_neighbor_sums(
     nn0 = backend.add(next_col(s00), prev_row(s11))
     north = _shifted_slab(
         backend,
-        backend.slice_copy(s11, (_ALL, _ALL, -1, _ALL)),
+        backend.slice_copy(s11, (..., -1, _ALL)),
         1,
-        0,
+        -3,
         halos.north,
     )
-    nn0 = backend.add_at_slice(nn0, (_ALL, _ALL, 0, _ALL), north)
+    nn0 = backend.add_at_slice(nn0, (..., 0, _ALL), north)
     east = _shifted_slab(
         backend,
-        backend.slice_copy(s00, (_ALL, _ALL, _ALL, 0)),
+        backend.slice_copy(s00, (..., _ALL, 0)),
         -1,
-        1,
+        -2,
         halos.east,
     )
-    nn0 = backend.add_at_slice(nn0, (_ALL, _ALL, _ALL, -1), east)
+    nn0 = backend.add_at_slice(nn0, (..., _ALL, -1), east)
 
     # nn(s10)[i, j] = s00[i, j] + s00[i+1, j] + s11[i, j] + s11[i, j-1]
     nn1 = backend.add(next_row(s00), prev_col(s11))
     south = _shifted_slab(
         backend,
-        backend.slice_copy(s00, (_ALL, _ALL, 0, _ALL)),
+        backend.slice_copy(s00, (..., 0, _ALL)),
         -1,
-        0,
+        -3,
         halos.south,
     )
-    nn1 = backend.add_at_slice(nn1, (_ALL, _ALL, -1, _ALL), south)
+    nn1 = backend.add_at_slice(nn1, (..., -1, _ALL), south)
     west = _shifted_slab(
         backend,
-        backend.slice_copy(s11, (_ALL, _ALL, _ALL, -1)),
+        backend.slice_copy(s11, (..., _ALL, -1)),
         1,
-        1,
+        -2,
         halos.west,
     )
-    nn1 = backend.add_at_slice(nn1, (_ALL, _ALL, _ALL, 0), west)
+    nn1 = backend.add_at_slice(nn1, (..., _ALL, 0), west)
     return nn0, nn1

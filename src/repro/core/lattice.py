@@ -145,6 +145,12 @@ class CompactLattice:
     Attributes ``s00``, ``s01``, ``s10``, ``s11`` are each ``[m, n, r, c]``
     grids over the corresponding H x W quarter of the ``(2H, 2W)`` plain
     lattice.  Black spins live in (s00, s11); white in (s01, s10).
+
+    A rank-5 ``[batch, m, n, r, c]`` form is also accepted: the leading
+    axis indexes independent ensemble chains sharing one lattice geometry
+    (see :class:`~repro.core.ensemble.EnsembleSimulation`), and every
+    kernel addresses the grid axes from the right so the chain axis
+    broadcasts through untouched.
     """
 
     s00: np.ndarray
@@ -154,26 +160,63 @@ class CompactLattice:
 
     def __post_init__(self) -> None:
         shape = self.s00.shape
-        if len(shape) != 4:
-            raise ValueError(f"compact tensors must be rank 4, got shape {shape}")
+        if len(shape) not in (4, 5):
+            raise ValueError(
+                f"compact tensors must be rank 4 (or 5 when batched), got shape {shape}"
+            )
         for name in ("s01", "s10", "s11"):
             other = getattr(self, name).shape
             if other != shape:
                 raise ValueError(f"{name} shape {other} != s00 shape {shape}")
 
     @property
-    def grid_shape(self) -> tuple[int, int, int, int]:
+    def grid_shape(self) -> tuple[int, ...]:
         return self.s00.shape
 
     @property
+    def batched(self) -> bool:
+        """True when the tensors carry a leading ensemble chain axis."""
+        return self.s00.ndim == 5
+
+    @property
+    def n_chains(self) -> int:
+        """Number of ensemble chains (1 for the unbatched form)."""
+        return self.s00.shape[0] if self.batched else 1
+
+    @property
     def plain_shape(self) -> tuple[int, int]:
-        m, n, r, c = self.s00.shape
+        m, n, r, c = self.s00.shape[-4:]
         return 2 * m * r, 2 * n * c
 
     @property
     def n_sites(self) -> int:
         rows, cols = self.plain_shape
         return rows * cols
+
+    @classmethod
+    def stack(cls, lats: "list[CompactLattice]") -> "CompactLattice":
+        """Stack unbatched lattices of one geometry into the batched form."""
+        if not lats:
+            raise ValueError("need at least one lattice to stack")
+        if any(lat.batched for lat in lats):
+            raise ValueError("can only stack unbatched lattices")
+        return cls(
+            s00=np.stack([lat.s00 for lat in lats]),
+            s01=np.stack([lat.s01 for lat in lats]),
+            s10=np.stack([lat.s10 for lat in lats]),
+            s11=np.stack([lat.s11 for lat in lats]),
+        )
+
+    def chain(self, index: int) -> "CompactLattice":
+        """Extract one chain of a batched lattice as an unbatched copy."""
+        if not self.batched:
+            raise ValueError("chain() requires a batched lattice")
+        return CompactLattice(
+            s00=np.ascontiguousarray(self.s00[index]),
+            s01=np.ascontiguousarray(self.s01[index]),
+            s10=np.ascontiguousarray(self.s10[index]),
+            s11=np.ascontiguousarray(self.s11[index]),
+        )
 
     @classmethod
     def from_plain(
@@ -196,7 +239,13 @@ class CompactLattice:
         )
 
     def to_plain(self) -> np.ndarray:
-        """Reassemble the plain ``(2H, 2W)`` lattice (exact inverse)."""
+        """Reassemble the plain lattice (exact inverse).
+
+        Returns ``(2H, 2W)`` for the unbatched form and
+        ``(batch, 2H, 2W)`` for the batched form.
+        """
+        if self.batched:
+            return np.stack([self.chain(b).to_plain() for b in range(self.n_chains)])
         return quarters_to_plain(
             grid_to_plain(self.s00),
             grid_to_plain(self.s01),

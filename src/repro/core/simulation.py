@@ -28,12 +28,46 @@ from .compact import CompactUpdater
 from .conv import ConvUpdater, MaskedConvUpdater
 from .lattice import cold_lattice, random_lattice, validate_spins
 
-__all__ = ["IsingSimulation", "ChainResult", "run_temperature_scan"]
+__all__ = [
+    "IsingSimulation",
+    "ChainResult",
+    "summarize_chain",
+    "run_temperature_scan",
+]
 
 #: Updater names accepted by IsingSimulation: "compact" (Algorithm 2),
 #: "conv" (appendix conv variant on the compact layout), "checkerboard"
 #: (Algorithm 1) and "masked_conv" (naive full-lattice conv + mask).
 _UPDATERS = ("compact", "conv", "checkerboard", "masked_conv")
+
+
+def _backend_kind(backend: Backend) -> str:
+    """Checkpoint tag for the backend family ("numpy" or "tpu")."""
+    from ..backend.tpu_backend import TPUBackend
+
+    return "tpu" if isinstance(backend, TPUBackend) else "numpy"
+
+
+def _backend_from_checkpoint(kind: str, dtype_name: str) -> Backend:
+    """Rebuild a backend of the checkpointed kind and dtype.
+
+    Raises on unknown backend kinds; unknown dtype names raise inside
+    :func:`~repro.tpu.dtypes.resolve_dtype` rather than silently
+    substituting a default.
+    """
+    from ..tpu.dtypes import resolve_dtype
+
+    dtype = resolve_dtype(dtype_name)
+    if kind == "numpy":
+        return NumpyBackend(dtype)
+    if kind == "tpu":
+        from ..backend.tpu_backend import TPUBackend
+        from ..tpu.tensorcore import TensorCore
+
+        return TPUBackend(TensorCore(core_id=0), dtype)
+    raise ValueError(
+        f"unknown backend kind {kind!r} in checkpoint; expected 'numpy' or 'tpu'"
+    )
 
 
 @dataclass
@@ -52,6 +86,39 @@ class ChainResult:
     energy_err: float
     m_series: np.ndarray = field(repr=False)
     e_series: np.ndarray = field(repr=False)
+
+
+def summarize_chain(
+    temperature: float, m_series: np.ndarray, e_series: np.ndarray
+) -> ChainResult:
+    """Blocking / jackknife summary of one chain's per-sweep series.
+
+    Shared by :meth:`IsingSimulation.sample` and the batched
+    :class:`~repro.core.ensemble.EnsembleSimulation` so both paths apply
+    identical estimators (the per-chain bit-identity tests rely on it).
+    """
+    m_series = np.asarray(m_series, dtype=np.float64)
+    e_series = np.asarray(e_series, dtype=np.float64)
+    n_samples = int(m_series.size)
+    n_blocks = min(32, max(2, n_samples // 4))
+    abs_m, abs_m_err = blocking_error(np.abs(m_series), n_blocks=n_blocks)
+    energy, energy_err = blocking_error(e_series, n_blocks=n_blocks)
+    u4, u4_err = binder_jackknife(m_series, n_blocks=n_blocks)
+    m_sq = m_series * m_series
+    return ChainResult(
+        temperature=float(temperature),
+        n_samples=n_samples,
+        abs_m=abs_m,
+        abs_m_err=abs_m_err,
+        m2=float(np.mean(m_sq)),
+        m4=float(np.mean(m_sq * m_sq)),
+        u4=u4,
+        u4_err=u4_err,
+        energy=energy,
+        energy_err=energy_err,
+        m_series=m_series,
+        e_series=e_series,
+    )
 
 
 class IsingSimulation:
@@ -112,6 +179,8 @@ class IsingSimulation:
         self.sweeps_done = 0
 
         if updater == "masked_conv":
+            if block_shape is not None:
+                raise ValueError("masked_conv does not take a block_shape")
             self._updater = MaskedConvUpdater(self.beta, self.backend, field=self.field)
         elif updater == "checkerboard":
             if block_shape is None:
@@ -130,6 +199,10 @@ class IsingSimulation:
                 self._updater = CompactUpdater(
                     self.beta, self.backend, block_shape=block_shape, field=self.field
                 )
+        #: Resolved grid block decomposition (None for masked_conv, which
+        #: keeps the plain layout).  Checkpoints carry it so a restored
+        #: chain reproduces the same blocked tensors.
+        self.block_shape = getattr(self._updater, "block_shape", None)
 
         if isinstance(initial, str):
             if initial == "hot":
@@ -188,30 +261,49 @@ class IsingSimulation:
         """Serializable checkpoint: lattice + RNG state + progress.
 
         Restoring with :meth:`from_state_dict` continues the chain
-        bit-identically (same Philox counter, same lattice).
+        bit-identically (same Philox counter, same lattice), on the same
+        backend kind / dtype and with the same block decomposition.
         """
         return {
             "shape": self.shape,
             "temperature": self.temperature,
             "field": self.field,
             "updater": self.updater_name,
+            "backend": _backend_kind(self.backend),
             "dtype": self.backend.dtype.name,
+            "block_shape": self.block_shape,
             "lattice": self.lattice,
             "stream": self.stream.state(),
             "sweeps_done": self.sweeps_done,
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "IsingSimulation":
-        """Rebuild a simulation from :meth:`state_dict` output."""
-        from ..backend.numpy_backend import NumpyBackend as _NumpyBackend
+    def from_state_dict(
+        cls, state: dict, backend: Backend | None = None
+    ) -> "IsingSimulation":
+        """Rebuild a simulation from :meth:`state_dict` output.
 
+        The checkpoint's backend kind ("numpy" / "tpu"), dtype and
+        ``block_shape`` are all round-tripped, so a chain checkpointed
+        from a bfloat16 TPU backend or a non-default block decomposition
+        resumes with the same numerics and tensor layout instead of
+        silently falling back to a default float32 NumpyBackend.  Unknown
+        backend kinds or dtype names raise.  Pass ``backend`` to resume
+        on an explicit (pre-built) backend instead — e.g. a TPUBackend
+        bound to a specific simulated core.
+        """
+        if backend is None:
+            backend = _backend_from_checkpoint(
+                state.get("backend", "numpy"), state["dtype"]
+            )
+        block_shape = state.get("block_shape")
         sim = cls(
             tuple(state["shape"]),
             state["temperature"],
             updater=state["updater"],
-            backend=_NumpyBackend(state["dtype"]),
+            backend=backend,
             field=state["field"],
+            block_shape=tuple(block_shape) if block_shape is not None else None,
             initial=np.asarray(state["lattice"], dtype=np.float32),
         )
         sim.stream = PhiloxStream.from_state(state["stream"])
@@ -241,26 +333,7 @@ class IsingSimulation:
             plain = self.lattice
             m_series[k] = magnetization(plain)
             e_series[k] = energy_per_spin(plain)
-
-        n_blocks = min(32, max(2, n_samples // 4))
-        abs_m, abs_m_err = blocking_error(np.abs(m_series), n_blocks=n_blocks)
-        energy, energy_err = blocking_error(e_series, n_blocks=n_blocks)
-        u4, u4_err = binder_jackknife(m_series, n_blocks=n_blocks)
-        m_sq = m_series * m_series
-        return ChainResult(
-            temperature=self.temperature,
-            n_samples=n_samples,
-            abs_m=abs_m,
-            abs_m_err=abs_m_err,
-            m2=float(np.mean(m_sq)),
-            m4=float(np.mean(m_sq * m_sq)),
-            u4=u4,
-            u4_err=u4_err,
-            energy=energy,
-            energy_err=energy_err,
-            m_series=m_series,
-            e_series=e_series,
-        )
+        return summarize_chain(self.temperature, m_series, e_series)
 
 
 def run_temperature_scan(
@@ -272,22 +345,34 @@ def run_temperature_scan(
     backend: Backend | None = None,
     seed: int = 0,
     thin: int = 1,
+    field: float = 0.0,
+    block_shape: tuple[int, int] | None = None,
 ) -> list[ChainResult]:
     """Fig. 4 workflow: one independent chain per temperature.
 
     Each temperature gets its own Philox stream id, so scans are
-    reproducible and embarrassingly parallel in principle.
+    reproducible and embarrassingly parallel — and since every chain
+    shares one lattice geometry, they are executed as a single batched
+    :class:`~repro.core.ensemble.EnsembleSimulation` whose sweeps advance
+    all temperatures in one vectorised array op.  Results are
+    bit-identical to the historical serial loop of one
+    :class:`IsingSimulation` per temperature with ``stream_id=idx``.
+
+    ``field`` (external magnetic field h) and ``block_shape`` (grid
+    block decomposition) are forwarded to every chain.
     """
-    results = []
-    for idx, t in enumerate(np.asarray(temperatures, dtype=np.float64)):
-        sim = IsingSimulation(
-            shape,
-            float(t),
-            updater=updater,
-            backend=backend,
-            seed=seed,
-            stream_id=idx,
-            initial="hot" if t >= 2.0 else "cold",
-        )
-        results.append(sim.sample(n_samples, burn_in=burn_in, thin=thin))
-    return results
+    from .ensemble import EnsembleSimulation
+
+    temps = np.asarray(temperatures, dtype=np.float64)
+    ensemble = EnsembleSimulation(
+        shape,
+        temps,
+        updater=updater,
+        backend=backend,
+        seed=seed,
+        stream_ids=range(len(temps)),
+        initial=["hot" if t >= 2.0 else "cold" for t in temps],
+        field=field,
+        block_shape=block_shape,
+    )
+    return ensemble.sample(n_samples, burn_in=burn_in, thin=thin)

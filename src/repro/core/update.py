@@ -27,7 +27,7 @@ def acceptance_ratio(
     backend: Backend,
     sigma: np.ndarray,
     nn: np.ndarray,
-    beta: float,
+    beta: float | np.ndarray,
     field: float = 0.0,
 ) -> np.ndarray:
     """``exp(-2 * beta * sigma * (nn + h))``, evaluated in the backend dtype.
@@ -36,11 +36,17 @@ def acceptance_ratio(
     float32 and bfloat16; the dtype only affects the scale factor, the
     field shift and the exponential.
 
+    ``beta`` may be a scalar or an array broadcastable against ``sigma``
+    — the batched ensemble passes one inverse temperature per chain,
+    shaped ``(batch, 1, ..., 1)``.  Each chain's arithmetic is then
+    elementwise-identical to the scalar-beta path, so batched and solo
+    chains accept the same flips bit-for-bit.
+
     ``field`` is the external magnetic field h of the paper's Hamiltonian
     (the mu term, which the paper sets to zero): flipping sigma_i changes
     the energy by ``dE = 2 sigma_i (nn(i) + h)``.
     """
-    factor = backend.array(-2.0 * beta)
+    factor = backend.array(-2.0 * np.asarray(beta, dtype=np.float64))
     if field != 0.0:
         nn = backend.add(nn, backend.array(float(field)))
     local = backend.multiply(sigma, nn)
@@ -52,7 +58,7 @@ def metropolis_flip(
     sigma: np.ndarray,
     nn: np.ndarray,
     probs: np.ndarray,
-    beta: float,
+    beta: float | np.ndarray,
     mask: np.ndarray | None = None,
     field: float = 0.0,
 ) -> np.ndarray:

@@ -54,9 +54,18 @@ def run(
     seed: int = 0,
     dtypes: tuple[str, ...] = ("float32", "bfloat16"),
     updater: str = "compact",
+    field: float = 0.0,
     name: str = "Figure 4",
 ) -> ExperimentResult:
-    """Run the temperature scans and render the m / U4 curves."""
+    """Run the temperature scans and render the m / U4 curves.
+
+    Each (size, dtype) scan executes all temperature points as one
+    batched :class:`~repro.core.ensemble.EnsembleSimulation`, so the
+    whole grid advances in vectorised sweeps while staying bit-identical
+    to the historical one-chain-per-temperature loop.  ``field`` applies
+    an external magnetic field h to every chain (0 is the paper's
+    setting).
+    """
     temperatures = np.array(t_over_tc, dtype=np.float64) * T_CRITICAL
     scans: dict[tuple[int, str], list[ChainResult]] = {}
     for size in sizes:
@@ -69,6 +78,7 @@ def run(
                 updater=updater,
                 backend=NumpyBackend(dtype),
                 seed=seed,
+                field=field,
             )
 
     rows = []

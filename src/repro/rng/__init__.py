@@ -12,9 +12,10 @@ from .philox import (
     PHILOX_W1,
     philox4x32,
     philox_uniform_bits,
+    philox_uniform_bits_batched,
     uint32_to_uniform,
 )
-from .streams import PhiloxStream, split_key
+from .streams import BatchedPhiloxStream, PhiloxStream, split_key
 
 __all__ = [
     "PHILOX_M0",
@@ -23,7 +24,9 @@ __all__ = [
     "PHILOX_W1",
     "philox4x32",
     "philox_uniform_bits",
+    "philox_uniform_bits_batched",
     "uint32_to_uniform",
+    "BatchedPhiloxStream",
     "PhiloxStream",
     "split_key",
 ]

@@ -26,6 +26,7 @@ __all__ = [
     "PHILOX_W1",
     "philox4x32",
     "philox_uniform_bits",
+    "philox_uniform_bits_batched",
     "uint32_to_uniform",
 ]
 
@@ -134,6 +135,71 @@ def philox_uniform_bits(
     # Interleave so that consecutive words come from output lanes 0..3 of
     # consecutive counters: transpose (4, n) -> (n, 4) -> flatten.
     return out.T.reshape(-1)[:n_words]
+
+
+def philox_uniform_bits_batched(
+    start_counters: "list[int] | np.ndarray",
+    n_words: int,
+    keys: np.ndarray,
+) -> np.ndarray:
+    """Generate ``n_words`` words for each of B independent (counter, key) streams.
+
+    Parameters
+    ----------
+    start_counters:
+        Length-B sequence of 128-bit counters (Python ints, taken modulo
+        2**128); stream ``b`` consumes counters starting at
+        ``start_counters[b]``.
+    n_words:
+        Words to draw per stream.
+    keys:
+        ``(B, 2)`` array-like of uint32 key words, one pair per stream.
+
+    Returns
+    -------
+    ``(B, n_words)`` uint32 array whose row ``b`` is bit-identical to
+    ``philox_uniform_bits(start_counters[b], n_words, keys[b])`` — the
+    batched draw is exactly B independent solo draws evaluated in one
+    vectorised Philox pass.
+    """
+    keys = np.asarray(keys, dtype=np.uint32)
+    if keys.ndim != 2 or keys.shape[1] != 2:
+        raise ValueError(f"keys must have shape (B, 2), got {keys.shape}")
+    n_streams = keys.shape[0]
+    if len(start_counters) != n_streams:
+        raise ValueError(
+            f"{len(start_counters)} counters for {n_streams} keys"
+        )
+    if n_words <= 0:
+        return np.empty((n_streams, 0), dtype=np.uint32)
+    n_counters = -(-n_words // 4)
+
+    starts = [int(c) % (1 << 128) for c in start_counters]
+    base_lo = np.array(
+        [c & ((1 << 64) - 1) for c in starts], dtype=np.uint64
+    ).reshape(-1, 1)
+    base_hi = np.array(
+        [(c >> 64) & ((1 << 64) - 1) for c in starts], dtype=np.uint64
+    ).reshape(-1, 1)
+    idx = np.arange(n_counters, dtype=np.uint64).reshape(1, -1)
+    with np.errstate(over="ignore"):
+        lo = base_lo + idx
+    # Wrap-around of the low 64-bit limb carries into the high limb.
+    carry = (lo < base_lo).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        hi = base_hi + carry
+
+    counter = np.empty((4, n_streams, n_counters), dtype=np.uint32)
+    counter[0] = (lo & _MASK32).astype(np.uint32)
+    counter[1] = (lo >> _SHIFT32).astype(np.uint32)
+    counter[2] = (hi & _MASK32).astype(np.uint32)
+    counter[3] = (hi >> _SHIFT32).astype(np.uint32)
+
+    key_arr = keys.T.reshape(2, n_streams, 1)
+    out = philox4x32(counter, key_arr)
+    # Per stream, interleave output lanes exactly like the solo path:
+    # (4, B, n) -> (B, n, 4) -> (B, n * 4) -> trim.
+    return out.transpose(1, 2, 0).reshape(n_streams, -1)[:, :n_words]
 
 
 def uint32_to_uniform(bits: np.ndarray) -> np.ndarray:

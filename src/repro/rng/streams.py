@@ -11,11 +11,17 @@ multi-core chain against a single-core one.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from .philox import philox_uniform_bits, uint32_to_uniform
+from .philox import (
+    philox_uniform_bits,
+    philox_uniform_bits_batched,
+    uint32_to_uniform,
+)
 
-__all__ = ["PhiloxStream", "split_key"]
+__all__ = ["PhiloxStream", "BatchedPhiloxStream", "split_key"]
 
 
 def _splitmix64(x: int) -> int:
@@ -62,7 +68,15 @@ class PhiloxStream:
 
     @property
     def counter(self) -> int:
-        """Number of 32-bit words drawn so far (the Philox counter * 4)."""
+        """Number of 128-bit Philox counter blocks consumed so far.
+
+        Each block yields four 32-bit output words, and a draw always
+        consumes whole blocks: ``random_bits(n)`` advances the counter by
+        ``ceil(n / 4)``, discarding any unused tail words of the final
+        block.  Checkpointing after a partial-block draw therefore resumes
+        bit-identically — the next draw starts at the next whole block
+        either way.
+        """
         return self._counter
 
     def spawn(self, child_id: int) -> "PhiloxStream":
@@ -101,3 +115,115 @@ class PhiloxStream:
         stream = cls(state["seed"], state["stream_id"])
         stream._counter = int(state["counter"])
         return stream
+
+
+class BatchedPhiloxStream:
+    """B independent Philox streams advanced together, one per chain.
+
+    This is the RNG substrate of the batched ensemble: chain ``b`` owns
+    the key derived from ``(seeds[b], stream_ids[b])`` and its own 128-bit
+    counter, so a batched draw is *exactly* B solo draws — bit-identical
+    per chain to a :class:`PhiloxStream` fed the same (seed, stream_id)
+    and draw sequence — evaluated in one vectorised Philox pass.
+
+    Counters need not be aligned across chains (chains restored from
+    checkpoints taken at different points batch fine); they advance in
+    lockstep from wherever each one starts.
+    """
+
+    def __init__(
+        self,
+        seeds: "int | Sequence[int]",
+        stream_ids: "Sequence[int]",
+    ) -> None:
+        stream_ids = [int(s) for s in stream_ids]
+        if not stream_ids:
+            raise ValueError("need at least one stream id")
+        if isinstance(seeds, (int, np.integer)):
+            seeds = [int(seeds)] * len(stream_ids)
+        else:
+            seeds = [int(s) for s in seeds]
+        if len(seeds) != len(stream_ids):
+            raise ValueError(
+                f"{len(seeds)} seeds for {len(stream_ids)} stream ids"
+            )
+        self.seeds = seeds
+        self.stream_ids = stream_ids
+        self._keys = np.array(
+            [split_key(seed, sid) for seed, sid in zip(seeds, stream_ids)],
+            dtype=np.uint32,
+        )
+        self._counters = [0] * len(stream_ids)
+
+    @classmethod
+    def from_streams(cls, streams: "Sequence[PhiloxStream]") -> "BatchedPhiloxStream":
+        """Bundle existing solo streams, carrying their counters over."""
+        if not streams:
+            raise ValueError("need at least one stream")
+        batched = cls([s.seed for s in streams], [s.stream_id for s in streams])
+        batched._counters = [s.counter for s in streams]
+        return batched
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedPhiloxStream(n_chains={self.n_chains}, "
+            f"counters={self._counters})"
+        )
+
+    @property
+    def n_chains(self) -> int:
+        return len(self.stream_ids)
+
+    @property
+    def counters(self) -> list[int]:
+        """Per-chain 128-bit counter blocks consumed (see PhiloxStream.counter)."""
+        return list(self._counters)
+
+    def chain(self, index: int) -> PhiloxStream:
+        """Split chain ``index`` back out as an equivalent solo stream."""
+        stream = PhiloxStream(self.seeds[index], self.stream_ids[index])
+        stream._counter = self._counters[index]
+        return stream
+
+    def random_bits(self, n_words: int) -> np.ndarray:
+        """Draw ``n_words`` uint32 words per chain; returns ``(B, n_words)``."""
+        if n_words < 0:
+            raise ValueError(f"n_words must be >= 0, got {n_words}")
+        bits = philox_uniform_bits_batched(self._counters, n_words, self._keys)
+        n_counters = -(-n_words // 4)
+        self._counters = [c + n_counters for c in self._counters]
+        return bits
+
+    def uniform(self, shape: int | tuple[int, ...]) -> np.ndarray:
+        """Draw float32 uniforms of the given *batched* shape.
+
+        ``shape`` is the full output shape including the leading chain
+        axis, so updaters can request uniforms shaped like their batched
+        state without special-casing; ``shape[0]`` must equal
+        :attr:`n_chains`.  Chain ``b`` of the result is bit-identical to
+        ``self.chain(b).uniform(shape[1:])``.
+        """
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        if not shape or shape[0] != self.n_chains:
+            raise ValueError(
+                f"batched uniform shape {shape} must lead with the chain "
+                f"axis (n_chains={self.n_chains})"
+            )
+        per_chain = int(np.prod(shape[1:])) if len(shape) > 1 else 1
+        bits = self.random_bits(per_chain)
+        return uint32_to_uniform(bits).reshape(shape)
+
+    def state(self) -> dict:
+        """Serializable state (for checkpoint/restart of ensembles)."""
+        return {
+            "seeds": list(self.seeds),
+            "stream_ids": list(self.stream_ids),
+            "counters": list(self._counters),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BatchedPhiloxStream":
+        batched = cls(state["seeds"], state["stream_ids"])
+        batched._counters = [int(c) for c in state["counters"]]
+        return batched

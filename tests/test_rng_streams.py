@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.rng import PhiloxStream, split_key
+from repro.rng import BatchedPhiloxStream, PhiloxStream, split_key
 
 
 class TestSplitKey:
@@ -84,3 +84,72 @@ class TestPhiloxStream:
         s = PhiloxStream(1, 2)
         assert "seed=1" in repr(s)
         assert "stream_id=2" in repr(s)
+
+    def test_counter_counts_blocks_not_words(self):
+        # The counter property counts 128-bit blocks consumed (each
+        # yielding four words), NOT 32-bit words drawn.
+        s = PhiloxStream(0, 0)
+        s.random_bits(3)  # partial block: 3 of 4 words used
+        assert s.counter == 1
+        s.random_bits(8)
+        assert s.counter == 3
+        assert "counter blocks" in type(s).counter.__doc__
+
+    def test_partial_word_checkpoint_resumes_bit_identically(self):
+        # Regression: a checkpoint taken right after a partial-word draw
+        # (3 of a block's 4 words consumed) must resume bit-identically —
+        # the resumed stream starts at the next whole block, exactly
+        # where the original continues.
+        s = PhiloxStream(21, 9)
+        s.random_bits(3)
+        resumed = PhiloxStream.from_state(s.state())
+        assert resumed.counter == s.counter
+        for n_words in (1, 3, 4, 7):
+            assert np.array_equal(resumed.random_bits(n_words), s.random_bits(n_words))
+        assert np.array_equal(resumed.uniform((2, 5)), s.uniform((2, 5)))
+
+
+class TestBatchedPhiloxStream:
+    def test_chains_match_solo_streams(self):
+        batched = BatchedPhiloxStream(5, [0, 3, 17])
+        solos = [PhiloxStream(5, sid) for sid in (0, 3, 17)]
+        u = batched.uniform((3, 4, 4))
+        for b, solo in enumerate(solos):
+            assert np.array_equal(u[b], solo.uniform((4, 4)))
+        assert batched.counters == [s.counter for s in solos]
+
+    def test_from_streams_carries_counters(self):
+        solos = [PhiloxStream(9, 0), PhiloxStream(9, 1)]
+        solos[0].uniform(10)  # desync the counters
+        batched = BatchedPhiloxStream.from_streams(solos)
+        assert batched.counters == [solos[0].counter, solos[1].counter]
+        u = batched.uniform((2, 6))
+        assert np.array_equal(u[0], solos[0].uniform(6))
+        assert np.array_equal(u[1], solos[1].uniform(6))
+
+    def test_chain_splits_out_equivalent_solo(self):
+        batched = BatchedPhiloxStream(2, [4, 5])
+        batched.uniform((2, 8))
+        split = batched.chain(1)
+        reference = PhiloxStream(2, 5)
+        reference.uniform(8)
+        assert np.array_equal(split.uniform(16), reference.uniform(16))
+
+    def test_uniform_requires_chain_axis(self):
+        batched = BatchedPhiloxStream(0, [0, 1])
+        with pytest.raises(ValueError, match="chain axis"):
+            batched.uniform((3, 4))
+
+    def test_state_roundtrip(self):
+        batched = BatchedPhiloxStream([1, 2], [0, 1])
+        batched.uniform((2, 5))
+        resumed = BatchedPhiloxStream.from_state(batched.state())
+        assert np.array_equal(resumed.uniform((2, 9)), batched.uniform((2, 9)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BatchedPhiloxStream(0, [])
+        with pytest.raises(ValueError, match="seeds"):
+            BatchedPhiloxStream([1, 2, 3], [0, 1])
+        with pytest.raises(ValueError, match=">= 0"):
+            BatchedPhiloxStream(0, [0]).random_bits(-1)
