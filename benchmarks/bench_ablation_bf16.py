@@ -39,3 +39,21 @@ def test_memory_capacity_doubles():
     sites_bf16 = hbm.max_square_lattice_side(2) ** 2
     sites_f32 = hbm.max_square_lattice_side(4) ** 2
     assert sites_bf16 / sites_f32 == pytest.approx(2.0, rel=0.02)
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: the bf16 win, modeled device-side."""
+    f32 = model_single_core_step((320 * 128, 320 * 128), dtype="float32")
+    bf16 = model_single_core_step((320 * 128, 320 * 128), dtype="bfloat16")
+    hbm = HBMModel()
+    return (
+        {
+            "modeled_bf16_step_speedup": f32.step_time / bf16.step_time,
+            "modeled_bytes_ratio": f32.bytes / bf16.bytes,
+            "capacity_sites_ratio": (
+                hbm.max_square_lattice_side(2) ** 2
+                / hbm.max_square_lattice_side(4) ** 2
+            ),
+        },
+        {"lattice": "(320x128)^2"},
+    )

@@ -110,3 +110,21 @@ def test_modeled_conv_improvement_is_about_80_percent():
     conv = model_single_core_step((224 * 128, 224 * 128), updater="conv").step_time
     improvement = compact / conv - 1.0
     assert 0.5 < improvement < 1.1, f"conv improvement {improvement:.2f} not ~0.8"
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: the two algorithmic wins (modeled)."""
+    alg1 = _modeled_algorithm1_step_time(160)
+    alg2 = model_single_core_step((160 * 128, 160 * 128)).step_time
+    compact = model_single_core_step((224 * 128, 224 * 128)).step_time
+    conv = model_single_core_step((224 * 128, 224 * 128), updater="conv").step_time
+    return (
+        {
+            "modeled_alg2_over_alg1_speedup": alg1 / alg2,
+            "modeled_conv_over_compact_speedup": compact / conv,
+        },
+        {
+            "paper_alg2_speedup": "about 3x",
+            "paper_conv_improvement": "about 80%",
+        },
+    )

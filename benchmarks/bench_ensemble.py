@@ -101,6 +101,19 @@ def test_batched_scan_beats_serial_loop():
     )
 
 
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: measured serial-vs-batched scan (quick)."""
+    t_serial, t_batched = measure(side=16)
+    return (
+        {
+            "measured_serial_seconds": t_serial,
+            "measured_batched_seconds": t_batched,
+            "measured_speedup_x": t_serial / t_batched,
+        },
+        {"side": 16, "n_temps": N_TEMPS, "n_sweeps": N_SWEEPS, "backend": "numpy"},
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     import sys
 

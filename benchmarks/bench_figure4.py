@@ -54,3 +54,24 @@ def test_bf16_curves_match_f32(figure4_result):
     bf16 = {(r[0], r[2]): r[6] for r in figure4_result.rows if r[1] == "bfloat16"}
     deltas = [abs(f32[k] - bf16[k]) for k in f32]
     assert sum(deltas) / len(deltas) < 0.12
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: measured host sampling cost (quick)."""
+    from time import perf_counter
+
+    def sample_once():
+        sim = IsingSimulation(32, T_CRITICAL, seed=3)
+        return sim.sample(n_samples=50, burn_in=20)
+
+    sample_once()  # warm-up
+    start = perf_counter()
+    sample_once()
+    wall = perf_counter() - start
+    return (
+        {
+            "measured_sample_loop_seconds": wall,
+            "measured_sweeps_per_second": 70 / wall,
+        },
+        {"side": 32, "n_samples": 50, "burn_in": 20, "updater": "compact"},
+    )

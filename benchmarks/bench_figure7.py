@@ -35,3 +35,24 @@ def test_conv_physics_shape():
     rows16 = {r[2]: r[3] for r in result.rows if r[0] == 16}
     assert rows16[0.7] > 0.85
     assert rows16[1.4] < 0.55
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: measured conv sampling cost (quick)."""
+    from time import perf_counter
+
+    def sample_once():
+        sim = IsingSimulation(32, T_CRITICAL, updater="conv", seed=3)
+        return sim.sample(n_samples=50, burn_in=20)
+
+    sample_once()  # warm-up
+    start = perf_counter()
+    sample_once()
+    wall = perf_counter() - start
+    return (
+        {
+            "measured_sample_loop_seconds": wall,
+            "measured_sweeps_per_second": 70 / wall,
+        },
+        {"side": 32, "n_samples": 50, "burn_in": 20, "updater": "conv"},
+    )

@@ -35,3 +35,19 @@ def test_pods_extend_problem_size_by_orders_of_magnitude():
     single = model_single_core_step((640 * 128, 640 * 128))
     pod = model_pod_step((896 * 128, 448 * 128), 512)
     assert pod.sites / single.sites > 30
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: the cross-platform ordering (modeled)."""
+    single = model_single_core_step((640 * 128, 640 * 128))
+    pod = model_pod_step((896 * 128, 448 * 128), 512)
+    return (
+        {
+            "modeled_single_core_flips_per_ns": single.flips_per_ns,
+            "modeled_pod512_flips_per_ns": pod.flips_per_ns,
+            "modeled_pod512_to_core_ratio": pod.flips_per_ns / single.flips_per_ns,
+            "baseline_v100_flips_per_ns": TESLA_V100_THIS_PAPER.flips_per_ns,
+            "baseline_dgx2_flips_per_ns": ROMERO_2019_DGX2.flips_per_ns,
+        },
+        {"dtype": "bfloat16"},
+    )

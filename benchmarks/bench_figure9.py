@@ -33,3 +33,16 @@ def test_model_tracks_paper_curve():
         cores, model, paper = int(row[0]), float(row[1]), float(row[2])
         tolerance = 0.10 if cores <= 256 else 0.35
         assert model == pytest.approx(paper, rel=tolerance)
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: strong-scaling efficiency endpoints."""
+    rows = figure9.run().rows
+    first, last = rows[0], rows[-1]
+    return (
+        {
+            f"modeled_efficiency_pct_{int(first[0])}c": float(first[-1]),
+            f"modeled_efficiency_pct_{int(last[0])}c": float(last[-1]),
+        },
+        {"source": "figure9 efficiency column (conv, fixed lattice)"},
+    )

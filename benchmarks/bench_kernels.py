@@ -63,3 +63,34 @@ def test_numpy_pcg64_uniforms(benchmark):
     benchmark.group = "kernels-rng"
     rng = np.random.default_rng(0)
     benchmark(lambda: rng.random((1024, 1024), dtype=np.float32))
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: measured kernel/RNG timings (quick)."""
+    from time import perf_counter
+
+    side = 512
+    lattice = random_lattice((side, side), PhiloxStream(0, 3))
+    backend = NumpyBackend()
+    grid = plain_to_grid(lattice, (128, 128))
+
+    def time_of(fn, reps: int = 5) -> float:
+        fn()  # warm-up
+        start = perf_counter()
+        for _ in range(reps):
+            fn()
+        return (perf_counter() - start) / reps
+
+    roll = time_of(lambda: neighbor_sum_roll(lattice))
+    matmul = time_of(lambda: neighbor_sum_grid(grid, backend))
+    stream = PhiloxStream(0, 1)
+    rng = time_of(lambda: stream.uniform((side, side)))
+    return (
+        {
+            "measured_roll_seconds": roll,
+            "measured_grid_matmul_seconds": matmul,
+            "measured_philox_uniform_seconds": rng,
+            "measured_philox_mwords_per_second": side * side / rng / 1e6,
+        },
+        {"side": side, "backend": "numpy"},
+    )

@@ -35,3 +35,18 @@ def test_throughput_rises_with_size_like_the_paper():
     small = model_single_core_step((20 * 128, 20 * 128)).flips_per_ns
     large = model_single_core_step((640 * 128, 640 * 128)).flips_per_ns
     assert large / small > 1.25  # paper: 12.88 / 8.19 ~ 1.57
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: the Table 1 ramp endpoints (modeled)."""
+    small = model_single_core_step((20 * 128, 20 * 128))
+    large = model_single_core_step((640 * 128, 640 * 128))
+    return (
+        {
+            "modeled_small_flips_per_ns": small.flips_per_ns,
+            "modeled_large_flips_per_ns": large.flips_per_ns,
+            "modeled_large_energy_nj_per_flip": large.energy_nj_per_flip,
+            "modeled_ramp_ratio": large.flips_per_ns / small.flips_per_ns,
+        },
+        {"lattices": ["(20x128)^2", "(640x128)^2"], "dtype": "bfloat16"},
+    )

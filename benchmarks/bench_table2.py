@@ -42,3 +42,16 @@ def test_scaling_is_linear():
         for n in (1, 16)
     }
     assert rates[16] / rates[1] == pytest.approx(256.0, rel=0.01)
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: weak-scaling endpoints (modeled)."""
+    metrics = {}
+    for n in (1, 16):
+        model = model_pod_step(table2.PER_CORE_SHAPE, n * n * 2)
+        metrics[f"modeled_step_ms_{n}x{n}x2"] = model.step_time * 1e3
+        metrics[f"modeled_flips_per_ns_{n}x{n}x2"] = model.flips_per_ns
+    return metrics, {
+        "per_core_shape": list(table2.PER_CORE_SHAPE),
+        "dtype": "bfloat16",
+    }

@@ -47,3 +47,12 @@ def test_modeled_breakdown_tracks_paper():
         assert 100 * b["vpu"] == pytest.approx(p_vpu, abs=1.5)
         assert 100 * b["formatting"] == pytest.approx(p_fmt, abs=1.5)
         assert 100 * b["communication"] == pytest.approx(p_cp, abs=0.15)
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: the 512-core category split (modeled)."""
+    breakdown = model_pod_step((896 * 128, 448 * 128), 512).breakdown()
+    return (
+        {f"modeled_{cat}_pct_512c": 100.0 * frac for cat, frac in breakdown.items()},
+        {"per_core_shape": [896 * 128, 448 * 128], "n_cores": 512},
+    )

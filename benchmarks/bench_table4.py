@@ -41,3 +41,15 @@ def test_communication_is_latency_dominated():
     assert big / small < 2.0  # 16x the bytes, <2x the time
     few = model_pod_step((896 * 128, 448 * 128), 32).seconds["communication"]
     assert big / few > 1.5  # 16x the cores, visible growth
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: (step, collective) endpoints (modeled)."""
+    metrics = {}
+    for n in (4, 16):
+        model = model_pod_step((896 * 128, 448 * 128), n * n * 2)
+        metrics[f"modeled_step_ms_{n}x{n}x2"] = model.step_time * 1e3
+        metrics[f"modeled_cp_ms_{n}x{n}x2"] = (
+            model.seconds["communication"] * 1e3
+        )
+    return metrics, {"per_core_shape": [896 * 128, 448 * 128]}

@@ -41,3 +41,20 @@ def test_operating_point_is_memory_bound():
     ridge = TPU_V3.mxu.peak_flops / TPU_V3.hbm.bandwidth
     assert model.arithmetic_intensity < ridge
     assert TPU_V3.peak_fraction(model.achieved_flops_rate) < 0.2
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: roofline placement (modeled)."""
+    model = model_pod_step((896 * 128, 448 * 128), 2)
+    return (
+        {
+            "modeled_roofline_fraction": TPU_V3.roofline_fraction(
+                model.achieved_flops_rate, model.arithmetic_intensity
+            ),
+            "modeled_peak_fraction": TPU_V3.peak_fraction(
+                model.achieved_flops_rate
+            ),
+            "modeled_arithmetic_intensity": model.arithmetic_intensity,
+        },
+        {"per_core_shape": [896 * 128, 448 * 128], "n_cores": 2},
+    )

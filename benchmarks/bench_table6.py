@@ -36,3 +36,17 @@ def test_full_pod_reaches_paper_scale():
     model = model_pod_step((448 * 128, 448 * 128), 2025, updater="conv")
     assert model.sites > 6.5e12
     assert model.flips_per_ns == pytest.approx(40418.07, rel=0.05)
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: conv weak-scaling endpoints (modeled)."""
+    superdense = model_pod_step((448 * 128, 448 * 128), 2, updater="conv")
+    pod = model_pod_step((448 * 128, 448 * 128), 2025, updater="conv")
+    return (
+        {
+            "modeled_superdense_step_ms": superdense.step_time * 1e3,
+            "modeled_2025c_flips_per_ns": pod.flips_per_ns,
+            "modeled_2025c_sites": float(pod.sites),
+        },
+        {"updater": "conv", "dtype": "bfloat16"},
+    )

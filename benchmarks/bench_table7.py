@@ -45,3 +45,22 @@ def test_efficiency_decays_beyond_1000_cores():
         model_pod_step((56 * 128, 28 * 128), 2048, updater="conv").flips_per_ns / 2048
     )
     assert per_core_2048 < 0.7 * per_core_8
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: strong-scaling efficiency (modeled)."""
+    per_core_8 = (
+        model_pod_step((896 * 128, 448 * 128), 8, updater="conv").flips_per_ns / 8
+    )
+    per_core_2048 = (
+        model_pod_step((56 * 128, 28 * 128), 2048, updater="conv").flips_per_ns
+        / 2048
+    )
+    return (
+        {
+            "modeled_per_core_flips_per_ns_8c": per_core_8,
+            "modeled_per_core_flips_per_ns_2048c": per_core_2048,
+            "modeled_strong_scaling_efficiency_2048c": per_core_2048 / per_core_8,
+        },
+        {"updater": "conv", "fixed_global_lattice": "(1792x128) x (1792x128)"},
+    )

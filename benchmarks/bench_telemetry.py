@@ -1,0 +1,121 @@
+"""Telemetry overhead: instrumentation must be free when disabled.
+
+The acceptance gate for the observability layer: a simulation built
+without a :class:`~repro.telemetry.report.RunTelemetry` must pay no
+measurable cost over the bare updater loop (the sweep path's only
+addition is one ``is None`` branch).  Measured on the numpy backend with
+a min-of-attempts protocol to shrug off CI timing noise, plus the
+enabled-telemetry cost for reference and a bit-identity smoke (the full
+per-updater matrix lives in ``tests/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.simulation import IsingSimulation
+from repro.telemetry import RunTelemetry
+
+from .conftest import BETA_C
+
+_SIDE = 256
+_SWEEPS = 8
+_ATTEMPTS = 5
+
+
+def _time_raw_loop() -> float:
+    """Bare updater.sweep loop — the floor the wrapper is judged against."""
+    sim = IsingSimulation(_SIDE, 1.0 / BETA_C, seed=5)
+    updater, state, stream = sim._updater, sim._state, sim.stream
+    start = perf_counter()
+    for _ in range(_SWEEPS):
+        state = updater.sweep(state, stream)
+    return perf_counter() - start
+
+
+def _time_sim(telemetry: RunTelemetry | None) -> float:
+    sim = IsingSimulation(_SIDE, 1.0 / BETA_C, seed=5, telemetry=telemetry)
+    start = perf_counter()
+    sim.run(_SWEEPS)
+    return perf_counter() - start
+
+
+def measure_overhead() -> dict[str, float]:
+    """Min-of-attempts timings: raw loop, disabled and enabled telemetry.
+
+    Attempts are interleaved (raw/disabled/enabled per round) so slow
+    machine phases — a noisy CI neighbour, a GC pause — hit all three
+    variants alike instead of biasing one of them.
+    """
+    _time_raw_loop()  # warm-up (first sweep pays numpy allocation costs)
+    raw = disabled = enabled = float("inf")
+    for _ in range(_ATTEMPTS):
+        raw = min(raw, _time_raw_loop())
+        disabled = min(disabled, _time_sim(None))
+        enabled = min(
+            enabled, _time_sim(RunTelemetry(physics_interval=0))
+        )
+    return {
+        "raw_seconds": raw,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "disabled_overhead_pct": 100.0 * (disabled / raw - 1.0),
+        "enabled_overhead_pct": 100.0 * (enabled / raw - 1.0),
+    }
+
+
+def test_disabled_telemetry_under_two_percent():
+    """Acceptance gate: un-instrumented runs pay < 2% over the bare loop.
+
+    The true overhead is one attribute load and one ``is None`` branch
+    per sweep (~0%), so an over-budget reading can only be timing noise
+    — re-measure a couple of times and judge the best reading.
+    """
+    best = None
+    for _ in range(3):
+        timings = measure_overhead()
+        if best is None or timings["disabled_overhead_pct"] < best["disabled_overhead_pct"]:
+            best = timings
+        if best["disabled_overhead_pct"] < 2.0:
+            break
+    assert best["disabled_overhead_pct"] < 2.0, (
+        f"disabled-telemetry overhead {best['disabled_overhead_pct']:.2f}% "
+        f"exceeds the 2% budget (raw {best['raw_seconds']:.4f}s vs "
+        f"disabled {best['disabled_seconds']:.4f}s)"
+    )
+
+
+def test_enabled_telemetry_smoke_is_bit_identical():
+    plain = IsingSimulation(64, 1.0 / BETA_C, seed=2)
+    instrumented = IsingSimulation(
+        64, 1.0 / BETA_C, seed=2, telemetry=RunTelemetry(physics_interval=2)
+    )
+    plain.run(6)
+    instrumented.run(6)
+    np.testing.assert_array_equal(plain.lattice, instrumented.lattice)
+    assert plain.stream.counter == instrumented.stream.counter
+
+
+def test_sweep_disabled_telemetry(benchmark):
+    benchmark.group = "telemetry-overhead"
+    sim = IsingSimulation(_SIDE, 1.0 / BETA_C, seed=5)
+    benchmark(lambda: sim.run(1))
+
+
+def test_sweep_enabled_telemetry(benchmark):
+    benchmark.group = "telemetry-overhead"
+    sim = IsingSimulation(
+        _SIDE, 1.0 / BETA_C, seed=5, telemetry=RunTelemetry(physics_interval=0)
+    )
+    benchmark(lambda: sim.run(1))
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: measured telemetry overhead."""
+    timings = measure_overhead()
+    return (
+        dict(timings),
+        {"side": _SIDE, "n_sweeps": _SWEEPS, "attempts": _ATTEMPTS},
+    )

@@ -1,0 +1,83 @@
+"""Emit ``BENCH_<name>.json`` artifacts from the benchmark suite.
+
+Every ``bench_*`` module exposes ``bench_payload() -> (metrics, meta)``
+— a quick, deterministic, machine-readable summary (modeled paper-scale
+numbers, plus small measured timings where the module's subject *is*
+host wall-clock).  This driver funnels them through the versioned
+:mod:`repro.telemetry.bench` schema so every benchmark run leaves
+comparable JSON behind and the repo's performance trajectory accumulates
+across commits (CI uploads the files as workflow artifacts).
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.emit                 # all modules
+    PYTHONPATH=src python -m benchmarks.emit ensemble table2 # a subset
+    PYTHONPATH=src python -m benchmarks.emit --out-dir bench-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pkgutil
+import sys
+
+from repro.telemetry.bench import write_bench_report
+
+__all__ = ["bench_module_names", "emit", "main"]
+
+
+def bench_module_names() -> list[str]:
+    """All ``bench_*`` module short names (``table2``, ``ensemble``, ...)."""
+    import benchmarks
+
+    names = []
+    for info in pkgutil.iter_modules(benchmarks.__path__):
+        if info.name.startswith("bench_"):
+            names.append(info.name[len("bench_"):])
+    return sorted(names)
+
+
+def emit(name: str, out_dir: str | None = None) -> str:
+    """Import one bench module, run its payload, write its JSON artifact."""
+    module = importlib.import_module(f"benchmarks.bench_{name}")
+    payload = getattr(module, "bench_payload", None)
+    if payload is None:
+        raise ValueError(f"benchmarks.bench_{name} defines no bench_payload()")
+    metrics, meta = payload()
+    return write_bench_report(name, metrics, meta, out_dir=out_dir)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.emit",
+        description="Write BENCH_<name>.json artifacts for bench modules.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="bench short names (e.g. 'ensemble', 'table2'); default: all",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=None,
+        help="output directory (default: $BENCH_OUT_DIR or '.')",
+    )
+    args = parser.parse_args(argv)
+    names = args.names or bench_module_names()
+    unknown = set(names) - set(bench_module_names())
+    if unknown:
+        print(
+            f"unknown bench names: {sorted(unknown)}; "
+            f"choose from {bench_module_names()}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        path = emit(name, out_dir=args.out_dir)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

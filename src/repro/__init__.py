@@ -39,6 +39,13 @@ from .observables import (
     spontaneous_magnetization,
 )
 from .rng import PhiloxStream
+from .telemetry import (
+    MetricsRegistry,
+    RunReport,
+    RunTelemetry,
+    chrome_trace,
+    write_chrome_trace,
+)
 from .tpu import BFLOAT16, FLOAT32, PodSlice, TPU_V3, TensorCore
 from .version import __version__
 
@@ -62,6 +69,11 @@ __all__ = [
     "magnetization",
     "spontaneous_magnetization",
     "PhiloxStream",
+    "MetricsRegistry",
+    "RunReport",
+    "RunTelemetry",
+    "chrome_trace",
+    "write_chrome_trace",
     "BFLOAT16",
     "FLOAT32",
     "PodSlice",

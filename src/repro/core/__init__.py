@@ -5,8 +5,15 @@
   production updater).
 * :class:`ConvUpdater` — the appendix-7.2 convolution variant.
 * :class:`IsingSimulation` — single-core chain driver.
+* :class:`EnsembleSimulation` — many independent chains advanced as one
+  batched rank-5 state (in :mod:`repro.core.ensemble`).
 * :class:`DistributedIsing` — the multi-core pod simulation (in
   :mod:`repro.core.distributed`).
+
+All three drivers accept an optional
+:class:`~repro.telemetry.report.RunTelemetry` recorder and expose
+``report()``; telemetry observes without perturbing — instrumented
+chains stay bit-identical to bare ones.
 """
 
 from .checkerboard import CheckerboardUpdater

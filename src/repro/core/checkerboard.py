@@ -6,8 +6,10 @@ the active colour — the three redundancies the paper's compact Algorithm 2
 eliminates.  It is retained both as the reference TPU mapping and as the
 ablation partner for the "about 3x faster" claim.
 
-State is the rank-4 grid form ``[m, n, r, c]``; helpers accept plain
-lattices for convenience.
+State is the rank-4 grid form ``[m, n, r, c]``, or the batched rank-5
+form ``[batch, m, n, r, c]`` when driving an ensemble of chains (see
+:mod:`repro.core.ensemble`); helpers accept plain lattices for
+convenience.
 """
 
 from __future__ import annotations

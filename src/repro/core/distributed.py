@@ -16,10 +16,17 @@ A 1 x 1 "distributed" run degenerates to the single-core torus (the self
 halos equal the local wrap), and for identical per-site uniforms the
 multi-core chain is bit-identical to the single-core one — both are
 enforced by the integration tests.
+
+With a :class:`~repro.telemetry.report.RunTelemetry` attached the run
+additionally produces a per-core compute-vs-communication split
+(:meth:`DistributedIsing.core_splits`) and a versioned
+:class:`~repro.telemetry.report.RunReport`; recorded trace events export
+to Chrome trace JSON via :func:`repro.telemetry.trace.chrome_trace`.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Generator
 
 import numpy as np
@@ -32,6 +39,7 @@ from ..mesh.topology import Torus2D
 from ..observables.energy import energy_per_spin
 from ..observables.magnetization import magnetization
 from ..rng.streams import PhiloxStream
+from ..telemetry.report import RunReport, RunTelemetry
 from ..tpu.device import PodSlice
 from ..tpu.dtypes import DType, FLOAT32, resolve_dtype
 from .compact import CompactUpdater
@@ -98,6 +106,16 @@ class DistributedIsing:
         "hot", "cold", or an explicit global +/-1 array.
     link_model:
         Interconnect timing model override.
+    record_trace:
+        Keep per-op trace events in every core's profiler; export them
+        with :func:`repro.telemetry.write_chrome_trace` (Fig. 6 view).
+    telemetry:
+        Optional :class:`~repro.telemetry.report.RunTelemetry` recorder.
+        Absent by default (zero-cost, bit-identical chains); when
+        attached, the SPMD runtime also books collective counters into
+        its registry and :meth:`report` emits a distributed
+        :class:`~repro.telemetry.report.RunReport` with the per-core
+        compute-vs-communication split.
     """
 
     def __init__(
@@ -114,6 +132,7 @@ class DistributedIsing:
         record_trace: bool = False,
         updater: str = "compact",
         field: float = 0.0,
+        telemetry: RunTelemetry | None = None,
     ) -> None:
         if updater not in ("compact", "conv"):
             raise ValueError(
@@ -152,8 +171,14 @@ class DistributedIsing:
             raise ValueError(
                 f"pod core grid {self.pod.core_grid} != requested {self.core_grid}"
             )
+        self.telemetry = telemetry
         self.torus = Torus2D(p_rows, p_cols)
-        self.runtime = SPMDRuntime(self.torus, link_model, cores=self.pod.cores)
+        self.runtime = SPMDRuntime(
+            self.torus,
+            link_model,
+            cores=self.pod.cores,
+            metrics=telemetry.registry if telemetry is not None else None,
+        )
 
         self._backends: list[Backend] = [
             TPUBackend(core, self.dtype) for core in self.pod.cores
@@ -249,12 +274,30 @@ class DistributedIsing:
             raise ValueError(f"n_sweeps must be >= 0, got {n_sweeps}")
         if (probs_black is not None or probs_white is not None) and n_sweeps != 1:
             raise ValueError("explicit probs require n_sweeps == 1")
+        telemetry = self.telemetry
         for _ in range(n_sweeps):
+            if telemetry is None:
+                self._states = self.runtime.run(
+                    lambda cid: self._sweep_program(cid, probs_black, probs_white)
+                )
+                self.pod.mark_step()
+                self.sweeps_done += 1
+                continue
+            start = perf_counter()
             self._states = self.runtime.run(
                 lambda cid: self._sweep_program(cid, probs_black, probs_white)
             )
-            self.pod.mark_step()
+            telemetry.record_sweep(perf_counter() - start)
+            step_seconds = self.pod.mark_step()
+            telemetry.registry.histogram("modeled_step_seconds").observe(
+                step_seconds
+            )
             self.sweeps_done += 1
+            if telemetry.wants_physics(self.sweeps_done):
+                plain = self.gather_lattice()
+                telemetry.record_physics(
+                    plain, magnetization(plain), energy_per_spin(plain)
+                )
 
     def _phase_probs(
         self, core_id: int, color: str, global_probs: np.ndarray | None
@@ -322,3 +365,69 @@ class DistributedIsing:
     def breakdown(self) -> dict[str, float]:
         """Pod-wide per-category time fractions (Table 3 row)."""
         return self.pod.aggregate_profiler().breakdown()
+
+    def core_splits(self) -> list[dict]:
+        """Per-core modeled time accounting (report ``cores`` rows).
+
+        One row per TensorCore: booked seconds per profiler category plus
+        the compute-vs-communication split.  The communication fraction
+        is the same quantity the Table 3/4 machinery reports — charged
+        ``collective_permute`` seconds over total booked seconds.
+        """
+        rows = []
+        for core in self.pod.cores:
+            profiler = core.profiler
+            total = profiler.total_seconds
+            comm = profiler.seconds["communication"]
+            compute = total - comm
+            rows.append(
+                {
+                    "core_id": core.core_id,
+                    "coords": list(core.coords),
+                    "seconds": dict(profiler.seconds),
+                    "compute_seconds": compute,
+                    "communication_seconds": comm,
+                    "communication_fraction": comm / total if total else 0.0,
+                    "op_counts": dict(profiler.op_counts),
+                }
+            )
+        return rows
+
+    def report(self) -> RunReport:
+        """Build the distributed run's RunReport (requires telemetry).
+
+        Includes the per-core compute-vs-communication split from the
+        SPMD runtime's profilers and the pod-wide category breakdown, so
+        the JSON artifact carries the same attribution the Table 3/4
+        reproductions print.
+        """
+        if self.telemetry is None:
+            raise RuntimeError(
+                "no telemetry attached; construct with "
+                "DistributedIsing(..., telemetry=RunTelemetry())"
+            )
+        registry = self.telemetry.registry
+        registry.gauge("sweeps_done").set(self.sweeps_done)
+        registry.gauge("n_cores").set(self.num_cores)
+        registry.gauge("collectives_executed").set(
+            self.runtime.collectives_executed
+        )
+        return self.telemetry.build_report(
+            kind="distributed",
+            run={
+                "shape": self.global_shape,
+                "local_shape": self.local_shape,
+                "core_grid": self.core_grid,
+                "n_cores": self.num_cores,
+                "temperature": self.temperature,
+                "field": self.field,
+                "updater": self.updater_name,
+                "backend": "tpu",
+                "dtype": self.dtype.name,
+                "seed": self.seed,
+                "sweeps_done": self.sweeps_done,
+            },
+            rng={"streams": [stream.state() for stream in self._streams]},
+            cores=self.core_splits(),
+            breakdown=self.breakdown() if self.sweeps_done else {},
+        )

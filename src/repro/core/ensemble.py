@@ -21,6 +21,7 @@ HBM-bound lattices pick the batch so ``B * lattice_bytes`` still fits.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -30,6 +31,7 @@ from ..backend.numpy_backend import NumpyBackend
 from ..observables.energy import energy_per_spin
 from ..observables.magnetization import magnetization
 from ..rng.streams import BatchedPhiloxStream, PhiloxStream
+from ..telemetry.report import RunReport, RunTelemetry
 from .checkerboard import CheckerboardUpdater
 from .compact import CompactUpdater
 from .conv import ConvUpdater, MaskedConvUpdater
@@ -75,6 +77,12 @@ class EnsembleSimulation:
         Grid block decomposition, as in :class:`IsingSimulation`.
     field:
         External magnetic field h, shared by every chain.
+    telemetry:
+        Optional :class:`~repro.telemetry.report.RunTelemetry` recorder
+        (same contract as :class:`IsingSimulation`: absent by default,
+        zero-cost when disabled, RNG-neutral when enabled).  Physics
+        samples record the chain-averaged magnetization / energy and the
+        cross-chain mean flip activity.
     """
 
     def __init__(
@@ -88,6 +96,7 @@ class EnsembleSimulation:
         initial: str | Sequence[str] | np.ndarray = "hot",
         block_shape: tuple[int, int] | None = None,
         field: float = 0.0,
+        telemetry: RunTelemetry | None = None,
     ) -> None:
         if isinstance(shape, (int, np.integer)):
             shape = (int(shape), int(shape))
@@ -115,6 +124,7 @@ class EnsembleSimulation:
         self.updater_name = updater
         self.seed = int(seed)
         self.sweeps_done = 0
+        self.telemetry = telemetry
 
         if stream_ids is None:
             stream_ids = range(self.n_chains)
@@ -224,8 +234,24 @@ class EnsembleSimulation:
 
     def sweep(self) -> None:
         """Advance every chain by one full lattice sweep (both colours)."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            self._state = self._updater.sweep(self._state, self.stream)
+            self.sweeps_done += 1
+            return
+        start = perf_counter()
         self._state = self._updater.sweep(self._state, self.stream)
+        telemetry.record_sweep(perf_counter() - start)
         self.sweeps_done += 1
+        if telemetry.wants_physics(self.sweeps_done):
+            plains = self.lattices
+            mean_m = float(
+                np.mean([magnetization(p) for p in plains])
+            )
+            mean_e = float(
+                np.mean([energy_per_spin(p) for p in plains])
+            )
+            telemetry.record_physics(plains, mean_m, mean_e)
 
     def run(self, n_sweeps: int) -> None:
         """Advance every chain by ``n_sweeps`` sweeps."""
@@ -278,6 +304,45 @@ class EnsembleSimulation:
             summarize_chain(self.temperatures[b], m_series[b], e_series[b])
             for b in range(self.n_chains)
         ]
+
+    # -- telemetry -----------------------------------------------------------
+
+    def report(self) -> RunReport:
+        """Build the ensemble's :class:`~repro.telemetry.report.RunReport`.
+
+        Requires an attached telemetry recorder.  ``rng.streams`` carries
+        every chain's final Philox counter position, in chain order.
+        """
+        if self.telemetry is None:
+            raise RuntimeError(
+                "no telemetry attached; construct with "
+                "EnsembleSimulation(..., telemetry=RunTelemetry())"
+            )
+        registry = self.telemetry.registry
+        registry.gauge("sweeps_done").set(self.sweeps_done)
+        registry.gauge("n_chains").set(self.n_chains)
+        streams = [
+            {"seed": seed, "stream_id": sid, "counter": counter}
+            for seed, sid, counter in zip(
+                self.stream.seeds, self.stream.stream_ids, self.stream.counters
+            )
+        ]
+        return self.telemetry.build_report(
+            kind="ensemble",
+            run={
+                "shape": self.shape,
+                "temperatures": self.temperatures.tolist(),
+                "field": self.field,
+                "updater": self.updater_name,
+                "backend": _backend_kind(self.backend),
+                "dtype": self.backend.dtype.name,
+                "block_shape": self.block_shape,
+                "seed": self.seed,
+                "n_chains": self.n_chains,
+                "sweeps_done": self.sweeps_done,
+            },
+            rng={"streams": streams},
+        )
 
     # -- checkpointing -------------------------------------------------------
 

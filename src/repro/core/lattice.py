@@ -6,7 +6,9 @@ The paper stores the spin lattice in three layouts:
 * **grid** — a rank-4 tensor ``[m, n, r, c]``: an ``m x n`` grid of
   ``r x c`` sub-lattices (``r = c = 128`` on TPU, to match MXU registers
   and HBM tiling); ``grid[i, j]`` is the sub-lattice at grid position
-  ``(i, j)``;
+  ``(i, j)``.  The batched ensemble adds a leading chain axis — the
+  rank-5 form ``[batch, m, n, r, c]`` — and the kernels and updaters
+  broadcast over it;
 * **compact** — Figure 3-(2): the four interleaved sub-lattices
   ``sigma00 = sigma[0::2, 0::2]`` etc., each kept in grid form.  ``sigma00``
   and ``sigma11`` hold all *black* spins, ``sigma01`` and ``sigma10`` all

@@ -3,7 +3,11 @@
 Every experiment exposes ``run(...) -> ExperimentResult`` and embeds the
 paper's reference values so the output is a side-by-side model-vs-paper
 comparison.  The ``ising-tpu`` CLI (see :mod:`repro.harness.runner`)
-regenerates any of them.
+regenerates any of them, and its ``--telemetry-out`` / ``--trace-out``
+flags archive machine-readable run artifacts (see
+:mod:`repro.telemetry` and ``docs/observability.md``); the ``smoke``
+experiment (:mod:`repro.harness.smoke`) is the fully-instrumented
+distributed run that exercises the whole observability path.
 """
 
 from .perf import BLOCK, StepModel, model_pod_step, model_single_core_step

@@ -131,7 +131,14 @@ def ascii_plot(
 
 @dataclass
 class ExperimentResult:
-    """A rendered experiment: table rows plus optional plots and notes."""
+    """A rendered experiment: table rows plus optional plots and notes.
+
+    ``artifacts`` carries machine-readable side products keyed by kind —
+    ``"run_report"`` (a :class:`~repro.telemetry.report.RunReport` JSON
+    dict) and ``"trace"`` (a Chrome trace-event dict) — which the
+    ``ising-tpu`` runner writes out when ``--telemetry-out`` /
+    ``--trace-out`` are passed.  Rendering ignores them.
+    """
 
     name: str
     description: str
@@ -139,6 +146,7 @@ class ExperimentResult:
     rows: list[list] = field(default_factory=list)
     plots: list[str] = field(default_factory=list)
     notes: str = ""
+    artifacts: dict = field(default_factory=dict)
 
     def render(self) -> str:
         parts = [format_table(self.headers, self.rows, title=f"{self.name}: {self.description}")]

@@ -11,7 +11,9 @@ this raises :class:`LockstepError`), performs the data movement, and
 charges the modeled communication time to each core's profiler.
 
 Compute between collectives runs inside the generators, so any
-TPUBackend charges land on the right core automatically.
+TPUBackend charges land on the right core automatically.  An optional
+:class:`~repro.telemetry.metrics.MetricsRegistry` additionally books
+collective counts, bytes and modeled seconds for run reports.
 """
 
 from __future__ import annotations
@@ -55,6 +57,12 @@ class SPMDRuntime:
         Optional simulated TensorCores (one per torus position) whose
         profilers receive communication time; pure-physics runs can omit
         them.
+    metrics:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry`.  When
+        attached, every collective books ``collectives_total``,
+        ``collective_bytes_total`` (payload bytes per participating core)
+        and the modeled ``collective_seconds`` histogram.  ``None`` (the
+        default) keeps the lockstep loop free of metric calls.
     """
 
     def __init__(
@@ -62,6 +70,7 @@ class SPMDRuntime:
         torus: Torus2D,
         link_model: LinkModel | None = None,
         cores: list[TensorCore] | None = None,
+        metrics=None,
     ) -> None:
         self.torus = torus
         self.link_model = link_model if link_model is not None else LinkModel()
@@ -70,6 +79,7 @@ class SPMDRuntime:
                 f"{len(cores)} cores given for a {torus.num_cores}-core torus"
             )
         self.cores = cores
+        self.metrics = metrics
         self.collectives_executed = 0
 
     def run(
@@ -124,10 +134,15 @@ class SPMDRuntime:
         return results
 
     def _charge_communication(self, request: PermuteRequest) -> None:
+        bytes_per_edge = float(request.tensor.nbytes)
+        if self.metrics is not None:
+            self.metrics.counter("collectives_total").inc()
+            self.metrics.counter("collective_bytes_total").inc(bytes_per_edge)
         if self.cores is None:
             return
-        bytes_per_edge = float(request.tensor.nbytes)
         seconds = self.link_model.permute_time(self.torus.num_cores, bytes_per_edge)
+        if self.metrics is not None:
+            self.metrics.histogram("collective_seconds").observe(seconds)
         for core in self.cores:
             core.charge_communication(
                 seconds, bytes_moved=bytes_per_edge, name=request.name

@@ -1,0 +1,65 @@
+"""Unified telemetry: metrics, run reports, trace export, bench artifacts.
+
+The observability layer of the reproduction.  Everything here is opt-in:
+simulation drivers accept a :class:`RunTelemetry` and pay nothing when it
+is absent (the disabled hot path is a single ``is None`` branch — the
+bit-identity and <2% overhead guarantees are enforced by
+``tests/test_telemetry.py`` and ``benchmarks/bench_telemetry.py``).
+
+Four pieces:
+
+* :mod:`~repro.telemetry.metrics` — counters / gauges / histograms in a
+  serialisable :class:`MetricsRegistry` (plus a no-op registry).
+* :mod:`~repro.telemetry.report` — the :class:`RunTelemetry` recorder and
+  the versioned :class:`RunReport` JSON schema every run can emit.
+* :mod:`~repro.telemetry.trace` — Chrome trace-event export of the
+  simulated profiler's timeline (one track per TensorCore; opens in
+  ``chrome://tracing`` / Perfetto — the paper's Fig. 6 view).
+* :mod:`~repro.telemetry.bench` — the ``BENCH_<name>.json`` schema the
+  benchmark suite emits so performance accumulates across commits.
+
+See ``docs/observability.md`` for the schema reference and examples.
+"""
+
+from .bench import (
+    BENCH_REPORT_SCHEMA,
+    bench_filename,
+    bench_report,
+    validate_bench_report,
+    write_bench_report,
+)
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .report import (
+    RUN_REPORT_SCHEMA,
+    RunReport,
+    RunTelemetry,
+    validate_run_report,
+)
+from .trace import chrome_trace, write_chrome_trace
+
+__all__ = [
+    "BENCH_REPORT_SCHEMA",
+    "bench_filename",
+    "bench_report",
+    "validate_bench_report",
+    "write_bench_report",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
+    "RunTelemetry",
+    "validate_run_report",
+    "chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,208 @@
+"""A small in-process metrics registry: counters, gauges, histograms.
+
+The registry is the low-level signal vocabulary of the telemetry layer —
+every instrumented subsystem (simulation drivers, SPMD runtime, harness)
+books named scalar signals here, and :class:`~repro.telemetry.report.RunReport`
+serialises the whole registry into the run's JSON artifact.
+
+Design constraints, in order:
+
+1. **Zero overhead when telemetry is off.**  Instrumented code holds a
+   telemetry handle that is ``None`` when disabled, so the disabled hot
+   path costs one attribute load and one ``is None`` branch — no metric
+   objects exist at all.  :data:`NULL_REGISTRY` additionally provides a
+   no-op registry for call sites that prefer unconditional calls.
+2. **No per-observation allocation.**  Histograms keep streaming moments
+   (count / sum / min / max / sum of squares), not sample reservoirs, so
+   observing a value never allocates or grows memory.
+3. **Serializable.**  :meth:`MetricsRegistry.as_dict` is plain JSON data.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, collectives)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (counter position, B)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of an observed distribution (no sample storage).
+
+    Keeps count, sum, min, max and the sum of squares, which is enough
+    for mean and (population) standard deviation — the signals the bench
+    trajectory and the run reports consume.  Observing is O(1) and
+    allocation-free.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sumsq")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._sumsq = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self._sumsq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.count == 0:
+            return 0.0
+        var = self._sumsq / self.count - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, one instance per run.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create by name, so
+    instrumented code does not coordinate registration order.  Asking for
+    an existing name with a different type raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot: ``{name: {type, ...fields}}``, sorted."""
+        return {name: m.as_dict() for name, m in sorted(self._metrics.items())}
+
+
+class _NullMetric:
+    """Accepts every metric call and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """A no-op :class:`MetricsRegistry` for unconditionally-instrumented code.
+
+    Every accessor returns a shared do-nothing metric; nothing is stored.
+    """
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+#: Shared no-op registry (stateless, safe to share globally).
+NULL_REGISTRY = NullRegistry()

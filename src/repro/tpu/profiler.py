@@ -8,9 +8,14 @@ backend op into a :class:`Profiler` with the same categories, so the same
 breakdown tables can be regenerated.
 
 The profiler also keeps optional trace events (category, name, start,
-duration) — a light-weight version of the trace viewer in the paper's
-Fig. 6 — and supports step marking so per-step times can be separated
-from warm-up.
+duration) and supports step marking so per-step times can be separated
+from warm-up.  Trace events have a real outlet: pass any profiler (or a
+pod/``DistributedIsing`` holding one per core) to
+:func:`repro.telemetry.trace.chrome_trace` /
+:func:`~repro.telemetry.trace.write_chrome_trace` to export a Chrome
+trace-event JSON with one track per core, viewable at
+https://ui.perfetto.dev or ``chrome://tracing`` — the reproduction of
+the trace viewer in the paper's Fig. 6.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations

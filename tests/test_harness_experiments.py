@@ -3,11 +3,14 @@ the paper's numbers within the documented tolerances."""
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.harness import runner, table1, table2, table3, table4, table5, table6, table7
 from repro.harness import figure8, figure9
+from repro.telemetry import validate_run_report
 
 
 def _column(result, model_header, paper_header):
@@ -136,7 +139,7 @@ class TestRunner:
     def test_registry_covers_all_experiments(self):
         expected = {
             "table1", "table2", "table3", "table4", "table5", "table6",
-            "table7", "figure4", "figure7", "figure8", "figure9",
+            "table7", "figure4", "figure7", "figure8", "figure9", "smoke",
         }
         assert set(runner.EXPERIMENTS) == expected
 
@@ -155,3 +158,43 @@ class TestRunner:
 
     def test_main_unknown(self, capsys):
         assert runner.main(["tableX"]) == 2
+
+    def test_telemetry_out_writes_harness_report(self, tmp_path, capsys):
+        """Modeled experiments still archive a harness-level report."""
+        out = tmp_path / "run.json"
+        assert runner.main(["table5", "--telemetry-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        validate_run_report(payload)
+        assert payload["kind"] == "harness"
+        assert payload["run"]["experiment"] == "table5"
+        assert payload["metrics"]["harness_wall_seconds"]["value"] > 0
+
+    def test_smoke_writes_run_report_and_trace(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        trace_path = tmp_path / "trace.json"
+        rc = runner.main(
+            [
+                "smoke",
+                "--telemetry-out", str(run_path),
+                "--trace-out", str(trace_path),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(run_path.read_text())
+        validate_run_report(payload)
+        assert payload["kind"] == "distributed"
+        trace = json.loads(trace_path.read_text())
+        assert {e["tid"] for e in trace["traceEvents"]} == {0, 1, 2, 3}
+
+    def test_trace_out_rejected_for_modeled_experiment(self, tmp_path, capsys):
+        rc = runner.main(
+            ["table5", "--trace-out", str(tmp_path / "trace.json")]
+        )
+        assert rc == 2
+        assert "no trace" in capsys.readouterr().err
+
+    def test_artifact_flags_rejected_for_all(self, tmp_path, capsys):
+        rc = runner.main(
+            ["all", "--telemetry-out", str(tmp_path / "run.json")]
+        )
+        assert rc == 2

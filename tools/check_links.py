@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Check that local markdown links and link-style file references resolve.
+
+Scans every tracked ``*.md`` file for inline markdown links
+(``[text](target)``) and verifies that relative targets exist on disk
+(anchors and external ``http(s):``/``mailto:`` targets are skipped;
+anchor-only fragments within a file are not resolved).  Zero-dependency
+by design — it runs in CI's docs job and anywhere ``python`` runs.
+
+Usage::
+
+    python tools/check_links.py            # check the whole repo
+    python tools/check_links.py docs       # check one subtree
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are rare in this repo.
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+_SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".venv", "node_modules"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not _SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        if plain.startswith("/"):
+            resolved = root / plain.lstrip("/")
+        else:
+            resolved = path.parent / plain
+        if not resolved.exists():
+            line = text[: match.start()].count("\n") + 1
+            errors.append(f"{path.relative_to(root)}:{line}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = Path(__file__).resolve().parent.parent
+    scan = root / args[0] if args else root
+    if not scan.exists():
+        print(f"no such path: {scan}", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    n_files = 0
+    for md in iter_markdown(scan):
+        n_files += 1
+        errors.extend(check_file(md, root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {n_files} markdown files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
