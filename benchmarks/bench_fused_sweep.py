@@ -1,0 +1,124 @@
+"""Fused sweep engine vs the elementwise path — the 1.5x gate.
+
+The fused engine (``repro.core.accept`` + ``repro.core.fused``) replaces
+the per-site ``exp`` with a precomputed-table gather and lands every
+intermediate in a reusable :class:`~repro.core.fused.SweepWorkspace`, so
+steady-state sweeps perform zero heap allocation.  This module measures
+what that buys in host wall-clock on a 512^2 lattice, per updater, and
+**asserts** the headline speedup.
+
+The gate is pinned to the *checkerboard* updater: Algorithm 1 runs the
+full elementwise flip rule over every site each phase, so it is exactly
+the loop the acceptance table and workspace target, and its measured
+margin (>= 2x on a single-core runner) keeps the 1.5x assertion robust
+to CI timing noise.  The compact and conv updaters draw uniforms for
+only half the sites per phase, which pushes them toward the Philox
+throughput floor; their speedups are recorded in the payload but not
+gated.
+
+Run as a script for the CI check::
+
+    PYTHONPATH=src python benchmarks/bench_fused_sweep.py            # 512, gated
+    PYTHONPATH=src python benchmarks/bench_fused_sweep.py 128        # quick look
+
+or emit the machine-readable snapshot::
+
+    PYTHONPATH=src python -m benchmarks.emit fused_sweep --out-dir bench-artifacts
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.simulation import IsingSimulation
+
+#: Updaters measured; the first is the gated headline.
+UPDATERS = ("checkerboard", "compact", "conv", "masked_conv")
+
+#: The CI assertion: fused checkerboard sweeps at least this much faster.
+GATE_UPDATER = "checkerboard"
+GATE_SPEEDUP = 1.5
+
+#: Near-critical temperature — the regime the paper simulates.
+TEMPERATURE = 2.2
+
+
+def _sweep_seconds(
+    updater: str, fused: bool, side: int, n_sweeps: int, reps: int
+) -> float:
+    """Min-of-reps seconds per sweep for one (updater, fused) variant."""
+    sim = IsingSimulation(
+        (side, side), TEMPERATURE, updater=updater, seed=1, fused=fused
+    )
+    sim.run(2)  # warm caches, tables and the workspace
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        sim.run(n_sweeps)
+        best = min(best, (time.perf_counter() - t0) / n_sweeps)
+    return best
+
+
+def measure(side: int = 512, n_sweeps: int = 4, reps: int = 3) -> dict:
+    """``{updater: {"elementwise_s", "fused_s", "speedup"}}`` on side^2."""
+    results = {}
+    for updater in UPDATERS:
+        elementwise = _sweep_seconds(updater, False, side, n_sweeps, reps)
+        fused = _sweep_seconds(updater, True, side, n_sweeps, reps)
+        results[updater] = {
+            "elementwise_s": elementwise,
+            "fused_s": fused,
+            "speedup": elementwise / fused,
+        }
+    return results
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: per-updater fused-vs-elementwise timings."""
+    results = measure()
+    metrics = {}
+    for updater, row in results.items():
+        metrics[f"measured_{updater}_elementwise_seconds"] = row["elementwise_s"]
+        metrics[f"measured_{updater}_fused_seconds"] = row["fused_s"]
+        metrics[f"measured_{updater}_speedup_x"] = row["speedup"]
+    metrics["measured_gate_speedup_x"] = results[GATE_UPDATER]["speedup"]
+    meta = {
+        "side": 512,
+        "temperature": TEMPERATURE,
+        "backend": "numpy",
+        "dtype": "float32",
+        "gate_updater": GATE_UPDATER,
+        "gate_threshold_x": GATE_SPEEDUP,
+    }
+    return metrics, meta
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    import sys
+
+    raw = argv if argv is not None else sys.argv[1:]
+    try:
+        side = int(raw[0]) if raw else 512
+    except ValueError:
+        sys.exit(f"usage: bench_fused_sweep.py [side] — side must be an integer, got {raw}")
+    gated = not raw  # the default 512 run is the CI gate
+    print(f"fused vs elementwise sweep, {side}^2 lattice (numpy float32)")
+    print(f"{'updater':>12} {'elementwise [ms]':>17} {'fused [ms]':>11} {'speedup':>9}")
+    results = measure(side=side)
+    for updater, row in results.items():
+        print(
+            f"{updater:>12} {row['elementwise_s'] * 1e3:>17.2f} "
+            f"{row['fused_s'] * 1e3:>11.2f} {row['speedup']:>8.2f}x"
+        )
+    if gated:
+        speedup = results[GATE_UPDATER]["speedup"]
+        if speedup < GATE_SPEEDUP:
+            sys.exit(
+                f"FAIL: fused {GATE_UPDATER} speedup {speedup:.2f}x is below "
+                f"the {GATE_SPEEDUP}x gate on the {side}^2 lattice"
+            )
+        print(f"gate OK: fused {GATE_UPDATER} {speedup:.2f}x >= {GATE_SPEEDUP}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,10 @@ class Backend:
 
     def __init__(self, dtype: DType | str = FLOAT32) -> None:
         self.dtype = resolve_dtype(dtype)
+        # Lazily built per-shape scratch for in-place quantization (bf16
+        # RNE needs a uint32 bias buffer and a bool NaN mask).  Perf cache
+        # only — never serialized.
+        self._qscratch: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
 
     # -- charging hook ---------------------------------------------------
 
@@ -211,6 +215,307 @@ class Backend:
             "vpu", flops=20.0 * out.size, bytes_moved=self._nbytes(out)
         )
         return self.dtype.quantize(out)
+
+    # -- in-place (fused) vocabulary ---------------------------------------
+    #
+    # Every ``*_into`` op is bit-identical to its allocating twin — same
+    # numpy computation, same result quantization, same _charge call —
+    # but writes into caller-provided buffers so steady-state sweeps make
+    # zero heap allocations.  On accounting backends the modeled cost is
+    # unchanged: the fused engine is a host-side optimisation, not a
+    # change to the simulated device.
+
+    def _quantize_into(self, out: np.ndarray) -> np.ndarray:
+        """Apply the dtype's store rounding to ``out`` in place."""
+        rounder = self.dtype.quantize_into
+        if rounder is None:
+            return out
+        scratch = self._qscratch.get(out.shape)
+        if scratch is None:
+            scratch = (
+                np.empty(out.shape, dtype=np.uint32),
+                np.empty(out.shape, dtype=bool),
+            )
+            self._qscratch[out.shape] = scratch
+        return rounder(out, scratch[0], scratch[1])
+
+    def _elementwise_into(
+        self, out: np.ndarray, *operands: np.ndarray, flops_per_elem: float = 1.0
+    ) -> np.ndarray:
+        self._charge(
+            "vpu",
+            flops=flops_per_elem * out.size,
+            bytes_moved=self._nbytes(*operands, out),
+        )
+        return self._quantize_into(out)
+
+    def add_into(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        np.add(a, b, out=out)
+        return self._elementwise_into(out, a, b)
+
+    def subtract_into(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        np.subtract(a, b, out=out)
+        return self._elementwise_into(out, a, b)
+
+    def multiply_into(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        np.multiply(a, b, out=out)
+        return self._elementwise_into(out, a, b)
+
+    def exp_into(self, a: np.ndarray, out: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            np.exp(a, out=out)
+        return self._elementwise_into(out, a, flops_per_elem=8.0)
+
+    def less_into(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Elementwise a < b into a float32 buffer as 0.0/1.0."""
+        np.less(a, b, out=out, casting="unsafe")
+        # 0.0/1.0 are exact in every dtype, so the store rounding the
+        # allocating twin applies is the identity here — skip the pass.
+        self._charge(
+            "vpu", flops=float(out.size), bytes_moved=self._nbytes(a, b, out)
+        )
+        return out
+
+    def take_into(self, table: np.ndarray, indices: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Gather ``table[indices]`` into ``out`` (acceptance-table lookup).
+
+        Indices wrap modulo the table length (``mode="wrap"``), which the
+        acceptance gather exploits: the scalar-beta table is laid out so
+        the negative ``5*sigma + nn`` indices land on their slots without
+        a bias add (see :class:`~repro.core.accept.AcceptanceTable`), and
+        wrap is also measurably faster than numpy's bounds-checked mode.
+        The table entries are already quantized device values, so no store
+        rounding is needed.  Charged as a memory-bound gather: one lookup
+        per element, index + result traffic.
+        """
+        np.take(table, indices, out=out, mode="wrap")
+        self._charge(
+            "formatting",
+            flops=float(out.size),
+            bytes_moved=self._nbytes(out) + 4.0 * indices.size,
+        )
+        return out
+
+    def matmul_into(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """In-place twin of :meth:`matmul` (float32 accumulation)."""
+        np.matmul(a, b, out=out)
+        k = a.shape[-1]
+        batch = out.size / (out.shape[-1] * out.shape[-2]) if out.ndim >= 2 else 1.0
+        self._charge(
+            "mxu",
+            flops=2.0 * out.size * k,
+            bytes_moved=self._nbytes(a, b, out),
+            batch=batch,
+        )
+        return self._quantize_into(out)
+
+    def uniform_into(self, stream: PhiloxStream, out: np.ndarray) -> np.ndarray:
+        """In-place twin of :meth:`random_uniform` (same counter advance)."""
+        stream.uniform_into(out)
+        self._charge("vpu", flops=20.0 * out.size, bytes_moved=self._nbytes(out))
+        return self._quantize_into(out)
+
+    def band_cross_matmul_into(self, grid: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``matmul(grid, K_c) + matmul(K_r, grid)`` via in-block shifted adds.
+
+        The Algorithm 1 kernels are shift-by-one band matrices, so the two
+        MXU products are exactly the within-block left+right and up+down
+        neighbour sums — sums of at most two ±1 values, exact in every
+        supported dtype, hence bit-identical to the matmul formulation no
+        matter how they are computed.  The host executes the cheap slice
+        adds; the cost model is charged for the op sequence the device
+        would run (two band matmuls plus the add), keeping modeled
+        numbers independent of the fused engine.
+        """
+        if out is grid:
+            raise ValueError("out must not alias the input")
+        r, c = grid.shape[-2:]
+        # Left neighbours (block column j-1), zero at the block edge.
+        out[..., :, 1:] = grid[..., :, :-1]
+        out[..., :, :1] = 0.0
+        # Right, up, down neighbours accumulate in place.
+        np.add(out[..., :, :-1], grid[..., :, 1:], out=out[..., :, :-1])
+        np.add(out[..., 1:, :], grid[..., :-1, :], out=out[..., 1:, :])
+        np.add(out[..., :-1, :], grid[..., 1:, :], out=out[..., :-1, :])
+        batch = out.size / (r * c)
+        self._charge(
+            "mxu",
+            flops=2.0 * out.size * c,
+            bytes_moved=self._nbytes(grid, out) + c * c * self.dtype.itemsize,
+            batch=batch,
+        )
+        self._charge(
+            "mxu",
+            flops=2.0 * out.size * r,
+            bytes_moved=self._nbytes(grid, out) + r * r * self.dtype.itemsize,
+            batch=batch,
+        )
+        self._charge("vpu", flops=float(out.size), bytes_moved=3.0 * self._nbytes(out))
+        return self._quantize_into(out)
+
+    def band_pair_matmul_into(
+        self, a: np.ndarray, axis: int, offset: int, out: np.ndarray
+    ) -> np.ndarray:
+        """One ``K_hat`` band matmul via a shifted pair sum.
+
+        ``(a @ K_hat)``, ``(K_hat^T @ a)`` and their transposes gather
+        ``a[i] + a[i +/- 1]`` along one block axis with no wrap — sums of
+        two ±1 values, exact in every dtype, so the slice formulation is
+        bit-identical to the MXU product.  Charged as the band matmul the
+        device would run (see :meth:`band_cross_matmul_into`).
+        """
+        if axis not in (-1, -2):
+            raise ValueError(f"axis must be -1 or -2 (block axes), got {axis}")
+        if offset not in (-1, 1):
+            raise ValueError(f"offset must be +1 or -1, got {offset}")
+        if out is a:
+            raise ValueError("out must not alias the input")
+        np.copyto(out, a)
+        src = slice(None, -1) if offset == -1 else slice(1, None)
+        dst = slice(1, None) if offset == -1 else slice(None, -1)
+        if axis == -1:
+            np.add(out[..., dst], a[..., src], out=out[..., dst])
+        else:
+            np.add(out[..., dst, :], a[..., src, :], out=out[..., dst, :])
+        k = out.shape[axis]
+        self._charge(
+            "mxu",
+            flops=2.0 * out.size * k,
+            bytes_moved=self._nbytes(a, out) + k * k * self.dtype.itemsize,
+            batch=out.size / (out.shape[-1] * out.shape[-2]),
+        )
+        return self._quantize_into(out)
+
+    def acceptance_index_into(
+        self,
+        sigma: np.ndarray,
+        nn: np.ndarray,
+        idx_out: np.ndarray,
+        fscratch: np.ndarray,
+        offsets: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Map (sigma, integer nn sum) pairs to acceptance-table slots.
+
+        Computes ``idx = 5*sigma + nn`` (plus per-chain table ``offsets``
+        when given): the odd values -9..9, which the 19-slot
+        :class:`~repro.core.accept.AcceptanceTable` layout resolves via
+        the gather's wrap mode (negative indices address the table from
+        the end), so no bias add is needed for the scalar-beta case;
+        per-chain offsets fold the +9 bias in.  The arithmetic runs in
+        raw float32 — NOT through the dtype's store rounding — because
+        table offsets for large ensembles exceed bfloat16's integer
+        range; every value involved is an exact float32 integer below
+        2**24, so the final int cast is exact.  Charged as a short VPU
+        chain (same modeled cost as the 10-slot formulation it replaced).
+        """
+        np.multiply(sigma, np.float32(5.0), out=fscratch)
+        np.add(fscratch, nn, out=fscratch)
+        if offsets is not None:
+            np.add(fscratch, offsets, out=fscratch)
+        np.copyto(idx_out, fscratch, casting="unsafe")
+        self._charge(
+            "vpu",
+            flops=(5.0 if offsets is not None else 4.0) * idx_out.size,
+            bytes_moved=self._nbytes(sigma, nn) + 4.0 * idx_out.size,
+        )
+        return idx_out
+
+    @staticmethod
+    def _roll_raw(a: np.ndarray, shift: int, axis: int, out: np.ndarray) -> np.ndarray:
+        """``out = np.roll(a, shift, axis)`` without allocating."""
+        n = a.shape[axis]
+        shift %= n
+        if shift == 0:
+            np.copyto(out, a)
+            return out
+        src_head = [slice(None)] * a.ndim
+        src_tail = [slice(None)] * a.ndim
+        dst_head = [slice(None)] * a.ndim
+        dst_tail = [slice(None)] * a.ndim
+        src_head[axis] = slice(n - shift, None)
+        dst_head[axis] = slice(None, shift)
+        src_tail[axis] = slice(None, n - shift)
+        dst_tail[axis] = slice(shift, None)
+        np.copyto(out[tuple(dst_head)], a[tuple(src_head)])
+        np.copyto(out[tuple(dst_tail)], a[tuple(src_tail)])
+        return out
+
+    def roll_into(self, a: np.ndarray, shift: int, axis: int, out: np.ndarray) -> np.ndarray:
+        self._roll_raw(a, shift, axis, out)
+        self._charge("formatting", bytes_moved=2.0 * self._nbytes(a))
+        return out
+
+    def copy_into(self, a: np.ndarray, out: np.ndarray) -> np.ndarray:
+        np.copyto(out, a)
+        self._charge("formatting", bytes_moved=2.0 * self._nbytes(a))
+        return out
+
+    def slice_copy_into(self, a: np.ndarray, index: tuple, out: np.ndarray) -> np.ndarray:
+        np.copyto(out, a[index])
+        self._charge("formatting", bytes_moved=2.0 * self._nbytes(out))
+        return out
+
+    def add_at_slice_into(
+        self, target: np.ndarray, index: tuple, update: np.ndarray, slab: np.ndarray
+    ) -> np.ndarray:
+        """In-place twin of :meth:`add_at_slice`.
+
+        ``slab`` is a contiguous scratch buffer shaped like the boundary
+        slice; it stages the quantized sum because the target slice itself
+        may be a strided view the in-place rounder cannot address.
+        """
+        view = target[index]
+        np.add(view, update, out=slab)
+        self._quantize_into(slab)
+        np.copyto(view, slab)
+        self._charge(
+            "formatting",
+            flops=float(update.size),
+            bytes_moved=2.0 * self._nbytes(update),
+        )
+        return target
+
+    def shifted_pair_sum_into(
+        self, a: np.ndarray, axis: int, offset: int, out: np.ndarray
+    ) -> np.ndarray:
+        """In-place twin of :meth:`shifted_pair_sum` (``out`` must not alias ``a``)."""
+        if axis not in (-1, -2):
+            raise ValueError(f"axis must be -1 or -2 (block axes), got {axis}")
+        if offset not in (-1, 1):
+            raise ValueError(f"offset must be +1 or -1, got {offset}")
+        if out is a:
+            raise ValueError("out must not alias the input")
+        np.copyto(out, a)
+        src = slice(None, -1) if offset == -1 else slice(1, None)
+        dst = slice(1, None) if offset == -1 else slice(None, -1)
+        if axis == -1:
+            np.add(out[..., dst], a[..., src], out=out[..., dst])
+        else:
+            np.add(out[..., dst, :], a[..., src, :], out=out[..., dst, :])
+        self._charge(
+            "conv", flops=4.0 * out.size, bytes_moved=self._nbytes(a, out)
+        )
+        return self._quantize_into(out)
+
+    def conv2d_neighbors_into(
+        self, a: np.ndarray, out: np.ndarray, tmp: np.ndarray
+    ) -> np.ndarray:
+        """In-place twin of :meth:`conv2d_neighbors` (``tmp`` is a roll buffer)."""
+        if out is a or tmp is a or tmp is out:
+            raise ValueError("a, out and tmp must be distinct buffers")
+        # Same left-to-right float32 sum as the allocating twin, with each
+        # rolled operand staged through ``tmp``.
+        self._roll_raw(a, 1, -2, out)
+        self._roll_raw(a, -1, -2, tmp)
+        np.add(out, tmp, out=out)
+        self._roll_raw(a, 1, -1, tmp)
+        np.add(out, tmp, out=out)
+        self._roll_raw(a, -1, -1, tmp)
+        np.add(out, tmp, out=out)
+        self._charge(
+            "conv", flops=2.0 * 9.0 * out.size, bytes_moved=self._nbytes(a, out)
+        )
+        return self._quantize_into(out)
 
     # -- data formatting -------------------------------------------------------
 

@@ -1,0 +1,133 @@
+"""Precomputed Metropolis acceptance tables.
+
+The flip rule ``u < exp(-2 * beta * sigma * (nn + h))`` has a tiny input
+domain: ``sigma`` is one of {-1, +1} and the 4-neighbour sum ``nn`` one of
+{-4, -2, 0, 2, 4}, so only ten distinct acceptance probabilities exist per
+(beta, dtype, field).  Precomputing them once and replacing the
+full-lattice ``exp`` with an integer gather is the standard trick of the
+GPU Ising literature (Romero, Bisson & Fatica, arXiv:1906.06297; the
+multi-spin MPI codes precompute the same exponentials per temperature).
+
+Bit-identity is the design constraint here: every table entry is produced
+by running the *actual* backend op sequence of
+:func:`~repro.core.update.acceptance_ratio` on the ten (sigma, nn)
+combinations, so the gathered probability equals, bit for bit, what the
+elementwise path would have computed at that site — in float32 and in
+bfloat16, with or without an external field, and per chain in the batched
+ensemble (where beta is a per-chain array and the table grows one
+ten-entry band per chain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backend.base import Backend
+from .update import acceptance_ratio
+
+__all__ = ["AcceptanceTable", "NN_VALUES"]
+
+# Reachable 4-neighbour sums of a +/-1 checkerboard lattice.
+NN_VALUES = (-4.0, -2.0, 0.0, 2.0, 4.0)
+
+
+class AcceptanceTable:
+    """The ten (per chain) reachable acceptance probabilities, pre-`exp`ed.
+
+    Parameters
+    ----------
+    backend:
+        Op executor whose dtype and ``exp`` define the entries.
+    beta:
+        Scalar inverse temperature, or a per-chain broadcast array shaped
+        ``(batch, 1, ..., 1)`` exactly as the updaters carry it.  The
+        per-chain case builds a flat ``batch * 10`` table plus a
+        per-chain slot-offset tensor.
+    field:
+        External magnetic field h; folded into the entries the same way
+        :func:`acceptance_ratio` folds it into ``nn``.
+
+    Attributes
+    ----------
+    entries:
+        Flat float32 array of quantized acceptance probabilities in the
+        19-slot wrap layout: the entry for ``(sigma, nn)`` lives at slot
+        ``(5*sigma + nn) mod 19`` — the ten reachable ``5*sigma + nn``
+        values are the odd integers -9..9, distinct mod 19, so the
+        gather's wrap mode resolves negative indices without a bias add.
+        Chain ``b`` of a per-chain table occupies slots
+        ``[19 b, 19 b + 19)`` with the +9 bias folded into ``offsets``.
+        Unreachable slots hold 0 and are never addressed.
+    offsets:
+        ``None`` for scalar beta; otherwise a float32 tensor shaped like
+        ``beta`` holding ``19 * b + 9`` per chain, ready to broadcast
+        into :meth:`Backend.acceptance_index_into`.
+    """
+
+    #: Slots per chain: indices are ``5*sigma + nn`` (odd, -9..9), taken
+    #: modulo 19, so every reachable combination gets a distinct slot.
+    SLOTS = 19
+
+    def __init__(
+        self,
+        backend: Backend,
+        beta: "float | np.ndarray",
+        field: float = 0.0,
+    ) -> None:
+        self.backend = backend
+        self.field = float(field)
+        sigma_combo = np.repeat([-1.0, 1.0], len(NN_VALUES))
+        nn_combo = np.tile(NN_VALUES, 2)
+        sigma_vals = backend.array(sigma_combo)
+        nn_vals = backend.array(nn_combo)
+        # Run the exact elementwise op sequence on the ten combos; with a
+        # per-chain beta the broadcast yields one ten-entry band per chain
+        # in row-major order.
+        probs = acceptance_ratio(backend, sigma_vals, nn_vals, beta, field=field)
+        probs = np.ascontiguousarray(probs, dtype=np.float32).reshape(-1, 10)
+        raw = (5.0 * sigma_combo + nn_combo).astype(np.int64)
+        # Scalar tables are addressed by the raw (possibly negative) index
+        # through the gather's wrap; per-chain tables by raw + 9 with the
+        # bias folded into the per-chain offsets.
+        wrap_slots = raw % self.SLOTS
+        bias_slots = raw + (self.SLOTS - 1) // 2
+
+        if np.ndim(beta) == 0:
+            if probs.shape[0] != 1:
+                raise ValueError(
+                    f"scalar beta produced {probs.shape[0]} table bands"
+                )
+            self.entries = np.zeros(self.SLOTS, dtype=np.float32)
+            self.entries[wrap_slots] = probs[0]
+            self.offsets = None
+        else:
+            beta_arr = np.asarray(beta)
+            n_chains = beta_arr.shape[0]
+            if beta_arr.size != n_chains:
+                raise ValueError(
+                    f"per-chain beta must be shaped (batch, 1, ..., 1), "
+                    f"got {beta_arr.shape}"
+                )
+            if probs.shape[0] != n_chains:
+                raise ValueError(
+                    f"table has {probs.shape[0]} bands for {n_chains} chains"
+                )
+            banded = np.zeros((n_chains, self.SLOTS), dtype=np.float32)
+            banded[:, bias_slots] = probs
+            self.entries = banded.reshape(-1)
+            self.offsets = (
+                np.arange(n_chains, dtype=np.float32) * np.float32(self.SLOTS)
+                + np.float32((self.SLOTS - 1) // 2)
+            ).reshape(beta_arr.shape)
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.entries.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Host bytes held by the table (entries + per-chain offsets)."""
+        total = self.entries.nbytes
+        if self.offsets is not None:
+            total += self.offsets.nbytes
+        return int(total)

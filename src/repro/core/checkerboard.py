@@ -19,7 +19,9 @@ import numpy as np
 from ..backend.base import Backend
 from ..backend.numpy_backend import NumpyBackend
 from ..rng.streams import PhiloxStream
-from .kernels import neighbor_sum_grid
+from .accept import AcceptanceTable
+from .fused import SweepWorkspace, fused_metropolis_flip
+from .kernels import neighbor_sum_grid, neighbor_sum_grid_into
 from .lattice import checkerboard_mask, grid_to_plain, plain_to_grid
 from .update import metropolis_flip
 
@@ -37,6 +39,12 @@ class CheckerboardUpdater:
         Op executor; defaults to a pure float32 numpy backend.
     block_shape:
         (r, c) of the grid blocks; 128 x 128 on the real device.
+    fused:
+        When true, sweeps run the fused engine: acceptance probabilities
+        come from a precomputed :class:`AcceptanceTable` gather and every
+        intermediate lives in a reusable :class:`SweepWorkspace`, so
+        steady-state sweeps allocate nothing and **mutate the grid in
+        place** (bit-identical trajectories to the elementwise path).
     """
 
     def __init__(
@@ -45,6 +53,7 @@ class CheckerboardUpdater:
         backend: Backend | None = None,
         block_shape: tuple[int, int] = (128, 128),
         field: float = 0.0,
+        fused: bool = False,
     ) -> None:
         if np.any(np.asarray(beta) <= 0):
             raise ValueError(f"beta must be positive, got {beta}")
@@ -54,7 +63,23 @@ class CheckerboardUpdater:
         self.field = float(field)
         self.backend = backend if backend is not None else NumpyBackend()
         self.block_shape = tuple(block_shape)
+        self.fused = bool(fused)
         self._mask_cache: dict[tuple[int, int, int, int], dict[str, np.ndarray]] = {}
+        self._workspace: SweepWorkspace | None = None
+        self._accept_table: AcceptanceTable | None = None
+
+    @property
+    def workspace(self) -> SweepWorkspace | None:
+        """The fused engine's scratch workspace (None until first use)."""
+        return self._workspace
+
+    def _fused_ctx(self) -> tuple[AcceptanceTable, SweepWorkspace]:
+        if self._workspace is None:
+            self._workspace = SweepWorkspace()
+            self._accept_table = AcceptanceTable(
+                self.backend, self.beta, field=self.field
+            )
+        return self._accept_table, self._workspace
 
     def _masks(self, grid_shape: tuple[int, ...]) -> dict[str, np.ndarray]:
         """Colour masks ``M`` / ``1 - M`` in grid form, cached per shape.
@@ -88,7 +113,25 @@ class CheckerboardUpdater:
         ``probs`` (full-lattice uniforms in grid form) may be supplied for
         deterministic cross-implementation tests; otherwise they are drawn
         from ``stream``.
+
+        In fused mode the grid is updated *in place* and returned.
         """
+        if self.fused:
+            table, ws = self._fused_ctx()
+            if probs is None:
+                if stream is None:
+                    raise ValueError("either stream or probs must be provided")
+                probs = ws.buffer("probs", grid.shape)
+                self.backend.uniform_into(stream, probs)
+            elif probs.shape != grid.shape:
+                raise ValueError(
+                    f"probs shape {probs.shape} != grid shape {grid.shape}"
+                )
+            nn = neighbor_sum_grid_into(grid, self.backend, ws)
+            mask = self._masks(grid.shape)[color]
+            return fused_metropolis_flip(
+                self.backend, grid, nn, probs, table, ws, mask=mask
+            )
         if probs is None:
             if stream is None:
                 raise ValueError("either stream or probs must be provided")

@@ -20,7 +20,9 @@ import numpy as np
 from ..backend.base import Backend
 from ..backend.numpy_backend import NumpyBackend
 from ..rng.streams import PhiloxStream
-from .kernels import PhaseHalos, compact_neighbor_sums
+from .accept import AcceptanceTable
+from .fused import SweepWorkspace, fused_metropolis_flip
+from .kernels import PhaseHalos, compact_neighbor_sums, compact_neighbor_sums_into
 from .lattice import CompactLattice
 from .update import metropolis_flip
 
@@ -28,7 +30,13 @@ __all__ = ["CompactUpdater"]
 
 
 class CompactUpdater:
-    """Stateless driver for Algorithm 2 sweeps over a CompactLattice."""
+    """Stateless driver for Algorithm 2 sweeps over a CompactLattice.
+
+    With ``fused=True`` sweeps run the fused engine: table-gathered
+    acceptance probabilities and workspace-backed in-place kernels, so
+    steady-state sweeps allocate nothing and the active sub-lattices are
+    **mutated in place** (trajectories stay bit-identical).
+    """
 
     def __init__(
         self,
@@ -37,6 +45,7 @@ class CompactUpdater:
         block_shape: tuple[int, int] | None = (128, 128),
         nn_method: str = "matmul",
         field: float = 0.0,
+        fused: bool = False,
     ) -> None:
         if np.any(np.asarray(beta) <= 0):
             raise ValueError(f"beta must be positive, got {beta}")
@@ -51,6 +60,22 @@ class CompactUpdater:
         self.block_shape = tuple(block_shape) if block_shape is not None else None
         self.nn_method = nn_method
         self.field = float(field)
+        self.fused = bool(fused)
+        self._workspace: SweepWorkspace | None = None
+        self._accept_table: AcceptanceTable | None = None
+
+    @property
+    def workspace(self) -> SweepWorkspace | None:
+        """The fused engine's scratch workspace (None until first use)."""
+        return self._workspace
+
+    def _fused_ctx(self) -> tuple[AcceptanceTable, SweepWorkspace]:
+        if self._workspace is None:
+            self._workspace = SweepWorkspace()
+            self._accept_table = AcceptanceTable(
+                self.backend, self.beta, field=self.field
+            )
+        return self._accept_table, self._workspace
 
     def update_color(
         self,
@@ -79,9 +104,13 @@ class CompactUpdater:
             Optional inter-core boundary values (distributed mode).
 
         Returns a new CompactLattice; the two passive tensors are shared
-        with the input (they are unchanged by construction).
+        with the input (they are unchanged by construction).  In fused
+        mode the two *active* tensors are updated in place and the input
+        lattice itself is returned.
         """
         shape = lat.grid_shape
+        if self.fused:
+            return self._update_color_fused(lat, color, stream, probs, halos)
         if probs is None:
             if stream is None:
                 raise ValueError("either stream or probs must be provided")
@@ -112,6 +141,43 @@ class CompactUpdater:
             self.backend, lat.s10, nn1, probs1, self.beta, field=self.field
         )
         return CompactLattice(s00=lat.s00, s01=new01, s10=new10, s11=lat.s11)
+
+    def _update_color_fused(
+        self,
+        lat: CompactLattice,
+        color: str,
+        stream: PhiloxStream | None,
+        probs: tuple[np.ndarray, np.ndarray] | None,
+        halos: PhaseHalos | None,
+    ) -> CompactLattice:
+        """Fused colour phase: in-place kernels, table-gathered acceptance."""
+        table, ws = self._fused_ctx()
+        shape = lat.grid_shape
+        if probs is None:
+            if stream is None:
+                raise ValueError("either stream or probs must be provided")
+            probs0 = ws.buffer("probs0", shape)
+            probs1 = ws.buffer("probs1", shape)
+            # Two separate draws, exactly like the elementwise path — the
+            # counter advance per draw must match for bit-identity.
+            self.backend.uniform_into(stream, probs0)
+            self.backend.uniform_into(stream, probs1)
+        else:
+            probs0, probs1 = probs
+            if probs0.shape != shape or probs1.shape != shape:
+                raise ValueError(
+                    f"probs shapes {probs0.shape}, {probs1.shape} != grid shape {shape}"
+                )
+        nn0, nn1 = compact_neighbor_sums_into(
+            lat, color, self.backend, ws, halos=halos, method=self.nn_method
+        )
+        if color == "black":
+            fused_metropolis_flip(self.backend, lat.s00, nn0, probs0, table, ws)
+            fused_metropolis_flip(self.backend, lat.s11, nn1, probs1, table, ws)
+        else:
+            fused_metropolis_flip(self.backend, lat.s01, nn0, probs0, table, ws)
+            fused_metropolis_flip(self.backend, lat.s10, nn1, probs1, table, ws)
+        return lat
 
     def sweep(
         self,

@@ -25,7 +25,9 @@ import numpy as np
 from ..backend.base import Backend
 from ..backend.numpy_backend import NumpyBackend
 from ..rng.streams import PhiloxStream
+from .accept import AcceptanceTable
 from .compact import CompactUpdater
+from .fused import SweepWorkspace, fused_metropolis_flip
 from .lattice import checkerboard_mask
 from .update import metropolis_flip
 
@@ -41,9 +43,15 @@ class ConvUpdater(CompactUpdater):
         backend: Backend | None = None,
         block_shape: tuple[int, int] | None = (128, 128),
         field: float = 0.0,
+        fused: bool = False,
     ) -> None:
         super().__init__(
-            beta, backend, block_shape=block_shape, nn_method="conv", field=field
+            beta,
+            backend,
+            block_shape=block_shape,
+            nn_method="conv",
+            field=field,
+            fused=fused,
         )
 
 
@@ -61,6 +69,7 @@ class MaskedConvUpdater:
         beta: float | np.ndarray,
         backend: Backend | None = None,
         field: float = 0.0,
+        fused: bool = False,
     ) -> None:
         if np.any(np.asarray(beta) <= 0):
             raise ValueError(f"beta must be positive, got {beta}")
@@ -69,7 +78,23 @@ class MaskedConvUpdater:
         self.beta = float(beta) if np.ndim(beta) == 0 else np.asarray(beta, dtype=np.float64)
         self.field = float(field)
         self.backend = backend if backend is not None else NumpyBackend()
+        self.fused = bool(fused)
         self._mask_cache: dict[tuple[int, int], dict[str, np.ndarray]] = {}
+        self._workspace: SweepWorkspace | None = None
+        self._accept_table: AcceptanceTable | None = None
+
+    @property
+    def workspace(self) -> SweepWorkspace | None:
+        """The fused engine's scratch workspace (None until first use)."""
+        return self._workspace
+
+    def _fused_ctx(self) -> tuple[AcceptanceTable, SweepWorkspace]:
+        if self._workspace is None:
+            self._workspace = SweepWorkspace()
+            self._accept_table = AcceptanceTable(
+                self.backend, self.beta, field=self.field
+            )
+        return self._accept_table, self._workspace
 
     def _masks(self, shape: tuple[int, ...]) -> dict[str, np.ndarray]:
         # Masks depend only on the trailing (rows, cols); a batched plain
@@ -91,7 +116,28 @@ class MaskedConvUpdater:
         stream: PhiloxStream | None = None,
         probs: np.ndarray | None = None,
     ) -> np.ndarray:
-        """One colour phase: conv neighbour sum, then masked Metropolis."""
+        """One colour phase: conv neighbour sum, then masked Metropolis.
+
+        In fused mode the lattice is updated *in place* and returned.
+        """
+        if self.fused:
+            table, ws = self._fused_ctx()
+            if probs is None:
+                if stream is None:
+                    raise ValueError("either stream or probs must be provided")
+                probs = ws.buffer("probs", plain.shape)
+                self.backend.uniform_into(stream, probs)
+            elif probs.shape != plain.shape:
+                raise ValueError(
+                    f"probs shape {probs.shape} != lattice shape {plain.shape}"
+                )
+            nn = ws.buffer("conv_nn", plain.shape)
+            tmp = ws.buffer("conv_roll_tmp", plain.shape)
+            self.backend.conv2d_neighbors_into(plain, nn, tmp)
+            mask = self._masks(plain.shape)[color]
+            return fused_metropolis_flip(
+                self.backend, plain, nn, probs, table, ws, mask=mask
+            )
         if probs is None:
             if stream is None:
                 raise ValueError("either stream or probs must be provided")
@@ -124,7 +170,9 @@ class MaskedConvUpdater:
 
     @staticmethod
     def to_plain(state: np.ndarray) -> np.ndarray:
-        return state
+        # A copy: fused sweeps mutate the state in place, and callers
+        # (simulation.lattice, samplers) must keep stable snapshots.
+        return np.array(state, dtype=np.float32, copy=True)
 
     def sweep_plain(self, plain: np.ndarray, stream: PhiloxStream) -> np.ndarray:
         return self.sweep(self.to_state(plain), stream)

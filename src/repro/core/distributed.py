@@ -43,7 +43,9 @@ from ..telemetry.report import RunReport, RunTelemetry
 from ..tpu.device import PodSlice
 from ..tpu.dtypes import DType, FLOAT32, resolve_dtype
 from .compact import CompactUpdater
+from .fused import record_fused_metrics
 from .kernels import PhaseHalos
+from .simulation import resolve_fused
 from .lattice import (
     CompactLattice,
     cold_lattice,
@@ -109,6 +111,15 @@ class DistributedIsing:
     record_trace:
         Keep per-op trace events in every core's profiler; export them
         with :func:`repro.telemetry.write_chrome_trace` (Fig. 6 view).
+    fused:
+        Fused sweep engine selection: ``"auto"`` (default), True or
+        False.  The per-core backends are TPU cost-model backends, so
+        "auto" resolves to False — the elementwise op sequence is what
+        the calibrated cost tables describe.  Pass ``fused=True`` to run
+        every core through the fused engine (table-gathered acceptance,
+        in-place kernels); the chain stays bit-identical and the halo
+        exchange is unaffected because boundary slabs are copied before
+        the in-place phase update runs.
     telemetry:
         Optional :class:`~repro.telemetry.report.RunTelemetry` recorder.
         Absent by default (zero-cost, bit-identical chains); when
@@ -132,6 +143,7 @@ class DistributedIsing:
         record_trace: bool = False,
         updater: str = "compact",
         field: float = 0.0,
+        fused: "bool | str" = "auto",
         telemetry: RunTelemetry | None = None,
     ) -> None:
         if updater not in ("compact", "conv"):
@@ -165,6 +177,10 @@ class DistributedIsing:
         self.dtype = resolve_dtype(dtype)
         self.seed = int(seed)
         self.sweeps_done = 0
+        self.fused_config = resolve_fused(fused)
+        # Per-core backends are TPU cost models: "auto" keeps the
+        # elementwise op sequence the calibrated tables were fit to.
+        self.fused = False if self.fused_config == "auto" else self.fused_config
 
         self.pod = pod if pod is not None else PodSlice(core_grid, record_trace=record_trace)
         if self.pod.core_grid != self.core_grid:
@@ -193,6 +209,7 @@ class DistributedIsing:
                 else (local_rows // 2, local_cols // 2),
                 nn_method="conv" if updater == "conv" else "matmul",
                 field=self.field,
+                fused=self.fused,
             )
             for backend in self._backends
         ]
@@ -412,6 +429,7 @@ class DistributedIsing:
         registry.gauge("collectives_executed").set(
             self.runtime.collectives_executed
         )
+        record_fused_metrics(registry, *self._updaters)
         return self.telemetry.build_report(
             kind="distributed",
             run={
@@ -426,6 +444,7 @@ class DistributedIsing:
                 "dtype": self.dtype.name,
                 "seed": self.seed,
                 "sweeps_done": self.sweeps_done,
+                "fused": self.fused,
             },
             rng={"streams": [stream.state() for stream in self._streams]},
             cores=self.core_splits(),

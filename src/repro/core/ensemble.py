@@ -35,6 +35,7 @@ from ..telemetry.report import RunReport, RunTelemetry
 from .checkerboard import CheckerboardUpdater
 from .compact import CompactUpdater
 from .conv import ConvUpdater, MaskedConvUpdater
+from .fused import record_fused_metrics
 from .lattice import cold_lattice, random_lattice, validate_spins
 from .simulation import (
     ChainResult,
@@ -42,6 +43,7 @@ from .simulation import (
     _backend_from_checkpoint,
     _backend_kind,
     _UPDATERS,
+    resolve_fused,
     summarize_chain,
 )
 
@@ -77,6 +79,12 @@ class EnsembleSimulation:
         Grid block decomposition, as in :class:`IsingSimulation`.
     field:
         External magnetic field h, shared by every chain.
+    fused:
+        Fused sweep engine selection: ``"auto"`` (default — on for numpy
+        backends, off for TPU cost-model backends), or an explicit
+        bool.  The fused ensemble builds one per-chain
+        :class:`~repro.core.accept.AcceptanceTable` (10 entries per
+        chain) and keeps chains bit-identical to the elementwise path.
     telemetry:
         Optional :class:`~repro.telemetry.report.RunTelemetry` recorder
         (same contract as :class:`IsingSimulation`: absent by default,
@@ -96,6 +104,7 @@ class EnsembleSimulation:
         initial: str | Sequence[str] | np.ndarray = "hot",
         block_shape: tuple[int, int] | None = None,
         field: float = 0.0,
+        fused: "bool | str" = "auto",
         telemetry: RunTelemetry | None = None,
     ) -> None:
         if isinstance(shape, (int, np.integer)):
@@ -125,6 +134,12 @@ class EnsembleSimulation:
         self.seed = int(seed)
         self.sweeps_done = 0
         self.telemetry = telemetry
+        self.fused_config = resolve_fused(fused)
+        self.fused = (
+            _backend_kind(self.backend) == "numpy"
+            if self.fused_config == "auto"
+            else self.fused_config
+        )
 
         if stream_ids is None:
             stream_ids = range(self.n_chains)
@@ -143,19 +158,29 @@ class EnsembleSimulation:
         if updater == "masked_conv":
             if block_shape is not None:
                 raise ValueError("masked_conv does not take a block_shape")
-            self._updater = MaskedConvUpdater(beta_vec, self.backend, field=self.field)
+            self._updater = MaskedConvUpdater(
+                beta_vec, self.backend, field=self.field, fused=self.fused
+            )
         elif updater == "checkerboard":
             if block_shape is None:
                 block_shape = self.shape
             self._updater = CheckerboardUpdater(
-                beta_vec, self.backend, block_shape=block_shape, field=self.field
+                beta_vec,
+                self.backend,
+                block_shape=block_shape,
+                field=self.field,
+                fused=self.fused,
             )
         else:
             if block_shape is None:
                 block_shape = (rows // 2, cols // 2)
             updater_cls = ConvUpdater if updater == "conv" else CompactUpdater
             self._updater = updater_cls(
-                beta_vec, self.backend, block_shape=block_shape, field=self.field
+                beta_vec,
+                self.backend,
+                block_shape=block_shape,
+                field=self.field,
+                fused=self.fused,
             )
         self.block_shape = getattr(self._updater, "block_shape", None)
 
@@ -321,6 +346,7 @@ class EnsembleSimulation:
         registry = self.telemetry.registry
         registry.gauge("sweeps_done").set(self.sweeps_done)
         registry.gauge("n_chains").set(self.n_chains)
+        record_fused_metrics(registry, self._updater)
         streams = [
             {"seed": seed, "stream_id": sid, "counter": counter}
             for seed, sid, counter in zip(
@@ -340,6 +366,7 @@ class EnsembleSimulation:
                 "seed": self.seed,
                 "n_chains": self.n_chains,
                 "sweeps_done": self.sweeps_done,
+                "fused": self.fused,
             },
             rng={"streams": streams},
         )
@@ -362,6 +389,7 @@ class EnsembleSimulation:
             "dtype": self.backend.dtype.name,
             "block_shape": self.block_shape,
             "seed": self.seed,
+            "fused": self.fused_config,
             "lattices": self.lattices,
             "stream": self.stream.state(),
             "sweeps_done": self.sweeps_done,
@@ -387,6 +415,7 @@ class EnsembleSimulation:
             initial=np.asarray(state["lattices"], dtype=np.float32),
             block_shape=tuple(block_shape) if block_shape is not None else None,
             field=state["field"],
+            fused=state.get("fused", "auto"),
         )
         ensemble.stream = BatchedPhiloxStream.from_state(state["stream"])
         ensemble.sweeps_done = int(state["sweeps_done"])

@@ -34,8 +34,10 @@ __all__ = [
     "kernel_K_hat",
     "neighbor_sum_roll",
     "neighbor_sum_grid",
+    "neighbor_sum_grid_into",
     "PhaseHalos",
     "compact_neighbor_sums",
+    "compact_neighbor_sums_into",
 ]
 
 _ALL = slice(None)
@@ -125,6 +127,51 @@ def neighbor_sum_grid(grid: np.ndarray, backend: Backend) -> np.ndarray:
         backend.slice_copy(grid, (..., _ALL, 0)), -1, axis=-2
     )
     nn = backend.add_at_slice(nn, (..., _ALL, -1), east)
+    return nn
+
+
+def neighbor_sum_grid_into(grid: np.ndarray, backend: Backend, workspace) -> np.ndarray:
+    """Allocation-free twin of :func:`neighbor_sum_grid`.
+
+    Same blocked-matmul-plus-compensation structure, same op-for-op
+    quantization, but every intermediate (the two matmul products, the
+    four boundary slabs) lives in ``workspace`` scratch buffers and the
+    kernels are cached as workspace constants.  Returns the workspace's
+    ``nn`` buffer — valid until the next call.
+    """
+    if grid.ndim < 4:
+        raise ValueError(
+            f"expected a rank-4 (or batched rank-5) grid, got shape {grid.shape}"
+        )
+    r, c = grid.shape[-2:]
+
+    nn = workspace.buffer("nn_grid", grid.shape)
+    # The two K band matmuls plus their add, as one in-block shifted-sum
+    # primitive: bit-identical values (exact small-integer sums) and the
+    # same modeled MXU/VPU charges, but host execution is slice adds.
+    backend.band_cross_matmul_into(grid, nn)
+
+    # Boundary compensation, staged through two slab buffers per
+    # orientation: slab_a holds the copied edge, slab_b the rolled edge,
+    # then slab_a is reused as the add_at_slice staging buffer.
+    row_shape = grid.shape[:-2] + (c,)
+    col_shape = grid.shape[:-1]
+    ra = workspace.buffer("nn_row_slab_a", row_shape)
+    rb = workspace.buffer("nn_row_slab_b", row_shape)
+    backend.slice_copy_into(grid, (..., -1, _ALL), ra)
+    backend.roll_into(ra, 1, -3, rb)
+    backend.add_at_slice_into(nn, (..., 0, _ALL), rb, ra)
+    backend.slice_copy_into(grid, (..., 0, _ALL), ra)
+    backend.roll_into(ra, -1, -3, rb)
+    backend.add_at_slice_into(nn, (..., -1, _ALL), rb, ra)
+    ca = workspace.buffer("nn_col_slab_a", col_shape)
+    cb = workspace.buffer("nn_col_slab_b", col_shape)
+    backend.slice_copy_into(grid, (..., _ALL, -1), ca)
+    backend.roll_into(ca, 1, -2, cb)
+    backend.add_at_slice_into(nn, (..., _ALL, 0), cb, ca)
+    backend.slice_copy_into(grid, (..., _ALL, 0), ca)
+    backend.roll_into(ca, -1, -2, cb)
+    backend.add_at_slice_into(nn, (..., _ALL, -1), cb, ca)
     return nn
 
 
@@ -302,4 +349,124 @@ def compact_neighbor_sums(
         halos.west,
     )
     nn1 = backend.add_at_slice(nn1, (..., _ALL, 0), west)
+    return nn0, nn1
+
+
+def _shifted_slab_into(
+    backend: Backend,
+    slab: np.ndarray,
+    shift: int,
+    axis: int,
+    replacement: np.ndarray | None,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Allocation-free twin of :func:`_shifted_slab` (rolls into ``out``)."""
+    if axis not in (-3, -2):
+        raise ValueError(f"axis must be -3 (grid row) or -2 (grid col), got {axis}")
+    backend.roll_into(slab, shift, axis, out)
+    if replacement is not None:
+        edge = 0 if shift > 0 else -1
+        index = (Ellipsis, edge) + (_ALL,) * (-axis - 1)
+        expected = out[index].shape
+        if replacement.shape != expected:
+            raise ValueError(
+                f"halo shape {replacement.shape} != boundary shape {expected}"
+            )
+        out[index] = replacement
+    return out
+
+
+def compact_neighbor_sums_into(
+    lat: CompactLattice,
+    color: str,
+    backend: Backend,
+    workspace,
+    halos: PhaseHalos | None = None,
+    method: str = "matmul",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Allocation-free twin of :func:`compact_neighbor_sums`.
+
+    Same op sequence and quantization (bit-identical sums), but the two
+    in-block products, both neighbour-sum outputs and all four boundary
+    slabs come from ``workspace`` buffers; the K_hat kernels are cached
+    as workspace constants.  Returns the workspace's ``(nn0, nn1)``
+    buffers — valid until the next call.
+    """
+    if color not in ("black", "white"):
+        raise ValueError(f"color must be 'black' or 'white', got {color!r}")
+    if method not in ("matmul", "conv"):
+        raise ValueError(f"method must be 'matmul' or 'conv', got {method!r}")
+    halos = halos or PhaseHalos()
+    shape = lat.grid_shape
+    r, c = shape[-2:]
+
+    nn0 = workspace.buffer("compact_nn0", shape)
+    nn1 = workspace.buffer("compact_nn1", shape)
+    tmp = workspace.buffer("compact_nn_tmp", shape)
+
+    if method == "matmul":
+        # Each K_hat band matmul, as a shifted pair sum: bit-identical
+        # values and the same modeled MXU charge as the matmul_into twin
+        # (see Backend.band_pair_matmul_into), but host execution is
+        # slice adds.
+        prev_col = lambda x, out: backend.band_pair_matmul_into(x, -1, -1, out)  # noqa: E731
+        prev_row = lambda x, out: backend.band_pair_matmul_into(x, -2, -1, out)  # noqa: E731
+        next_row = lambda x, out: backend.band_pair_matmul_into(x, -2, 1, out)  # noqa: E731
+        next_col = lambda x, out: backend.band_pair_matmul_into(x, -1, 1, out)  # noqa: E731
+    else:
+        prev_col = lambda x, out: backend.shifted_pair_sum_into(x, -1, -1, out)  # noqa: E731
+        prev_row = lambda x, out: backend.shifted_pair_sum_into(x, -2, -1, out)  # noqa: E731
+        next_row = lambda x, out: backend.shifted_pair_sum_into(x, -2, 1, out)  # noqa: E731
+        next_col = lambda x, out: backend.shifted_pair_sum_into(x, -1, 1, out)  # noqa: E731
+
+    row_shape = shape[:-2] + (c,)
+    col_shape = shape[:-1]
+    ra = workspace.buffer("compact_row_slab_a", row_shape)
+    rb = workspace.buffer("compact_row_slab_b", row_shape)
+    ca = workspace.buffer("compact_col_slab_a", col_shape)
+    cb = workspace.buffer("compact_col_slab_b", col_shape)
+
+    if color == "black":
+        s01, s10 = lat.s01, lat.s10
+        prev_col(s01, nn0)
+        prev_row(s10, tmp)
+        backend.add_into(nn0, tmp, nn0)
+        backend.slice_copy_into(s10, (..., -1, _ALL), ra)
+        _shifted_slab_into(backend, ra, 1, -3, halos.north, rb)
+        backend.add_at_slice_into(nn0, (..., 0, _ALL), rb, ra)
+        backend.slice_copy_into(s01, (..., _ALL, -1), ca)
+        _shifted_slab_into(backend, ca, 1, -2, halos.west, cb)
+        backend.add_at_slice_into(nn0, (..., _ALL, 0), cb, ca)
+
+        next_row(s01, nn1)
+        next_col(s10, tmp)
+        backend.add_into(nn1, tmp, nn1)
+        backend.slice_copy_into(s01, (..., 0, _ALL), ra)
+        _shifted_slab_into(backend, ra, -1, -3, halos.south, rb)
+        backend.add_at_slice_into(nn1, (..., -1, _ALL), rb, ra)
+        backend.slice_copy_into(s10, (..., _ALL, 0), ca)
+        _shifted_slab_into(backend, ca, -1, -2, halos.east, cb)
+        backend.add_at_slice_into(nn1, (..., _ALL, -1), cb, ca)
+        return nn0, nn1
+
+    s00, s11 = lat.s00, lat.s11
+    next_col(s00, nn0)
+    prev_row(s11, tmp)
+    backend.add_into(nn0, tmp, nn0)
+    backend.slice_copy_into(s11, (..., -1, _ALL), ra)
+    _shifted_slab_into(backend, ra, 1, -3, halos.north, rb)
+    backend.add_at_slice_into(nn0, (..., 0, _ALL), rb, ra)
+    backend.slice_copy_into(s00, (..., _ALL, 0), ca)
+    _shifted_slab_into(backend, ca, -1, -2, halos.east, cb)
+    backend.add_at_slice_into(nn0, (..., _ALL, -1), cb, ca)
+
+    next_row(s00, nn1)
+    prev_col(s11, tmp)
+    backend.add_into(nn1, tmp, nn1)
+    backend.slice_copy_into(s00, (..., 0, _ALL), ra)
+    _shifted_slab_into(backend, ra, -1, -3, halos.south, rb)
+    backend.add_at_slice_into(nn1, (..., -1, _ALL), rb, ra)
+    backend.slice_copy_into(s11, (..., _ALL, -1), ca)
+    _shifted_slab_into(backend, ca, 1, -2, halos.west, cb)
+    backend.add_at_slice_into(nn1, (..., _ALL, 0), cb, ca)
     return nn0, nn1

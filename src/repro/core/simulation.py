@@ -33,6 +33,7 @@ from ..observables.stats import blocking_error, binder_jackknife
 from .checkerboard import CheckerboardUpdater
 from .compact import CompactUpdater
 from .conv import ConvUpdater, MaskedConvUpdater
+from .fused import record_fused_metrics
 from .lattice import cold_lattice, random_lattice, validate_spins
 
 __all__ = [
@@ -46,6 +47,20 @@ __all__ = [
 #: "conv" (appendix conv variant on the compact layout), "checkerboard"
 #: (Algorithm 1) and "masked_conv" (naive full-lattice conv + mask).
 _UPDATERS = ("compact", "conv", "checkerboard", "masked_conv")
+
+
+def resolve_fused(fused: "bool | str") -> "bool | str":
+    """Normalise a fused-engine selection to ``"auto"`` / True / False.
+
+    ``"auto"`` resolves later against the backend family: enabled on plain
+    numpy backends (pure host speedup), disabled on accounting backends so
+    the calibrated TPU cost tables keep their historical op sequence.
+    """
+    if fused == "auto":
+        return "auto"
+    if isinstance(fused, (bool, np.bool_)):
+        return bool(fused)
+    raise ValueError(f"fused must be 'auto', True or False, got {fused!r}")
 
 
 def _backend_kind(backend: Backend) -> str:
@@ -150,6 +165,13 @@ class IsingSimulation:
     block_shape:
         Grid block size for the blocked updaters (defaults to the whole
         lattice in one block, the natural choice off-TPU).
+    fused:
+        Fused sweep engine selection.  ``"auto"`` (default) enables it on
+        plain numpy backends — where it removes the per-sweep ``exp`` and
+        all steady-state allocations for a large host-side speedup — and
+        disables it on accounting (TPU) backends so the calibrated cost
+        tables keep their historical op sequence.  Pass ``True`` /
+        ``False`` to force.  Trajectories are bit-identical either way.
     telemetry:
         Optional :class:`~repro.telemetry.report.RunTelemetry` recorder.
         When omitted (the default) the sweep loop takes the exact seed
@@ -171,6 +193,7 @@ class IsingSimulation:
         initial: str | np.ndarray = "hot",
         block_shape: tuple[int, int] | None = None,
         field: float = 0.0,
+        fused: "bool | str" = "auto",
         telemetry: RunTelemetry | None = None,
     ) -> None:
         if isinstance(shape, (int, np.integer)):
@@ -194,27 +217,47 @@ class IsingSimulation:
         self.updater_name = updater
         self.sweeps_done = 0
         self.telemetry = telemetry
+        self.fused_config = resolve_fused(fused)
+        self.fused = (
+            _backend_kind(self.backend) == "numpy"
+            if self.fused_config == "auto"
+            else self.fused_config
+        )
 
         if updater == "masked_conv":
             if block_shape is not None:
                 raise ValueError("masked_conv does not take a block_shape")
-            self._updater = MaskedConvUpdater(self.beta, self.backend, field=self.field)
+            self._updater = MaskedConvUpdater(
+                self.beta, self.backend, field=self.field, fused=self.fused
+            )
         elif updater == "checkerboard":
             if block_shape is None:
                 block_shape = self.shape
             self._updater = CheckerboardUpdater(
-                self.beta, self.backend, block_shape=block_shape, field=self.field
+                self.beta,
+                self.backend,
+                block_shape=block_shape,
+                field=self.field,
+                fused=self.fused,
             )
         else:
             if block_shape is None:
                 block_shape = (rows // 2, cols // 2)
             if updater == "conv":
                 self._updater = ConvUpdater(
-                    self.beta, self.backend, block_shape=block_shape, field=self.field
+                    self.beta,
+                    self.backend,
+                    block_shape=block_shape,
+                    field=self.field,
+                    fused=self.fused,
                 )
             else:
                 self._updater = CompactUpdater(
-                    self.beta, self.backend, block_shape=block_shape, field=self.field
+                    self.beta,
+                    self.backend,
+                    block_shape=block_shape,
+                    field=self.field,
+                    fused=self.fused,
                 )
         #: Resolved grid block decomposition (None for masked_conv, which
         #: keeps the plain layout).  Checkpoints carry it so a restored
@@ -301,6 +344,7 @@ class IsingSimulation:
             "backend": _backend_kind(self.backend),
             "dtype": self.backend.dtype.name,
             "block_shape": self.block_shape,
+            "fused": self.fused_config,
             "lattice": self.lattice,
             "stream": self.stream.state(),
             "sweeps_done": self.sweeps_done,
@@ -333,6 +377,7 @@ class IsingSimulation:
             backend=backend,
             field=state["field"],
             block_shape=tuple(block_shape) if block_shape is not None else None,
+            fused=state.get("fused", "auto"),
             initial=np.asarray(state["lattice"], dtype=np.float32),
         )
         sim.stream = PhiloxStream.from_state(state["stream"])
@@ -355,6 +400,7 @@ class IsingSimulation:
                 "IsingSimulation(..., telemetry=RunTelemetry())"
             )
         self.telemetry.registry.gauge("sweeps_done").set(self.sweeps_done)
+        record_fused_metrics(self.telemetry.registry, self._updater)
         return self.telemetry.build_report(
             kind="single",
             run={
@@ -365,6 +411,7 @@ class IsingSimulation:
                 "backend": _backend_kind(self.backend),
                 "dtype": self.backend.dtype.name,
                 "block_shape": self.block_shape,
+                "fused": self.fused,
                 "seed": self.stream.seed,
                 "stream_id": self.stream.stream_id,
                 "sweeps_done": self.sweeps_done,

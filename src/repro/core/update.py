@@ -22,6 +22,30 @@ from ..backend.base import Backend
 
 __all__ = ["acceptance_ratio", "metropolis_flip"]
 
+# Per-backend cap on cached beta/field device scalars; a temperature scan
+# touches a few dozen betas at most, so eviction is a wholesale clear.
+_SCALAR_CACHE_MAX = 64
+
+
+def _cached_device_scalar(backend: Backend, key: tuple, value) -> np.ndarray:
+    """Return ``backend.array(value)``, memoised per backend instance.
+
+    ``backend.array`` does not charge the cost model, so caching the
+    materialised scalar changes host-side allocation only — every sweep
+    used to rebuild the same ``-2 * beta`` tensor twice per color phase.
+    """
+    cache = getattr(backend, "_device_scalar_cache", None)
+    if cache is None:
+        cache = {}
+        backend._device_scalar_cache = cache
+    arr = cache.get(key)
+    if arr is None:
+        if len(cache) >= _SCALAR_CACHE_MAX:
+            cache.clear()
+        arr = backend.array(value() if callable(value) else value)
+        cache[key] = arr
+    return arr
+
 
 def acceptance_ratio(
     backend: Backend,
@@ -46,9 +70,19 @@ def acceptance_ratio(
     (the mu term, which the paper sets to zero): flipping sigma_i changes
     the energy by ``dE = 2 sigma_i (nn(i) + h)``.
     """
-    factor = backend.array(-2.0 * np.asarray(beta, dtype=np.float64))
+    beta_arr = np.asarray(beta, dtype=np.float64)
+    if beta_arr.ndim == 0:
+        beta_key = ("beta", float(beta_arr))
+    else:
+        beta_key = ("beta", beta_arr.shape, beta_arr.tobytes())
+    factor = _cached_device_scalar(
+        backend, beta_key, lambda: -2.0 * beta_arr
+    )
     if field != 0.0:
-        nn = backend.add(nn, backend.array(float(field)))
+        field_scalar = _cached_device_scalar(
+            backend, ("field", float(field)), float(field)
+        )
+        nn = backend.add(nn, field_scalar)
     local = backend.multiply(sigma, nn)
     return backend.exp(backend.multiply(factor, local))
 
@@ -86,6 +120,14 @@ def metropolis_flip(
         raise ValueError(
             f"shape mismatch: sigma {sigma.shape}, nn {nn.shape}, probs {probs.shape}"
         )
+    if mask is not None:
+        trailing = sigma.shape[sigma.ndim - mask.ndim:] if mask.ndim <= sigma.ndim else None
+        if mask.shape != sigma.shape and mask.shape != trailing:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match sigma shape "
+                f"{sigma.shape}: the mask must equal the spin shape or its "
+                f"trailing dimensions (per-chain broadcast)"
+            )
     ratio = acceptance_ratio(backend, sigma, nn, beta, field=field)
     flips = backend.less(probs, ratio)
     if mask is not None:

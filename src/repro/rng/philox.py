@@ -27,7 +27,10 @@ __all__ = [
     "philox4x32",
     "philox_uniform_bits",
     "philox_uniform_bits_batched",
+    "make_philox_scratch",
+    "philox_bits_into",
     "uint32_to_uniform",
+    "uniform_from_bits_into",
 ]
 
 # Multiplication and Weyl-sequence constants from the Random123 reference
@@ -200,6 +203,178 @@ def philox_uniform_bits_batched(
     # Per stream, interleave output lanes exactly like the solo path:
     # (4, B, n) -> (B, n, 4) -> (B, n * 4) -> trim.
     return out.transpose(1, 2, 0).reshape(n_streams, -1)[:, :n_words]
+
+
+def make_philox_scratch(n_streams: int, n_words: int) -> dict:
+    """Preallocate every buffer :func:`philox_bits_into` needs.
+
+    The returned dict is an opaque workspace sized for ``n_streams``
+    independent streams drawing ``n_words`` words each; reusing it across
+    calls is what makes the in-place generator allocation-free.
+    """
+    if n_streams < 1:
+        raise ValueError(f"n_streams must be >= 1, got {n_streams}")
+    if n_words < 1:
+        raise ValueError(f"n_words must be >= 1, got {n_words}")
+    n_counters = -(-n_words // 4)
+    shape = (n_streams, n_counters)
+    scratch = {
+        "n_streams": n_streams,
+        "n_words": n_words,
+        "n_counters": n_counters,
+        "idx": np.arange(n_counters, dtype=np.uint64).reshape(1, -1),
+        "base_lo": np.empty((n_streams, 1), dtype=np.uint64),
+        "base_hi": np.empty((n_streams, 1), dtype=np.uint64),
+        "lo": np.empty(shape, dtype=np.uint64),
+        "hi": np.empty(shape, dtype=np.uint64),
+        "carry": np.empty(shape, dtype=bool),
+        "p0": np.empty(shape, dtype=np.uint64),
+        "p1": np.empty(shape, dtype=np.uint64),
+        "c": np.empty((4,) + shape, dtype=np.uint32),
+        "k0": np.empty((n_streams, 1), dtype=np.uint32),
+        "k1": np.empty((n_streams, 1), dtype=np.uint32),
+    }
+    if n_words % 4 != 0:
+        scratch["bits_pad"] = np.empty(
+            (n_streams, n_counters * 4), dtype=np.uint32
+        )
+    return scratch
+
+
+def philox_bits_into(
+    start_counters: "list[int] | tuple[int, ...]",
+    keys: np.ndarray,
+    out: np.ndarray,
+    scratch: dict,
+    rounds: int = 10,
+) -> np.ndarray:
+    """Fill ``out`` with Philox words without allocating any arrays.
+
+    Bit-identical to :func:`philox_uniform_bits_batched` (and, for a
+    single stream, to :func:`philox_uniform_bits`): same counter layout,
+    same round network, same lane interleave.  All intermediates live in
+    ``scratch`` (from :func:`make_philox_scratch` with matching
+    ``n_streams``/``n_words``); ``out`` must be a C-contiguous
+    ``(n_streams, n_words)`` uint32 array.
+    """
+    n_streams = scratch["n_streams"]
+    n_words = scratch["n_words"]
+    n_counters = scratch["n_counters"]
+    keys = np.asarray(keys, dtype=np.uint32)
+    if keys.shape != (n_streams, 2):
+        raise ValueError(
+            f"keys must have shape ({n_streams}, 2), got {keys.shape}"
+        )
+    if len(start_counters) != n_streams:
+        raise ValueError(
+            f"{len(start_counters)} counters for {n_streams} streams"
+        )
+    if out.shape != (n_streams, n_words) or out.dtype != np.uint32:
+        raise ValueError(
+            f"out must be uint32 ({n_streams}, {n_words}), got "
+            f"{out.dtype} {out.shape}"
+        )
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+
+    base_lo = scratch["base_lo"]
+    base_hi = scratch["base_hi"]
+    for b, start in enumerate(start_counters):
+        start = int(start) % (1 << 128)
+        base_lo[b, 0] = start & ((1 << 64) - 1)
+        base_hi[b, 0] = start >> 64
+
+    lo = scratch["lo"]
+    hi = scratch["hi"]
+    carry = scratch["carry"]
+    c = scratch["c"]
+    c0, c1, c2, c3 = c[0], c[1], c[2], c[3]
+    p0 = scratch["p0"]
+    p1 = scratch["p1"]
+    if n_streams == 1:
+        # Scalar keys broadcast cheaper than (1, 1) arrays; precompute the
+        # whole Weyl schedule from Python ints so nothing wraps at runtime.
+        key_schedule = [
+            (
+                np.uint32((int(keys[0, 0]) + r * 0x9E3779B9) & 0xFFFFFFFF),
+                np.uint32((int(keys[0, 1]) + r * 0xBB67AE85) & 0xFFFFFFFF),
+            )
+            for r in range(rounds)
+        ]
+    else:
+        key_schedule = None
+        k0 = scratch["k0"]
+        k1 = scratch["k1"]
+        k0[:, 0] = keys[:, 0]
+        k1[:, 0] = keys[:, 1]
+
+    with np.errstate(over="ignore"):
+        # Counter block: lo/hi limbs with carry, split into 32-bit lanes.
+        np.add(base_lo, scratch["idx"], out=lo)
+        np.less(lo, base_lo, out=carry)
+        np.copyto(hi, carry, casting="unsafe")
+        np.add(hi, base_hi, out=hi)
+        np.copyto(c0, lo, casting="unsafe")
+        np.right_shift(lo, _SHIFT32, out=lo)
+        np.copyto(c1, lo, casting="unsafe")
+        np.copyto(c2, hi, casting="unsafe")
+        np.right_shift(hi, _SHIFT32, out=hi)
+        np.copyto(c3, hi, casting="unsafe")
+
+        # Round network, identical to philox4x32 but with every temporary
+        # drawn from scratch.  ``copyto`` with unsafe casting truncates
+        # uint64 -> uint32, i.e. keeps the low word.
+        for r in range(rounds):
+            if key_schedule is not None:
+                k0, k1 = key_schedule[r]
+            np.multiply(c0, PHILOX_M0, out=p0)
+            np.multiply(c2, PHILOX_M1, out=p1)
+            # new c2 = hi(p0) ^ old c3 ^ k1; old c2 already consumed.
+            np.right_shift(p0, _SHIFT32, out=hi)
+            np.copyto(c2, hi, casting="unsafe")
+            np.bitwise_xor(c2, c3, out=c2)
+            np.bitwise_xor(c2, k1, out=c2)
+            # new c3 = lo(p0); old c3 consumed above.
+            np.copyto(c3, p0, casting="unsafe")
+            # new c0 = hi(p1) ^ old c1 ^ k0; old c0 already consumed.
+            np.right_shift(p1, _SHIFT32, out=hi)
+            np.copyto(c0, hi, casting="unsafe")
+            np.bitwise_xor(c0, c1, out=c0)
+            np.bitwise_xor(c0, k0, out=c0)
+            # new c1 = lo(p1); old c1 consumed above.
+            np.copyto(c1, p1, casting="unsafe")
+            if key_schedule is None:
+                np.add(k0, PHILOX_W0, out=k0)
+                np.add(k1, PHILOX_W1, out=k1)
+
+    # Interleave lanes exactly like the allocating paths: word i of
+    # counter j comes from output lane i of counter j.
+    if n_words % 4 == 0:
+        lanes = out.reshape(n_streams, n_counters, 4)
+        for i in range(4):
+            np.copyto(lanes[:, :, i], c[i])
+    else:
+        pad = scratch["bits_pad"]
+        lanes = pad.reshape(n_streams, n_counters, 4)
+        for i in range(4):
+            np.copyto(lanes[:, :, i], c[i])
+        np.copyto(out, pad[:, :n_words])
+    return out
+
+
+def uniform_from_bits_into(bits: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place version of :func:`uint32_to_uniform`.
+
+    Destroys ``bits`` (shifts it right by 8 in place) and fills ``out``
+    (float32, same shape) with uniforms bit-identical to
+    ``uint32_to_uniform(bits)``.
+    """
+    np.right_shift(bits, np.uint32(8), out=bits)
+    # uint32 -> float32 is exact for values below 2**24, which the shift
+    # guarantees, so the unsafe cast reproduces .astype(np.float32).
+    np.copyto(out, bits, casting="unsafe")
+    np.multiply(out, np.float32(2.0**-24), out=out)
+    return out
 
 
 def uint32_to_uniform(bits: np.ndarray) -> np.ndarray:

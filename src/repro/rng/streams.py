@@ -16,9 +16,12 @@ from typing import Sequence
 import numpy as np
 
 from .philox import (
+    make_philox_scratch,
+    philox_bits_into,
     philox_uniform_bits,
     philox_uniform_bits_batched,
     uint32_to_uniform,
+    uniform_from_bits_into,
 )
 
 __all__ = ["PhiloxStream", "BatchedPhiloxStream", "split_key"]
@@ -59,6 +62,9 @@ class PhiloxStream:
         self.stream_id = int(stream_id)
         self._key = split_key(self.seed, self.stream_id)
         self._counter = 0
+        # Lazily built per-draw-size workspaces for uniform_into; purely a
+        # performance cache, deliberately excluded from state().
+        self._inplace_scratch: dict[int, dict] = {}
 
     def __repr__(self) -> str:
         return (
@@ -101,6 +107,30 @@ class PhiloxStream:
         size = int(np.prod(shape)) if shape else 1
         bits = self.random_bits(size)
         return uint32_to_uniform(bits).reshape(shape)
+
+    def uniform_into(self, out: np.ndarray) -> np.ndarray:
+        """Fill ``out`` (C-contiguous float32) with uniforms, allocation-free.
+
+        Bit-identical to ``uniform(out.shape)`` — same counter advance,
+        same word-to-float mapping — but every intermediate lives in a
+        per-size workspace cached on the stream, so steady-state draws
+        perform no heap allocation.
+        """
+        if out.dtype != np.float32 or not out.flags["C_CONTIGUOUS"]:
+            raise ValueError("out must be a C-contiguous float32 array")
+        size = int(out.size)
+        if size == 0:
+            return out
+        scratch = self._inplace_scratch.get(size)
+        if scratch is None:
+            scratch = make_philox_scratch(1, size)
+            scratch["bits"] = np.empty((1, size), dtype=np.uint32)
+            scratch["keys"] = np.array([self._key], dtype=np.uint32)
+            self._inplace_scratch[size] = scratch
+        philox_bits_into([self._counter], scratch["keys"], scratch["bits"], scratch)
+        self._counter += -(-size // 4)
+        uniform_from_bits_into(scratch["bits"], out.reshape(1, size))
+        return out
 
     def state(self) -> dict:
         """Serializable state (for checkpoint/restart of long chains)."""
@@ -154,6 +184,9 @@ class BatchedPhiloxStream:
             dtype=np.uint32,
         )
         self._counters = [0] * len(stream_ids)
+        # Per-draw-size workspaces for uniform_into (perf cache only;
+        # never serialized).
+        self._inplace_scratch: dict[int, dict] = {}
 
     @classmethod
     def from_streams(cls, streams: "Sequence[PhiloxStream]") -> "BatchedPhiloxStream":
@@ -213,6 +246,38 @@ class BatchedPhiloxStream:
         per_chain = int(np.prod(shape[1:])) if len(shape) > 1 else 1
         bits = self.random_bits(per_chain)
         return uint32_to_uniform(bits).reshape(shape)
+
+    def uniform_into(self, out: np.ndarray) -> np.ndarray:
+        """Fill ``out`` with per-chain uniforms, allocation-free.
+
+        ``out`` must be C-contiguous float32 with the chain axis leading
+        (``out.shape[0] == n_chains``); chain ``b`` receives exactly what
+        ``uniform(out.shape)[b]`` would, with the same counter advance.
+        """
+        if out.dtype != np.float32 or not out.flags["C_CONTIGUOUS"]:
+            raise ValueError("out must be a C-contiguous float32 array")
+        if out.ndim == 0 or out.shape[0] != self.n_chains:
+            raise ValueError(
+                f"batched uniform_into shape {out.shape} must lead with "
+                f"the chain axis (n_chains={self.n_chains})"
+            )
+        per_chain = int(out.size) // self.n_chains
+        if per_chain == 0:
+            return out
+        scratch = self._inplace_scratch.get(per_chain)
+        if scratch is None:
+            scratch = make_philox_scratch(self.n_chains, per_chain)
+            scratch["bits"] = np.empty(
+                (self.n_chains, per_chain), dtype=np.uint32
+            )
+            self._inplace_scratch[per_chain] = scratch
+        philox_bits_into(self._counters, self._keys, scratch["bits"], scratch)
+        n_counters = -(-per_chain // 4)
+        self._counters = [c + n_counters for c in self._counters]
+        uniform_from_bits_into(
+            scratch["bits"], out.reshape(self.n_chains, per_chain)
+        )
+        return out
 
     def state(self) -> dict:
         """Serializable state (for checkpoint/restart of ensembles)."""

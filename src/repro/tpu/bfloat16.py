@@ -17,6 +17,7 @@ import numpy as np
 
 __all__ = [
     "round_to_bfloat16",
+    "round_to_bfloat16_into",
     "to_bits",
     "from_bits",
     "is_representable",
@@ -54,6 +55,41 @@ def round_to_bfloat16(x: np.ndarray | float) -> np.ndarray:
     if nan_mask.any():
         out[nan_mask] = np.nan
     return out
+
+
+def round_to_bfloat16_into(
+    arr: np.ndarray,
+    bias_scratch: np.ndarray | None = None,
+    nan_scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """Round ``arr`` to bfloat16 *in place*, allocation-free.
+
+    Bit-identical to ``round_to_bfloat16`` (including NaN payloads, which
+    both normalise to ``np.nan``) but mutates ``arr`` through a uint32
+    view instead of materialising copies.  ``arr`` must be a C-contiguous
+    float32 array; ``bias_scratch`` (uint32, same shape) and
+    ``nan_scratch`` (bool, same shape) are reused across calls when
+    provided.
+    """
+    if arr.dtype != np.float32 or not arr.flags["C_CONTIGUOUS"]:
+        raise ValueError("arr must be a C-contiguous float32 array")
+    if bias_scratch is None:
+        bias_scratch = np.empty(arr.shape, dtype=np.uint32)
+    if nan_scratch is None:
+        nan_scratch = np.empty(arr.shape, dtype=bool)
+    np.isnan(arr, out=nan_scratch)
+    bits = arr.view(np.uint32)
+    # Same RNE bias as round_to_bfloat16, computed into scratch:
+    # bits += ((bits >> 16) & 1) + 0x7FFF; bits &= 0xFFFF0000.
+    np.right_shift(bits, np.uint32(16), out=bias_scratch)
+    np.bitwise_and(bias_scratch, np.uint32(1), out=bias_scratch)
+    np.add(bias_scratch, np.uint32(0x7FFF), out=bias_scratch)
+    with np.errstate(over="ignore"):
+        np.add(bits, bias_scratch, out=bits)
+    np.bitwise_and(bits, np.uint32(0xFFFF0000), out=bits)
+    if nan_scratch.any():
+        np.copyto(arr, np.float32(np.nan), where=nan_scratch)
+    return arr
 
 
 def to_bits(x: np.ndarray | float) -> np.ndarray:

@@ -9,11 +9,11 @@ function hardware applies on stores.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
-from .bfloat16 import round_to_bfloat16
+from .bfloat16 import round_to_bfloat16, round_to_bfloat16_into
 
 __all__ = ["DType", "FLOAT32", "BFLOAT16", "resolve_dtype"]
 
@@ -37,18 +37,31 @@ class DType:
         Rounding applied whenever a tensor of this dtype is materialised.
         Arrays are always *carried* as float32; for bfloat16 the carried
         values are constrained to the bfloat16-representable subset.
+    quantize_into:
+        Optional in-place variant, ``quantize_into(arr, bias_scratch,
+        nan_scratch)``, bit-identical to ``quantize`` but mutating ``arr``
+        without allocating.  ``None`` means quantization is the identity
+        and the fused kernels can skip the pass entirely.
     """
 
     name: str
     itemsize: int
     quantize: Callable[[np.ndarray], np.ndarray] = field(repr=False)
+    quantize_into: Optional[
+        Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+    ] = field(default=None, repr=False)
 
     def __str__(self) -> str:
         return self.name
 
 
 FLOAT32 = DType(name="float32", itemsize=4, quantize=_identity)
-BFLOAT16 = DType(name="bfloat16", itemsize=2, quantize=round_to_bfloat16)
+BFLOAT16 = DType(
+    name="bfloat16",
+    itemsize=2,
+    quantize=round_to_bfloat16,
+    quantize_into=round_to_bfloat16_into,
+)
 
 _BY_NAME = {"float32": FLOAT32, "f32": FLOAT32, "bfloat16": BFLOAT16, "bf16": BFLOAT16}
 

@@ -135,3 +135,156 @@ class TestTPUBackendCharging:
         tpu.matmul(a, k)
         categories = [entry for entry in core.op_log if entry[0] == "mxu"]
         assert categories[-1][3] == pytest.approx(35.0)  # 5 * 7 blocks
+
+
+class TestInPlaceTwins:
+    """Every ``*_into`` op must equal its allocating counterpart bit-for-bit."""
+
+    @pytest.fixture(params=["float32", "bfloat16"])
+    def any_backend(self, request):
+        return NumpyBackend(request.param)
+
+    def test_elementwise_into_twins(self, any_backend):
+        b = any_backend
+        rng = np.random.default_rng(3)
+        x = b.array(rng.normal(size=(6, 6)))
+        y = b.array(rng.normal(size=(6, 6)))
+        out = np.empty_like(x)
+        np.testing.assert_array_equal(b.add_into(x, y, out), b.add(x, y))
+        np.testing.assert_array_equal(b.subtract_into(x, y, out), b.subtract(x, y))
+        np.testing.assert_array_equal(b.multiply_into(x, y, out), b.multiply(x, y))
+        np.testing.assert_array_equal(b.less_into(x, y, out), b.less(x, y))
+        np.testing.assert_array_equal(b.exp_into(x, out), b.exp(x))
+
+    def test_matmul_into_twin(self, any_backend):
+        b = any_backend
+        rng = np.random.default_rng(4)
+        x = b.array(rng.normal(size=(8, 8)))
+        y = b.array(rng.normal(size=(8, 8)))
+        out = np.empty_like(x)
+        np.testing.assert_array_equal(b.matmul_into(x, y, out), b.matmul(x, y))
+
+    def test_uniform_into_twin(self, any_backend):
+        from repro.rng import PhiloxStream
+
+        out = np.empty((5, 5), dtype=np.float32)
+        any_backend.uniform_into(PhiloxStream(3, 1), out)
+        expected = any_backend.random_uniform((5, 5), PhiloxStream(3, 1))
+        np.testing.assert_array_equal(out, expected)
+
+    def test_take_into_wraps_negative_indices(self, backend):
+        table = np.arange(19, dtype=np.float32)
+        idx = np.array([-9, -1, 0, 9], dtype=np.int32)
+        out = np.empty(4, dtype=np.float32)
+        backend.take_into(table, idx, out)
+        np.testing.assert_array_equal(out, [10.0, 18.0, 0.0, 9.0])
+
+    def test_acceptance_index_into(self, backend):
+        sigma = np.array([-1.0, -1.0, 1.0, 1.0], dtype=np.float32)
+        nn = np.array([-4.0, 4.0, -4.0, 4.0], dtype=np.float32)
+        idx = np.empty(4, dtype=np.int32)
+        fscratch = np.empty(4, dtype=np.float32)
+        backend.acceptance_index_into(sigma, nn, idx, fscratch)
+        np.testing.assert_array_equal(idx, [-9, -1, 1, 9])
+        offsets = np.full(4, 9.0, dtype=np.float32)
+        backend.acceptance_index_into(sigma, nn, idx, fscratch, offsets=offsets)
+        np.testing.assert_array_equal(idx, [0, 8, 10, 18])
+
+
+class TestBandMatmulPrimitives:
+    """The shift-band products are exact sums of <= 2 spins, so the
+    slice-add implementations must match the explicit band matmuls."""
+
+    @staticmethod
+    def _band(k: int, offset: int) -> np.ndarray:
+        return np.eye(k, k=offset, dtype=np.float32)
+
+    def test_band_cross_matmul_matches_explicit(self, backend):
+        rng = np.random.default_rng(5)
+        grid = np.sign(rng.normal(size=(2, 2, 6, 6))).astype(np.float32)
+        k = 6
+        left = self._band(k, -1) + self._band(k, 1)
+        expected = backend.add(
+            backend.matmul(grid, left), backend.matmul(left, grid)
+        )
+        out = np.empty_like(grid)
+        backend.band_cross_matmul_into(grid, out)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_band_cross_matmul_rejects_aliasing(self, backend):
+        grid = np.ones((4, 4), dtype=np.float32)
+        with pytest.raises(ValueError, match="alias"):
+            backend.band_cross_matmul_into(grid, grid)
+
+    @pytest.mark.parametrize("axis", [-1, -2])
+    @pytest.mark.parametrize("offset", [-1, 1])
+    def test_band_pair_matmul_matches_explicit(self, backend, axis, offset):
+        rng = np.random.default_rng(6)
+        a = np.sign(rng.normal(size=(2, 6, 6))).astype(np.float32)
+        k = 6
+        band = np.eye(k, dtype=np.float32) + self._band(k, offset)
+        if axis == -1:
+            expected = backend.matmul(a, band.T)
+        else:
+            expected = backend.matmul(band, a)
+        out = np.empty_like(a)
+        backend.band_pair_matmul_into(a, axis, offset, out)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_band_charges_match_matmul_sequence(self):
+        """TPU accounting: the band primitives charge what the matmul_into
+        op sequence they replace would have charged."""
+        grid = np.sign(np.random.default_rng(7).normal(size=(1, 1, 8, 8)))
+
+        core_band = TensorCore(core_id=0)
+        band_backend = TPUBackend(core_band)
+        g = band_backend.array(grid)
+        band_backend.band_cross_matmul_into(g, np.empty_like(g))
+
+        core_seq = TensorCore(core_id=1)
+        seq_backend = TPUBackend(core_seq)
+        g2 = seq_backend.array(grid)
+        k = 8
+        left = seq_backend.array(np.eye(k, k=-1) + np.eye(k, k=1))
+        tmp = np.empty_like(g2)
+        out = np.empty_like(g2)
+        seq_backend.matmul_into(g2, left, out)
+        seq_backend.matmul_into(left, g2, tmp)
+        seq_backend.add_into(out, tmp, out)
+        for cat in ("mxu", "vpu"):
+            assert core_band.profiler.flops[cat] == pytest.approx(
+                core_seq.profiler.flops[cat]
+            ), cat
+            assert core_band.profiler.bytes[cat] == pytest.approx(
+                core_seq.profiler.bytes[cat]
+            ), cat
+
+    def test_band_pair_charge_matches_single_matmul(self):
+        a = np.ones((2, 8, 8), dtype=np.float32)
+
+        core_band = TensorCore(core_id=0)
+        band_backend = TPUBackend(core_band)
+        x = band_backend.array(a)
+        band_backend.band_pair_matmul_into(x, -2, -1, np.empty_like(x))
+
+        core_seq = TensorCore(core_id=1)
+        seq_backend = TPUBackend(core_seq)
+        x2 = seq_backend.array(a)
+        band = seq_backend.array(np.eye(8) + np.eye(8, k=-1))
+        seq_backend.matmul_into(band, x2, np.empty_like(x2))
+        assert core_band.profiler.flops["mxu"] == pytest.approx(
+            core_seq.profiler.flops["mxu"]
+        )
+        assert core_band.profiler.bytes["mxu"] == pytest.approx(
+            core_seq.profiler.bytes["mxu"]
+        )
+
+    def test_band_pair_validates_arguments(self, backend):
+        a = np.ones((4, 4), dtype=np.float32)
+        out = np.empty_like(a)
+        with pytest.raises(ValueError):
+            backend.band_pair_matmul_into(a, 0, -1, out)
+        with pytest.raises(ValueError):
+            backend.band_pair_matmul_into(a, -1, 2, out)
+        with pytest.raises(ValueError):
+            backend.band_pair_matmul_into(a, -1, -1, a)

@@ -113,3 +113,49 @@ class TestProperties:
         rb = float(round_to_bfloat16(np.float32(b)))
         if a <= b:
             assert ra <= rb
+
+
+class TestRoundIntoTwin:
+    def test_bit_identical_to_allocating_round(self):
+        from repro.tpu.bfloat16 import round_to_bfloat16, round_to_bfloat16_into
+
+        rng = np.random.default_rng(8)
+        x = rng.normal(scale=1e3, size=(64,)).astype(np.float32)
+        expected = round_to_bfloat16(x)
+        arr = x.copy()
+        round_to_bfloat16_into(arr)
+        np.testing.assert_array_equal(arr, expected)
+
+    def test_special_values(self):
+        from repro.tpu.bfloat16 import round_to_bfloat16, round_to_bfloat16_into
+
+        x = np.array(
+            [np.nan, np.inf, -np.inf, 0.0, -0.0, 1e-40, 3.3895e38],
+            dtype=np.float32,
+        )
+        expected = round_to_bfloat16(x.copy())
+        arr = x.copy()
+        round_to_bfloat16_into(arr)
+        np.testing.assert_array_equal(
+            arr[~np.isnan(expected)], expected[~np.isnan(expected)]
+        )
+        assert np.isnan(arr[0]) and np.isnan(expected[0])
+        assert arr[1] == np.inf and arr[2] == -np.inf
+
+    def test_scratch_reuse(self):
+        from repro.tpu.bfloat16 import round_to_bfloat16, round_to_bfloat16_into
+
+        rng = np.random.default_rng(9)
+        bias = np.empty((16,), dtype=np.uint32)
+        nan = np.empty((16,), dtype=bool)
+        for _ in range(3):
+            x = rng.normal(size=(16,)).astype(np.float32)
+            expected = round_to_bfloat16(x)
+            round_to_bfloat16_into(x, bias_scratch=bias, nan_scratch=nan)
+            np.testing.assert_array_equal(x, expected)
+
+    def test_rejects_wrong_dtype(self):
+        from repro.tpu.bfloat16 import round_to_bfloat16_into
+
+        with pytest.raises(ValueError, match="float32"):
+            round_to_bfloat16_into(np.zeros(4, dtype=np.float64))

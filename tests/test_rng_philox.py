@@ -151,3 +151,68 @@ class TestUniformConversion:
         x = u - u.mean()
         corr = float(np.dot(x[:-1], x[1:]) / np.dot(x, x))
         assert abs(corr) < 0.02
+
+
+class TestBitsInto:
+    def test_matches_batched_allocating_path(self):
+        from repro.rng.philox import (
+            make_philox_scratch,
+            philox_bits_into,
+            philox_uniform_bits_batched,
+        )
+
+        n_streams, n_words = 3, 40
+        keys = np.array([[7, 0], [7, 1], [9, 2]], dtype=np.uint32)
+        starts = [0, 12, (1 << 128) - 4]  # includes a counter wrap
+        expected = philox_uniform_bits_batched(starts, n_words, keys)
+        scratch = make_philox_scratch(n_streams, n_words)
+        out = np.empty((n_streams, n_words), dtype=np.uint32)
+        philox_bits_into(starts, keys, out, scratch)
+        np.testing.assert_array_equal(out, expected)
+        # Scratch reuse: a second fill with different counters still agrees.
+        philox_bits_into([5, 6, 7], keys, out, scratch)
+        np.testing.assert_array_equal(
+            out, philox_uniform_bits_batched([5, 6, 7], n_words, keys)
+        )
+
+    def test_tail_words_single_stream(self):
+        from repro.rng.philox import (
+            make_philox_scratch,
+            philox_bits_into,
+            philox_uniform_bits,
+        )
+
+        # n_words not divisible by 4 exercises the tail of the 4-lane blocks.
+        n_words = 7
+        keys = np.array([[3, 5]], dtype=np.uint32)
+        scratch = make_philox_scratch(1, n_words)
+        out = np.empty((1, n_words), dtype=np.uint32)
+        philox_bits_into([100], keys, out, scratch)
+        np.testing.assert_array_equal(
+            out[0], philox_uniform_bits(100, n_words, (3, 5))
+        )
+
+    def test_validates_shapes(self):
+        from repro.rng.philox import make_philox_scratch, philox_bits_into
+
+        scratch = make_philox_scratch(2, 8)
+        keys = np.zeros((2, 2), dtype=np.uint32)
+        with pytest.raises(ValueError, match="out must be uint32"):
+            philox_bits_into([0, 0], keys, np.empty((2, 4), np.uint32), scratch)
+        with pytest.raises(ValueError, match="keys"):
+            philox_bits_into(
+                [0, 0], np.zeros((1, 2), np.uint32),
+                np.empty((2, 8), np.uint32), scratch,
+            )
+
+    def test_uniform_from_bits_into(self):
+        from repro.rng.philox import uint32_to_uniform, uniform_from_bits_into
+
+        bits = np.array(
+            [0, 1, (1 << 32) - 1, 0x80000000], dtype=np.uint32
+        ).reshape(2, 2)
+        expected = uint32_to_uniform(bits)  # _into destroys its input
+        out = np.empty((2, 2), dtype=np.float32)
+        uniform_from_bits_into(bits, out)
+        np.testing.assert_array_equal(out, expected)
+        assert np.all(out >= 0.0) and np.all(out < 1.0)

@@ -102,3 +102,57 @@ class TestMetropolisFlip:
         rate = float(np.mean(out == -1.0))
         expected = float(np.exp(-2.0 * beta * 2.0))
         assert rate == pytest.approx(expected, abs=4 * np.sqrt(expected / n))
+
+
+class TestMaskValidation:
+    def test_bad_mask_shape_raises_clearly(self, backend):
+        sigma = np.ones((4, 4), dtype=np.float32)
+        nn = np.zeros((4, 4), dtype=np.float32)
+        probs = np.full((4, 4), 0.5, dtype=np.float32)
+        with pytest.raises(ValueError, match="mask shape .* does not match"):
+            metropolis_flip(
+                backend, sigma, nn, probs, 1.0,
+                mask=np.ones((3, 3), dtype=np.float32),
+            )
+
+    def test_trailing_broadcast_mask_accepted(self, backend):
+        """A rank-2 colour mask broadcasts across a leading chain axis."""
+        sigma = np.ones((2, 4, 4), dtype=np.float32)
+        nn = np.zeros((2, 4, 4), dtype=np.float32)
+        probs = np.full((2, 4, 4), 0.5, dtype=np.float32)
+        mask = np.ones((4, 4), dtype=np.float32)
+        out = metropolis_flip(backend, sigma, nn, probs, 1.0, mask=mask)
+        assert out.shape == (2, 4, 4)
+
+    def test_leading_broadcast_mask_rejected(self, backend):
+        sigma = np.ones((2, 4, 4), dtype=np.float32)
+        nn = np.zeros((2, 4, 4), dtype=np.float32)
+        probs = np.full((2, 4, 4), 0.5, dtype=np.float32)
+        with pytest.raises(ValueError, match="trailing"):
+            metropolis_flip(backend, sigma, nn, probs, 1.0,
+                            mask=np.ones((2, 4, 1), dtype=np.float32))
+
+
+class TestScalarCache:
+    def test_beta_scalar_cached_per_backend(self, backend):
+        sigma = np.ones((2, 2), dtype=np.float32)
+        nn = np.zeros((2, 2), dtype=np.float32)
+        acceptance_ratio(backend, sigma, nn, 0.44)
+        cache = backend._device_scalar_cache
+        first = cache[("beta", 0.44)]
+        acceptance_ratio(backend, sigma, nn, 0.44)
+        assert cache[("beta", 0.44)] is first
+        assert np.asarray(first) == np.float32(-2.0 * 0.44)
+
+    def test_field_scalar_cached(self, backend):
+        sigma = np.ones((2, 2), dtype=np.float32)
+        nn = np.zeros((2, 2), dtype=np.float32)
+        acceptance_ratio(backend, sigma, nn, 0.44, field=0.37)
+        assert ("field", 0.37) in backend._device_scalar_cache
+
+    def test_cache_bounded(self, backend):
+        from repro.core.update import _SCALAR_CACHE_MAX, _cached_device_scalar
+
+        for i in range(_SCALAR_CACHE_MAX + 5):
+            _cached_device_scalar(backend, ("const", float(i)), float(i))
+        assert len(backend._device_scalar_cache) <= _SCALAR_CACHE_MAX
