@@ -3,6 +3,9 @@
 Runs a 128 x 128 checkerboard Metropolis chain (Algorithm 2 of the paper)
 just below the critical temperature and prints magnetization, energy and
 the Binder cumulant against the exact infinite-lattice references.
+Built through the unified ``repro.api`` surface: one
+:class:`~repro.api.SimulationConfig` describes the run, ``simulate()``
+builds it.
 
 Usage::
 
@@ -11,27 +14,28 @@ Usage::
 
 from __future__ import annotations
 
-from repro import IsingSimulation, T_CRITICAL
+import repro
+from repro import T_CRITICAL
 from repro.observables import internal_energy, spontaneous_magnetization
 
 
 def main() -> None:
-    temperature = 2.0  # below Tc ~ 2.269: the ordered phase
-    sim = IsingSimulation(
+    config = repro.SimulationConfig(
         shape=128,
-        temperature=temperature,
+        temperature=2.0,  # below Tc ~ 2.269: the ordered phase
         updater="compact",
         seed=42,
         initial="cold",
     )
+    sim = repro.simulate(config)
 
     print(f"lattice:      {sim.shape[0]} x {sim.shape[1]}")
-    print(f"temperature:  {temperature}  (Tc = {T_CRITICAL:.6f})")
+    print(f"temperature:  {config.resolved_temperature}  (Tc = {T_CRITICAL:.6f})")
     print("sampling 500 sweeps after 200 burn-in ...")
     result = sim.sample(n_samples=500, burn_in=200)
 
-    exact_m = float(spontaneous_magnetization(temperature))
-    exact_e = float(internal_energy(temperature))
+    exact_m = float(spontaneous_magnetization(config.resolved_temperature))
+    exact_e = float(internal_energy(config.resolved_temperature))
     print(f"<|m|> = {result.abs_m:.4f} +- {result.abs_m_err:.4f}   "
           f"(exact infinite lattice: {exact_m:.4f})")
     print(f"<e>   = {result.energy:.4f} +- {result.energy_err:.4f}   "

@@ -4,6 +4,9 @@ Spreads a lattice over a 2 x 4 grid of simulated TensorCores, runs
 lockstep SPMD sweeps with halo exchange over the toroidal mesh, and
 prints the per-category time breakdown (the paper's Table 3 quantities)
 plus a slice of the op-level trace (the paper's Fig. 6 trace viewer).
+Built through the unified ``repro.api`` surface, and finished with a
+fault-tolerance vignette: the same run under an injected core kill
+degrades onto the surviving sub-grid and keeps sweeping.
 
 Usage::
 
@@ -12,21 +15,19 @@ Usage::
 
 from __future__ import annotations
 
-from repro import DistributedIsing
-from repro.tpu import PodSlice
+import repro
 
 
 def main() -> None:
-    core_grid = (2, 4)
-    pod = PodSlice(core_grid, record_trace=True)
-    sim = DistributedIsing(
-        global_shape=(256, 512),
+    config = repro.SimulationConfig(
+        shape=(256, 512),
         temperature=2.1,
-        core_grid=core_grid,
-        pod=pod,
+        grid=(2, 4),
         dtype="bfloat16",
         seed=7,
+        record_trace=True,
     )
+    sim = repro.distributed(config)
     print(f"{sim.num_cores} cores, {sim.local_shape} sites per core, "
           f"{sim.n_sites} sites total")
 
@@ -41,11 +42,29 @@ def main() -> None:
         print(f"  {category:14s} {100 * fraction:7.3f} %")
 
     print("\nfirst trace events on core 0 (cf. paper Fig. 6):")
-    for event in pod.cores[0].profiler.trace[:12]:
+    for event in sim.pod.cores[0].profiler.trace[:12]:
         print(
             f"  t={event.start * 1e6:9.3f} us  {event.category:12s} "
             f"{event.name:22s} {event.duration * 1e6:8.3f} us"
         )
+
+    # -- fault tolerance: kill a core mid-run and keep going ------------
+    resilient = repro.distributed(config.evolve(
+        record_trace=False,
+        fault_plan=repro.FaultPlan(
+            events=(repro.FaultEvent("kill", core=5, sweep=6),),
+        ),
+        checkpoint_interval=3,
+    ))
+    resilient.run_resilient(10)
+    (event,) = resilient.topology_events
+    print(f"\nfault tolerance: core {event['dead_core']} killed at sweep "
+          f"{event['sweep_detected']};")
+    print(f"  restarted from checkpointed sweep {event['resumed_from_sweep']} "
+          f"on a {tuple(event['new_grid'])} grid "
+          f"(was {tuple(event['old_grid'])})")
+    print(f"  finished sweep {resilient.sweeps_done} on {resilient.num_cores} "
+          f"surviving cores; m = {resilient.magnetization():+.4f}")
 
 
 if __name__ == "__main__":

@@ -11,12 +11,27 @@ figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import IsingSimulation
-    sim = IsingSimulation(128, temperature=2.0, seed=0)
+    import repro
+    cfg = repro.SimulationConfig(shape=128, temperature=2.0, seed=0)
+    sim = repro.simulate(cfg)
     result = sim.sample(n_samples=1000, burn_in=200)
     print(result.abs_m, result.u4)
+
+The :mod:`repro.api` surface (``SimulationConfig`` + ``simulate`` /
+``ensemble`` / ``distributed`` / ``load``) is the stable entry point; the
+underlying classes remain importable for power users.  Fault tolerance
+(fault injection, checkpoint/restart, elastic degrade) is documented in
+``docs/fault_tolerance.md``.
 """
 
+from .api import (
+    SimulationConfig,
+    deprecated_kwargs,
+    distributed,
+    ensemble,
+    load,
+    simulate,
+)
 from .core import (
     CheckerboardUpdater,
     CompactLattice,
@@ -38,6 +53,7 @@ from .observables import (
     magnetization,
     spontaneous_magnetization,
 )
+from .mesh import FaultEvent, FaultPlan, RetryPolicy
 from .rng import PhiloxStream
 from .telemetry import (
     MetricsRegistry,
@@ -50,6 +66,15 @@ from .tpu import BFLOAT16, FLOAT32, PodSlice, TPU_V3, TensorCore
 from .version import __version__
 
 __all__ = [
+    "SimulationConfig",
+    "simulate",
+    "ensemble",
+    "distributed",
+    "load",
+    "deprecated_kwargs",
+    "FaultEvent",
+    "FaultPlan",
+    "RetryPolicy",
     "CheckerboardUpdater",
     "CompactLattice",
     "CompactUpdater",

@@ -1,0 +1,379 @@
+"""The blessed, stable entry point: one config, three factories, one loader.
+
+The three simulation drivers (:class:`~repro.core.simulation.IsingSimulation`,
+:class:`~repro.core.ensemble.EnsembleSimulation`,
+:class:`~repro.core.distributed.DistributedIsing`) grew three divergent
+kwarg lists.  This module puts one validated, frozen
+:class:`SimulationConfig` in front of all of them:
+
+    >>> import repro
+    >>> cfg = repro.SimulationConfig(shape=128, temperature=2.0, seed=7)
+    >>> sim = repro.simulate(cfg)                     # single chain
+    >>> chains = repro.ensemble(cfg, n_chains=8)      # vectorized ensemble
+    >>> pod = repro.distributed(replace(cfg, grid=(2, 2)))  # SPMD pod run
+
+and one loader that dispatches any ``checkpoint/v2`` envelope (or legacy
+v1 dict, with a :class:`DeprecationWarning`) back to the class that wrote
+it:
+
+    >>> sim2 = repro.load(sim.state_dict())
+
+Renamed keyword arguments stay usable for one release through
+:func:`deprecated_kwargs`, which warns once per call site name and
+forwards to the new spelling.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .backend.base import Backend
+from .backend.numpy_backend import NumpyBackend
+from .core.config import backend_from_checkpoint, checkpoint_kind, resolve_fused
+from .core.distributed import DistributedIsing
+from .core.ensemble import EnsembleSimulation
+from .core.simulation import IsingSimulation
+from .mesh.faults import FaultPlan
+from .telemetry.report import RunTelemetry
+from .tpu.dtypes import DType, resolve_dtype
+
+__all__ = [
+    "SimulationConfig",
+    "simulate",
+    "ensemble",
+    "distributed",
+    "load",
+    "deprecated_kwargs",
+]
+
+_UPDATERS = ("naive", "compact", "conv")
+
+# (qualified function name, old kwarg) pairs that already warned once.
+_DEPRECATION_WARNED: set[tuple[str, str]] = set()
+
+
+def deprecated_kwargs(**renames: str):
+    """Decorator: accept renamed keyword arguments for one release.
+
+    ``@deprecated_kwargs(old_name="new_name")`` makes the wrapped
+    callable keep accepting ``old_name=...``, forwarding the value to
+    ``new_name`` with a :class:`DeprecationWarning` that fires **once**
+    per (function, old name) for the process — a long sweep loop does
+    not spam the log.  Passing both spellings at once is an error, not a
+    silent pick.
+    """
+
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            for old, new in renames.items():
+                if old not in kwargs:
+                    continue
+                if new in kwargs:
+                    raise TypeError(
+                        f"{func.__qualname__}() got both {old!r} (deprecated) "
+                        f"and its replacement {new!r}"
+                    )
+                key = (func.__qualname__, old)
+                if key not in _DEPRECATION_WARNED:
+                    _DEPRECATION_WARNED.add(key)
+                    warnings.warn(
+                        f"{func.__qualname__}(): keyword {old!r} is deprecated, "
+                        f"use {new!r} — the old spelling will be removed in a "
+                        "future release",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                kwargs[new] = kwargs.pop(old)
+            return func(*args, **kwargs)
+
+        wrapper.__deprecated_kwargs__ = dict(renames)
+        return wrapper
+
+    return decorate
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """One validated, immutable description of an Ising run.
+
+    Every field has a default, so ``SimulationConfig()`` is a runnable
+    64 x 64 chain at T = 2.0 — the ``tools/check_api.py`` lint enforces
+    the every-field-has-a-default invariant.  Derive variants with
+    :meth:`evolve` (or :func:`dataclasses.replace`).
+
+    Fields
+    ------
+    shape:
+        Lattice shape — side length or (rows, cols).
+    temperature, beta:
+        Temperature in J / k_B units, or its inverse; set at most one
+        (``beta`` is converted on read; both unset means T = 2.0).
+    field:
+        External magnetic field h.
+    updater:
+        "naive", "compact" (default) or "conv".
+    dtype:
+        On-device storage dtype: "float32" or "bfloat16".
+    backend:
+        "numpy" (host arithmetic), "tpu" (single simulated TensorCore
+        cost model), a pre-built :class:`~repro.backend.base.Backend`,
+        or None — the driver's default.  :func:`distributed` builds its
+        own per-core TPU backends and only accepts None / "tpu".
+    fused:
+        Fused sweep engine: "auto" (default), True or False.
+    seed:
+        Global Philox seed.
+    telemetry:
+        ``True`` (attach a fresh
+        :class:`~repro.telemetry.report.RunTelemetry`), an existing
+        recorder, or None.
+    block_shape:
+        Compact-grid block size override.
+    grid:
+        Core grid (rows, cols) — required by :func:`distributed`,
+        rejected elsewhere.  ``core_grid=`` is the deprecated spelling.
+    fault_plan:
+        Optional :class:`~repro.mesh.faults.FaultPlan` for
+        :func:`distributed` runs (single-core drivers have no mesh to
+        inject into, so they reject it).
+    checkpoint_interval:
+        Periodic in-memory checkpoint cadence for :func:`distributed`
+        (see :meth:`~repro.core.distributed.DistributedIsing.run_resilient`).
+    initial:
+        "hot", "cold", or an explicit spin array.
+    record_trace:
+        Keep per-op trace events for Chrome-trace export
+        (:func:`distributed` only).
+    """
+
+    shape: "int | tuple[int, int]" = 64
+    temperature: "float | None" = None
+    beta: "float | None" = None
+    field: float = 0.0
+    updater: str = "compact"
+    dtype: "DType | str" = "float32"
+    backend: "Backend | str | None" = None
+    fused: "bool | str" = "auto"
+    seed: int = 0
+    telemetry: "RunTelemetry | bool | None" = None
+    block_shape: "tuple[int, int] | None" = None
+    grid: "tuple[int, int] | None" = None
+    fault_plan: "FaultPlan | None" = None
+    checkpoint_interval: "int | None" = None
+    initial: "str | np.ndarray" = "hot"
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.temperature is not None and self.beta is not None:
+            raise ValueError(
+                "set temperature or beta, not both "
+                f"(got temperature={self.temperature}, beta={self.beta})"
+            )
+        if self.temperature is not None and self.temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {self.temperature}")
+        if self.beta is not None and self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+        if self.updater not in _UPDATERS:
+            raise ValueError(
+                f"updater must be one of {_UPDATERS}, got {self.updater!r}"
+            )
+        resolve_fused(self.fused)  # raises on junk
+        resolve_dtype(self.dtype)  # raises on junk
+        if isinstance(self.backend, str) and self.backend not in ("numpy", "tpu"):
+            raise ValueError(
+                f"backend must be 'numpy', 'tpu', a Backend or None, "
+                f"got {self.backend!r}"
+            )
+        if self.grid is not None:
+            rows, cols = self.grid
+            if rows < 1 or cols < 1:
+                raise ValueError(f"grid must be positive, got {self.grid}")
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError(
+                "checkpoint_interval must be >= 1 or None, "
+                f"got {self.checkpoint_interval}"
+            )
+
+    @property
+    def resolved_temperature(self) -> float:
+        """The run temperature: ``temperature``, ``1 / beta``, or 2.0."""
+        if self.temperature is not None:
+            return float(self.temperature)
+        if self.beta is not None:
+            return 1.0 / float(self.beta)
+        return 2.0
+
+    def evolve(self, **changes) -> "SimulationConfig":
+        """A copy with ``changes`` applied (frozen-dataclass update).
+
+        Setting one of the temperature spellings clears the other, so
+        ``cfg.evolve(beta=0.44)`` works on a config built with
+        ``temperature=``.
+        """
+        if "temperature" in changes and "beta" not in changes:
+            changes.setdefault("beta", None)
+        if "beta" in changes and "temperature" not in changes:
+            changes.setdefault("temperature", None)
+        return replace(self, **changes)
+
+    def _resolved_telemetry(self) -> "RunTelemetry | None":
+        if self.telemetry is True:
+            return RunTelemetry()
+        if self.telemetry is False or self.telemetry is None:
+            return None
+        return self.telemetry
+
+    def _resolved_backend(self) -> "Backend | None":
+        """Build the single-core backend this config asks for (or None)."""
+        if isinstance(self.backend, Backend):
+            return self.backend
+        dtype = resolve_dtype(self.dtype)
+        if self.backend == "numpy":
+            return NumpyBackend(dtype)
+        if self.backend == "tpu":
+            return backend_from_checkpoint("tpu", dtype.name)
+        # backend is None: only force a build when a non-default dtype
+        # must be carried (the drivers' default is float32 numpy).
+        if dtype.name != "float32":
+            return NumpyBackend(dtype)
+        return None
+
+
+# Deprecated spellings accepted for one release on the config itself.
+SimulationConfig.__init__ = deprecated_kwargs(
+    core_grid="grid", T="temperature"
+)(SimulationConfig.__init__)
+
+
+def _reject(config: SimulationConfig, factory: str, *field_names: str) -> None:
+    for name in field_names:
+        if getattr(config, name) is not None:
+            raise ValueError(
+                f"{factory}() does not use config field {name!r} "
+                f"(got {getattr(config, name)!r}); build a config without it "
+                f"or call the right factory"
+            )
+
+
+def _reject_trace(config: SimulationConfig, factory: str) -> None:
+    if config.record_trace:
+        raise ValueError(
+            f"{factory}() has no per-core trace recorder; record_trace is a "
+            "distributed() field"
+        )
+
+
+def simulate(config: SimulationConfig) -> IsingSimulation:
+    """Build the single-chain simulation a config describes.
+
+    Rejects distributed-only fields (``grid``, ``fault_plan``,
+    ``checkpoint_interval``, ``record_trace``) instead of silently
+    ignoring them.
+    """
+    _reject(config, "simulate", "grid", "fault_plan", "checkpoint_interval")
+    _reject_trace(config, "simulate")
+    return IsingSimulation(
+        config.shape,
+        config.resolved_temperature,
+        updater=config.updater,
+        backend=config._resolved_backend(),
+        seed=config.seed,
+        initial=config.initial,
+        block_shape=config.block_shape,
+        field=config.field,
+        fused=config.fused,
+        telemetry=config._resolved_telemetry(),
+    )
+
+
+def ensemble(
+    config: SimulationConfig,
+    n_chains: "int | None" = None,
+    temperatures=None,
+) -> EnsembleSimulation:
+    """Build a vectorized multi-chain ensemble from a config.
+
+    Pass ``n_chains`` for that many chains at the config's temperature
+    (independent streams, shared seed), or ``temperatures`` for one
+    chain per listed temperature (the Fig. 3/4 temperature-scan shape).
+    Exactly one of the two is required.
+    """
+    if (n_chains is None) == (temperatures is None):
+        raise ValueError("pass exactly one of n_chains or temperatures")
+    if temperatures is None:
+        if n_chains < 1:
+            raise ValueError(f"n_chains must be >= 1, got {n_chains}")
+        temperatures = [config.resolved_temperature] * n_chains
+    _reject(config, "ensemble", "grid", "fault_plan", "checkpoint_interval")
+    _reject_trace(config, "ensemble")
+    return EnsembleSimulation(
+        config.shape,
+        temperatures,
+        updater=config.updater,
+        backend=config._resolved_backend(),
+        seed=config.seed,
+        initial=config.initial,
+        block_shape=config.block_shape,
+        field=config.field,
+        fused=config.fused,
+        telemetry=config._resolved_telemetry(),
+    )
+
+
+def distributed(config: SimulationConfig) -> DistributedIsing:
+    """Build the SPMD pod-slice simulation a config describes.
+
+    Requires ``grid``; the per-core backends are always simulated-TPU
+    cost models, so ``backend`` must be None or "tpu".
+    """
+    if config.grid is None:
+        raise ValueError(
+            "distributed() needs config.grid=(rows, cols) — e.g. "
+            "SimulationConfig(shape=128, grid=(2, 2))"
+        )
+    if config.backend is not None and config.backend != "tpu":
+        raise ValueError(
+            "distributed() always runs on simulated-TPU per-core backends; "
+            f"config.backend must be None or 'tpu', got {config.backend!r}"
+        )
+    return DistributedIsing(
+        config.shape,
+        config.resolved_temperature,
+        core_grid=config.grid,
+        dtype=config.dtype,
+        block_shape=config.block_shape,
+        seed=config.seed,
+        initial=config.initial,
+        record_trace=config.record_trace,
+        updater="conv" if config.updater == "conv" else "compact",
+        field=config.field,
+        fused=config.fused,
+        telemetry=config._resolved_telemetry(),
+        fault_plan=config.fault_plan,
+        checkpoint_interval=config.checkpoint_interval,
+    )
+
+
+def load(state: dict, **kwargs):
+    """Restore any checkpoint to the class that wrote it.
+
+    Dispatches on the ``checkpoint/v2`` envelope's ``kind`` ("single" /
+    "ensemble" / "distributed"); legacy v1 dicts (no ``schema`` key) are
+    classified by their distinguishing keys and decode with a
+    :class:`DeprecationWarning`.  Extra keyword arguments forward to the
+    target class's ``from_state_dict`` (e.g. ``fault_plan=`` /
+    ``telemetry=`` for distributed restores — runtime attachments are
+    deliberately not part of the checkpoint).
+    """
+    kind = checkpoint_kind(state)
+    loader = {
+        "single": IsingSimulation.from_state_dict,
+        "ensemble": EnsembleSimulation.from_state_dict,
+        "distributed": DistributedIsing.from_state_dict,
+    }[kind]
+    return loader(state, **kwargs)

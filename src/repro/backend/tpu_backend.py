@@ -13,7 +13,7 @@ from ..tpu.dtypes import DType, BFLOAT16, FLOAT32
 from ..tpu.tensorcore import TensorCore
 from .base import Backend
 
-__all__ = ["TPUBackend"]
+__all__ = ["TPUBackend", "float32_tpu_backend"]
 
 
 class TPUBackend(Backend):

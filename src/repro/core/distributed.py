@@ -33,9 +33,10 @@ import numpy as np
 
 from ..backend.base import Backend
 from ..backend.tpu_backend import TPUBackend
+from ..mesh.faults import CoreLostError, FaultInjector, FaultPlan
 from ..mesh.links import LinkModel
 from ..mesh.runtime import PermuteRequest, SPMDRuntime
-from ..mesh.topology import Torus2D
+from ..mesh.topology import Torus2D, degraded_grid
 from ..observables.energy import energy_per_spin
 from ..observables.magnetization import magnetization
 from ..rng.streams import PhiloxStream
@@ -43,9 +44,9 @@ from ..telemetry.report import RunReport, RunTelemetry
 from ..tpu.device import PodSlice
 from ..tpu.dtypes import DType, FLOAT32, resolve_dtype
 from .compact import CompactUpdater
+from .config import checkpoint_envelope, resolve_fused, unwrap_checkpoint
 from .fused import record_fused_metrics
 from .kernels import PhaseHalos
-from .simulation import resolve_fused
 from .lattice import (
     CompactLattice,
     cold_lattice,
@@ -56,6 +57,12 @@ from .lattice import (
 )
 
 __all__ = ["DistributedIsing"]
+
+#: Stream-id spacing between topology generations: after an elastic
+#: degrade, generation g's core i draws from stream id
+#: ``g * _GENERATION_STRIDE + i + 1`` — deterministic, and disjoint from
+#: every earlier generation's streams for any realistic core count.
+_GENERATION_STRIDE = 1 << 20
 
 _ALL = slice(None)
 
@@ -127,6 +134,26 @@ class DistributedIsing:
         its registry and :meth:`report` emits a distributed
         :class:`~repro.telemetry.report.RunReport` with the per-core
         compute-vs-communication split.
+    fault_plan:
+        Optional :class:`~repro.mesh.faults.FaultPlan`.  When attached,
+        the SPMD runtime injects the plan's faults: transient drops /
+        delays / stalls are retried or absorbed (costing modeled time,
+        never data — the chain stays bit-identical), and permanent core
+        kills raise :class:`~repro.mesh.faults.CoreLostError`, which
+        :meth:`run_resilient` turns into a checkpoint-restart on a
+        degraded topology.  ``None`` (the default) keeps the historical
+        perfect-mesh path: bit-identical output, <2% overhead (gated by
+        ``benchmarks/bench_fault_overhead.py``).
+    checkpoint_interval:
+        Take an in-memory checkpoint (:meth:`state_dict`) every this
+        many sweeps — the restart point :meth:`run_resilient` falls back
+        to after a permanent core loss.  The snapshot is taken at the
+        sweep boundary without pausing the chain and is never charged to
+        modeled device time (the asynchronous-checkpointing idealisation:
+        host-side state capture overlaps the next sweep).  ``None``
+        disables periodic snapshots; a construction-time snapshot is
+        still taken whenever a ``fault_plan`` is attached so degrade
+        always has a restart point.
     """
 
     def __init__(
@@ -145,6 +172,8 @@ class DistributedIsing:
         field: float = 0.0,
         fused: "bool | str" = "auto",
         telemetry: RunTelemetry | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint_interval: int | None = None,
     ) -> None:
         if updater not in ("compact", "conv"):
             raise ValueError(
@@ -168,6 +197,11 @@ class DistributedIsing:
         if temperature <= 0:
             raise ValueError(f"temperature must be positive, got {temperature}")
 
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1 or None, got {checkpoint_interval}"
+            )
+
         self.global_shape = (rows, cols)
         self.core_grid = (p_rows, p_cols)
         self.local_shape = (local_rows, local_cols)
@@ -182,48 +216,102 @@ class DistributedIsing:
         # elementwise op sequence the calibrated tables were fit to.
         self.fused = False if self.fused_config == "auto" else self.fused_config
 
-        self.pod = pod if pod is not None else PodSlice(core_grid, record_trace=record_trace)
-        if self.pod.core_grid != self.core_grid:
+        if pod is not None and pod.core_grid != self.core_grid:
             raise ValueError(
-                f"pod core grid {self.pod.core_grid} != requested {self.core_grid}"
+                f"pod core grid {pod.core_grid} != requested {self.core_grid}"
             )
         self.telemetry = telemetry
+        self.updater_name = updater
+        self.checkpoint_interval = checkpoint_interval
+        self.fault_plan = fault_plan
+        self.fault_injector: FaultInjector | None = None
+        #: Topology-change records appended by elastic degrades:
+        #: ``{"sweep_detected", "resumed_from_sweep", "dead_core",
+        #: "old_grid", "new_grid", "generation"}`` dicts, carried into
+        #: checkpoints and the run report.
+        self.topology_events: list[dict] = []
+        self._generation = 0
+        # Remembered for topology rebuilds after an elastic degrade (the
+        # user's explicit block_shape sticks; None re-derives per-quarter
+        # blocks from the new local shape).
+        self._block_shape_arg = block_shape
+        self._link_model = link_model
+        self._record_trace = bool(record_trace)
+
+        self._build_topology(self.core_grid, pod=pod)
+
+        global_plain = self._initial_lattice(initial)
+        self._states: list[CompactLattice] = self._scatter(global_plain)
+        self._last_checkpoint: dict | None = None
+        if self.checkpoint_interval is not None or fault_plan is not None:
+            self._last_checkpoint = self.state_dict()
+
+    # -- setup helpers ------------------------------------------------------
+
+    def _build_topology(
+        self, core_grid: tuple[int, int], pod: PodSlice | None = None
+    ) -> None:
+        """(Re)build pod, torus, runtime, backends, updaters and streams.
+
+        Called at construction and again by :meth:`_degrade` with a
+        smaller grid.  Stream ids incorporate the topology generation so
+        the post-degrade chain draws from fresh, deterministic streams
+        that no earlier generation ever touched.
+        """
+        p_rows, p_cols = core_grid
+        rows, cols = self.global_shape
+        self.core_grid = (p_rows, p_cols)
+        self.local_shape = (rows // p_rows, cols // p_cols)
+        local_rows, local_cols = self.local_shape
+        self.pod = (
+            pod
+            if pod is not None
+            else PodSlice(core_grid, record_trace=self._record_trace)
+        )
         self.torus = Torus2D(p_rows, p_cols)
+        if self.fault_plan is not None and self.fault_injector is None:
+            self.fault_injector = FaultInjector(self.fault_plan, self.torus.num_cores)
+        prior_fault_log = getattr(self, "runtime", None)
         self.runtime = SPMDRuntime(
             self.torus,
-            link_model,
+            self._link_model,
             cores=self.pod.cores,
-            metrics=telemetry.registry if telemetry is not None else None,
+            metrics=self.telemetry.registry if self.telemetry is not None else None,
+            fault_injector=self.fault_injector,
         )
-
+        if prior_fault_log is not None:
+            # Keep pre-degrade fault spans so the trace shows the whole
+            # incident, not just the surviving generation.
+            self.runtime.fault_log.extend(prior_fault_log.fault_log)
         self._backends: list[Backend] = [
             TPUBackend(core, self.dtype) for core in self.pod.cores
         ]
-        self.updater_name = updater
         self._updaters = [
             CompactUpdater(
                 self.beta,
                 backend,
-                block_shape=block_shape
-                if block_shape is not None
+                block_shape=self._block_shape_arg
+                if self._block_shape_arg is not None
                 else (local_rows // 2, local_cols // 2),
-                nn_method="conv" if updater == "conv" else "matmul",
+                nn_method="conv" if self.updater_name == "conv" else "matmul",
                 field=self.field,
                 fused=self.fused,
             )
             for backend in self._backends
         ]
+        self.block_shape = self._updaters[0].block_shape
+        base = self._generation * _GENERATION_STRIDE
         self._streams = [
-            PhiloxStream(self.seed, core_id + 1) for core_id in range(self.num_cores)
+            PhiloxStream(self.seed, base + core_id + 1)
+            for core_id in range(self.num_cores)
         ]
 
-        global_plain = self._initial_lattice(initial)
-        self._states: list[CompactLattice] = [
+    def _scatter(self, global_plain: np.ndarray) -> list[CompactLattice]:
+        """Decompose a global plain lattice into per-core compact states."""
+        return [
             self._updaters[cid].to_state(self._local_slice(global_plain, cid))
             for cid in range(self.num_cores)
         ]
-
-    # -- setup helpers ------------------------------------------------------
 
     def _initial_lattice(self, initial: str | np.ndarray) -> np.ndarray:
         if isinstance(initial, str):
@@ -292,13 +380,17 @@ class DistributedIsing:
         if (probs_black is not None or probs_white is not None) and n_sweeps != 1:
             raise ValueError("explicit probs require n_sweeps == 1")
         telemetry = self.telemetry
+        injector = self.fault_injector
         for _ in range(n_sweeps):
+            if injector is not None:
+                injector.begin_sweep(self.sweeps_done)
             if telemetry is None:
                 self._states = self.runtime.run(
                     lambda cid: self._sweep_program(cid, probs_black, probs_white)
                 )
                 self.pod.mark_step()
                 self.sweeps_done += 1
+                self._maybe_checkpoint()
                 continue
             start = perf_counter()
             self._states = self.runtime.run(
@@ -310,6 +402,7 @@ class DistributedIsing:
                 step_seconds
             )
             self.sweeps_done += 1
+            self._maybe_checkpoint()
             if telemetry.wants_physics(self.sweeps_done):
                 plain = self.gather_lattice()
                 telemetry.record_physics(
@@ -363,6 +456,177 @@ class DistributedIsing:
                 halos=PhaseHalos(**halos),
             )
         return lat
+
+    # -- checkpoint / restart / resilience ----------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        """Snapshot at the sweep boundary if the interval says so.
+
+        Asynchronous-checkpointing idealisation: the snapshot is taken
+        host-side between sweeps and never charged to modeled device
+        time, so a checkpointed run's modeled timeline (and its chain) is
+        identical to an uncheckpointed one.
+        """
+        interval = self.checkpoint_interval
+        if interval is None or self.sweeps_done % interval:
+            return
+        self._last_checkpoint = self.state_dict()
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("checkpoints_taken").inc()
+
+    def state_dict(self) -> dict:
+        """Serializable ``checkpoint/v2`` snapshot of the whole pod run.
+
+        Carries the assembled global lattice, every core's Philox stream
+        state (counters included), the fused-engine selection, the
+        topology generation and any recorded topology-change events —
+        everything :meth:`from_state_dict` needs for a bit-identical
+        resume on the same core grid, or :meth:`run_resilient` needs to
+        restart on a degraded one.
+        """
+        return checkpoint_envelope(
+            "distributed",
+            {
+                "shape": self.global_shape,
+                "core_grid": self.core_grid,
+                "temperature": self.temperature,
+                "field": self.field,
+                "updater": self.updater_name,
+                "dtype": self.dtype.name,
+                "block_shape": self._block_shape_arg,
+                "seed": self.seed,
+                "fused": self.fused_config,
+                "sweeps_done": self.sweeps_done,
+                "lattice": self.gather_lattice(),
+                "streams": [stream.state() for stream in self._streams],
+                "generation": self._generation,
+                "topology_events": [dict(ev) for ev in self.topology_events],
+            },
+        )
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: dict,
+        pod: PodSlice | None = None,
+        link_model: LinkModel | None = None,
+        record_trace: bool = False,
+        telemetry: RunTelemetry | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint_interval: int | None = None,
+    ) -> "DistributedIsing":
+        """Rebuild a distributed run from :meth:`state_dict` output.
+
+        Accepts the ``checkpoint/v2`` envelope (and, with a
+        :class:`DeprecationWarning`, legacy v1 dicts).  The lattice,
+        every core's Philox counter, the fused selection and the topology
+        generation all round-trip, so the resumed chain is bit-identical
+        to one that never stopped.  The simulated pod, link model,
+        telemetry and fault plan are *not* part of the checkpoint —
+        pass them again if the resumed run should carry them.
+        """
+        state = unwrap_checkpoint(state, "distributed")
+        block_shape = state.get("block_shape")
+        sim = cls(
+            tuple(state["shape"]),
+            state["temperature"],
+            core_grid=tuple(state["core_grid"]),
+            pod=pod,
+            dtype=state["dtype"],
+            block_shape=tuple(block_shape) if block_shape is not None else None,
+            seed=state["seed"],
+            initial=np.asarray(state["lattice"], dtype=np.float32),
+            link_model=link_model,
+            record_trace=record_trace,
+            updater=state["updater"],
+            field=state["field"],
+            fused=state.get("fused", "auto"),
+            telemetry=telemetry,
+            fault_plan=fault_plan,
+            checkpoint_interval=checkpoint_interval,
+        )
+        sim._generation = int(state.get("generation", 0))
+        sim.topology_events = [dict(ev) for ev in state.get("topology_events", [])]
+        streams = state["streams"]
+        if len(streams) != sim.num_cores:
+            raise ValueError(
+                f"checkpoint has {len(streams)} streams for {sim.num_cores} cores"
+            )
+        sim._streams = [PhiloxStream.from_state(s) for s in streams]
+        sim.sweeps_done = int(state["sweeps_done"])
+        if sim._last_checkpoint is not None:
+            sim._last_checkpoint = sim.state_dict()
+        return sim
+
+    # Checkpoints restore through the same constructor path either way;
+    # ``resume`` is the verb the fault-tolerance docs use.
+    resume = from_state_dict
+
+    def run_resilient(self, n_sweeps: int) -> None:
+        """Advance ``n_sweeps`` sweeps, surviving permanent core losses.
+
+        Sweeps like :meth:`sweep`; when the fault plan kills a core
+        (:class:`~repro.mesh.faults.CoreLostError`) the run restarts from
+        the last checkpoint on the largest surviving sub-grid of the
+        original decomposition (see
+        :func:`~repro.mesh.topology.degraded_grid`), records the topology
+        change in :attr:`topology_events`, and re-runs the lost sweeps
+        there.  Requires a checkpoint to exist — any ``fault_plan`` or
+        ``checkpoint_interval`` at construction guarantees one.
+        """
+        if n_sweeps < 0:
+            raise ValueError(f"n_sweeps must be >= 0, got {n_sweeps}")
+        target = self.sweeps_done + n_sweeps
+        while self.sweeps_done < target:
+            try:
+                self.sweep(target - self.sweeps_done)
+            except CoreLostError as exc:
+                self._degrade(exc)
+
+    def _degrade(self, loss: CoreLostError) -> None:
+        """Checkpoint-restart on a smaller core grid after a core loss.
+
+        Rebuilds the pod/torus/runtime on the largest strictly-smaller
+        sub-grid that still decomposes the global lattice evenly,
+        re-scatters the last checkpoint's lattice onto it, and bumps the
+        topology generation so the surviving cores draw from fresh
+        deterministic Philox streams.  Physics continuity (the chain
+        stays a valid Metropolis chain at the same temperature) is the
+        contract after a degrade — bit-identity with the undisturbed run
+        is not possible once the decomposition changes.
+        """
+        if self._last_checkpoint is None:
+            raise RuntimeError(
+                "core lost but no checkpoint to restart from; construct with "
+                "checkpoint_interval=... or a fault_plan"
+            ) from loss
+        new_grid = degraded_grid(self.core_grid, self.global_shape)
+        if new_grid is None:
+            raise loss
+        old_grid = self.core_grid
+        checkpoint = unwrap_checkpoint(self._last_checkpoint, "distributed")
+        self._generation += 1
+        # The injector survives the rebuild: its fired-event and
+        # dead-core records carry over so a one-shot kill does not
+        # re-fire against the degraded topology.
+        self._build_topology(new_grid)
+        self._states = self._scatter(
+            np.asarray(checkpoint["lattice"], dtype=np.float32)
+        )
+        self.sweeps_done = int(checkpoint["sweeps_done"])
+        self.topology_events.append(
+            {
+                "sweep_detected": loss.sweep,
+                "resumed_from_sweep": self.sweeps_done,
+                "dead_core": loss.core_id,
+                "old_grid": list(old_grid),
+                "new_grid": list(new_grid),
+                "generation": self._generation,
+            }
+        )
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("topology_degrades").inc()
+        self._last_checkpoint = self.state_dict()
 
     # -- performance accounting -------------------------------------------------
 
@@ -445,6 +709,8 @@ class DistributedIsing:
                 "seed": self.seed,
                 "sweeps_done": self.sweeps_done,
                 "fused": self.fused,
+                "generation": self._generation,
+                "topology_events": [dict(ev) for ev in self.topology_events],
             },
             rng={"streams": [stream.state() for stream in self._streams]},
             cores=self.core_splits(),

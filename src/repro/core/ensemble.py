@@ -37,13 +37,17 @@ from .compact import CompactUpdater
 from .conv import ConvUpdater, MaskedConvUpdater
 from .fused import record_fused_metrics
 from .lattice import cold_lattice, random_lattice, validate_spins
+from .config import (
+    backend_from_checkpoint,
+    backend_kind,
+    checkpoint_envelope,
+    resolve_fused,
+    unwrap_checkpoint,
+)
 from .simulation import (
     ChainResult,
     IsingSimulation,
-    _backend_from_checkpoint,
-    _backend_kind,
     _UPDATERS,
-    resolve_fused,
     summarize_chain,
 )
 
@@ -136,7 +140,7 @@ class EnsembleSimulation:
         self.telemetry = telemetry
         self.fused_config = resolve_fused(fused)
         self.fused = (
-            _backend_kind(self.backend) == "numpy"
+            backend_kind(self.backend) == "numpy"
             if self.fused_config == "auto"
             else self.fused_config
         )
@@ -360,7 +364,7 @@ class EnsembleSimulation:
                 "temperatures": self.temperatures.tolist(),
                 "field": self.field,
                 "updater": self.updater_name,
-                "backend": _backend_kind(self.backend),
+                "backend": backend_kind(self.backend),
                 "dtype": self.backend.dtype.name,
                 "block_shape": self.block_shape,
                 "seed": self.seed,
@@ -376,32 +380,41 @@ class EnsembleSimulation:
     def state_dict(self) -> dict:
         """Serializable checkpoint of the whole ensemble.
 
-        Round-trips everything a resume needs for bit-identical
-        continuation: lattices, per-chain RNG counters, backend kind,
-        dtype and block decomposition.
+        Emitted as a versioned ``checkpoint/v2`` envelope.  Round-trips
+        everything a resume needs for bit-identical continuation:
+        lattices, per-chain RNG counters, backend kind, dtype and block
+        decomposition.
         """
-        return {
-            "shape": self.shape,
-            "temperatures": self.temperatures.tolist(),
-            "field": self.field,
-            "updater": self.updater_name,
-            "backend": _backend_kind(self.backend),
-            "dtype": self.backend.dtype.name,
-            "block_shape": self.block_shape,
-            "seed": self.seed,
-            "fused": self.fused_config,
-            "lattices": self.lattices,
-            "stream": self.stream.state(),
-            "sweeps_done": self.sweeps_done,
-        }
+        return checkpoint_envelope(
+            "ensemble",
+            {
+                "shape": self.shape,
+                "temperatures": self.temperatures.tolist(),
+                "field": self.field,
+                "updater": self.updater_name,
+                "backend": backend_kind(self.backend),
+                "dtype": self.backend.dtype.name,
+                "block_shape": self.block_shape,
+                "seed": self.seed,
+                "fused": self.fused_config,
+                "lattices": self.lattices,
+                "stream": self.stream.state(),
+                "sweeps_done": self.sweeps_done,
+            },
+        )
 
     @classmethod
     def from_state_dict(
         cls, state: dict, backend: Backend | None = None
     ) -> "EnsembleSimulation":
-        """Rebuild an ensemble from :meth:`state_dict` output."""
+        """Rebuild an ensemble from :meth:`state_dict` output.
+
+        Accepts the ``checkpoint/v2`` envelope or (with a
+        :class:`DeprecationWarning`) a legacy v1 dict.
+        """
+        state = unwrap_checkpoint(state, "ensemble")
         if backend is None:
-            backend = _backend_from_checkpoint(
+            backend = backend_from_checkpoint(
                 state.get("backend", "numpy"), state["dtype"]
             )
         block_shape = state.get("block_shape")

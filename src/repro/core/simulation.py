@@ -32,6 +32,13 @@ from ..observables.magnetization import magnetization
 from ..observables.stats import blocking_error, binder_jackknife
 from .checkerboard import CheckerboardUpdater
 from .compact import CompactUpdater
+from .config import (
+    backend_from_checkpoint,
+    backend_kind,
+    checkpoint_envelope,
+    resolve_fused,
+    unwrap_checkpoint,
+)
 from .conv import ConvUpdater, MaskedConvUpdater
 from .fused import record_fused_metrics
 from .lattice import cold_lattice, random_lattice, validate_spins
@@ -48,48 +55,10 @@ __all__ = [
 #: (Algorithm 1) and "masked_conv" (naive full-lattice conv + mask).
 _UPDATERS = ("compact", "conv", "checkerboard", "masked_conv")
 
-
-def resolve_fused(fused: "bool | str") -> "bool | str":
-    """Normalise a fused-engine selection to ``"auto"`` / True / False.
-
-    ``"auto"`` resolves later against the backend family: enabled on plain
-    numpy backends (pure host speedup), disabled on accounting backends so
-    the calibrated TPU cost tables keep their historical op sequence.
-    """
-    if fused == "auto":
-        return "auto"
-    if isinstance(fused, (bool, np.bool_)):
-        return bool(fused)
-    raise ValueError(f"fused must be 'auto', True or False, got {fused!r}")
-
-
-def _backend_kind(backend: Backend) -> str:
-    """Checkpoint tag for the backend family ("numpy" or "tpu")."""
-    from ..backend.tpu_backend import TPUBackend
-
-    return "tpu" if isinstance(backend, TPUBackend) else "numpy"
-
-
-def _backend_from_checkpoint(kind: str, dtype_name: str) -> Backend:
-    """Rebuild a backend of the checkpointed kind and dtype.
-
-    Raises on unknown backend kinds; unknown dtype names raise inside
-    :func:`~repro.tpu.dtypes.resolve_dtype` rather than silently
-    substituting a default.
-    """
-    from ..tpu.dtypes import resolve_dtype
-
-    dtype = resolve_dtype(dtype_name)
-    if kind == "numpy":
-        return NumpyBackend(dtype)
-    if kind == "tpu":
-        from ..backend.tpu_backend import TPUBackend
-        from ..tpu.tensorcore import TensorCore
-
-        return TPUBackend(TensorCore(core_id=0), dtype)
-    raise ValueError(
-        f"unknown backend kind {kind!r} in checkpoint; expected 'numpy' or 'tpu'"
-    )
+# Compatibility aliases: these helpers moved to repro.core.config (the
+# distributed and ensemble drivers import them from there now).
+_backend_kind = backend_kind
+_backend_from_checkpoint = backend_from_checkpoint
 
 
 @dataclass
@@ -332,23 +301,29 @@ class IsingSimulation:
     def state_dict(self) -> dict:
         """Serializable checkpoint: lattice + RNG state + progress.
 
-        Restoring with :meth:`from_state_dict` continues the chain
-        bit-identically (same Philox counter, same lattice), on the same
-        backend kind / dtype and with the same block decomposition.
+        Emitted as a versioned ``checkpoint/v2`` envelope (``schema`` +
+        ``kind`` keys; see :mod:`repro.core.config`).  Restoring with
+        :meth:`from_state_dict` — or the kind-dispatching
+        :func:`repro.api.load` — continues the chain bit-identically
+        (same Philox counter, same lattice), on the same backend kind /
+        dtype and with the same block decomposition.
         """
-        return {
-            "shape": self.shape,
-            "temperature": self.temperature,
-            "field": self.field,
-            "updater": self.updater_name,
-            "backend": _backend_kind(self.backend),
-            "dtype": self.backend.dtype.name,
-            "block_shape": self.block_shape,
-            "fused": self.fused_config,
-            "lattice": self.lattice,
-            "stream": self.stream.state(),
-            "sweeps_done": self.sweeps_done,
-        }
+        return checkpoint_envelope(
+            "single",
+            {
+                "shape": self.shape,
+                "temperature": self.temperature,
+                "field": self.field,
+                "updater": self.updater_name,
+                "backend": backend_kind(self.backend),
+                "dtype": self.backend.dtype.name,
+                "block_shape": self.block_shape,
+                "fused": self.fused_config,
+                "lattice": self.lattice,
+                "stream": self.stream.state(),
+                "sweeps_done": self.sweeps_done,
+            },
+        )
 
     @classmethod
     def from_state_dict(
@@ -356,7 +331,9 @@ class IsingSimulation:
     ) -> "IsingSimulation":
         """Rebuild a simulation from :meth:`state_dict` output.
 
-        The checkpoint's backend kind ("numpy" / "tpu"), dtype and
+        Accepts the ``checkpoint/v2`` envelope (and, with a
+        :class:`DeprecationWarning`, legacy v1 dicts without a ``schema``
+        key).  The checkpoint's backend kind ("numpy" / "tpu"), dtype and
         ``block_shape`` are all round-tripped, so a chain checkpointed
         from a bfloat16 TPU backend or a non-default block decomposition
         resumes with the same numerics and tensor layout instead of
@@ -365,8 +342,9 @@ class IsingSimulation:
         on an explicit (pre-built) backend instead — e.g. a TPUBackend
         bound to a specific simulated core.
         """
+        state = unwrap_checkpoint(state, "single")
         if backend is None:
-            backend = _backend_from_checkpoint(
+            backend = backend_from_checkpoint(
                 state.get("backend", "numpy"), state["dtype"]
             )
         block_shape = state.get("block_shape")

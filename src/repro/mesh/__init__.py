@@ -1,19 +1,39 @@
-"""Simulated TPU pod interconnect: topology, collectives and SPMD runtime."""
+"""Simulated TPU pod interconnect: topology, collectives, SPMD runtime
+and deterministic fault injection (see ``docs/fault_tolerance.md``)."""
 
 from .collectives import all_gather, all_reduce, collective_permute, validate_pairs
+from .faults import (
+    CollectiveFaults,
+    CoreLostError,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    MeshFaultError,
+    MeshTimeoutError,
+    RetryPolicy,
+)
 from .links import LinkModel
 from .runtime import LockstepError, PermuteRequest, SPMDRuntime
-from .topology import DIRECTIONS, Torus2D
+from .topology import DIRECTIONS, Torus2D, degraded_grid
 
 __all__ = [
     "all_gather",
     "all_reduce",
     "collective_permute",
     "validate_pairs",
+    "CollectiveFaults",
+    "CoreLostError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "MeshFaultError",
+    "MeshTimeoutError",
+    "RetryPolicy",
     "LinkModel",
     "LockstepError",
     "PermuteRequest",
     "SPMDRuntime",
     "DIRECTIONS",
     "Torus2D",
+    "degraded_grid",
 ]

@@ -1,0 +1,393 @@
+"""Deterministic fault injection for the simulated pod interconnect.
+
+Real pod slices at the paper's 512-2048 TensorCore scale are not the
+perfect lockstep mesh the runtime historically modeled: links drop or
+delay packets, hosts get preempted (a core stalls and every peer waits,
+because the mesh is lockstep), and occasionally a core dies outright.
+This module provides the *model* of those failures:
+
+* :class:`FaultEvent` — one scheduled fault: ``drop`` / ``delay`` /
+  ``stall`` a collective, or ``kill`` a core at a given sweep.
+* :class:`FaultPlan` — an immutable, serializable schedule of events
+  plus optional seeded random fault rates; attaching the same plan to
+  the same run reproduces the same faults draw-for-draw.
+* :class:`RetryPolicy` — bounded retries with exponential backoff and a
+  per-collective timeout, the recovery semantics the SPMD runtime
+  applies to transient faults.
+* :class:`FaultInjector` — the per-run stateful engine the runtime
+  consults once per collective.
+
+Fault injection never touches the simulation's Philox streams (random
+faults draw from the plan's own dedicated stream), so a run whose
+transient faults are all retried successfully stays **bit-identical** to
+the fault-free run — only the modeled time and the telemetry counters
+(``mesh_retries`` / ``mesh_timeouts`` / ``fault_injected``) change.
+Permanent failures surface as :class:`CoreLostError`, which
+:meth:`repro.core.distributed.DistributedIsing.run_resilient` turns into
+a checkpoint-restart on a degraded topology (see
+``docs/fault_tolerance.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from ..rng.streams import PhiloxStream
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "RetryPolicy",
+    "FaultInjector",
+    "CollectiveFaults",
+    "MeshFaultError",
+    "CoreLostError",
+    "MeshTimeoutError",
+]
+
+#: Fault kinds a plan may schedule.
+FAULT_KINDS = ("drop", "delay", "stall", "kill")
+
+#: Stream id of the plan's private Philox stream for random faults.
+#: Deliberately far outside the per-core id range (core i uses i + 1)
+#: so fault draws can never collide with simulation draws.
+_FAULT_STREAM_ID = 0x46415654  # "FAVT"
+
+
+class MeshFaultError(RuntimeError):
+    """Base class for unrecovered mesh failures."""
+
+
+class CoreLostError(MeshFaultError):
+    """A core was permanently lost (killed by the fault plan).
+
+    Carries enough context for the driver to degrade: the dead core's
+    linear id, and the sweep / global collective ordinal at detection.
+    """
+
+    def __init__(self, core_id: int, sweep: int, collective: int) -> None:
+        super().__init__(
+            f"core {core_id} lost at sweep {sweep} (collective #{collective})"
+        )
+        self.core_id = core_id
+        self.sweep = sweep
+        self.collective = collective
+
+
+class MeshTimeoutError(MeshFaultError):
+    """A collective exhausted its retry budget without completing."""
+
+    def __init__(self, name: str, collective: int, attempts: int) -> None:
+        super().__init__(
+            f"collective {name!r} (#{collective}) abandoned after "
+            f"{attempts} failed attempts — retry budget exhausted"
+        )
+        self.name = name
+        self.collective = collective
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Fields
+    ------
+    kind:
+        ``"drop"`` — the collective's delivery fails ``count`` times
+        before succeeding (each failure is detected by timeout and
+        retried with backoff).
+        ``"delay"`` — the collective's successful attempt takes
+        ``seconds`` extra modeled time (a slow link); if that pushes the
+        attempt over the retry policy's timeout it is treated as a
+        failed attempt and retried.
+        ``"stall"`` — the named core is preempted for ``seconds``; in a
+        lockstep mesh every core waits, so the stall charges the whole
+        step (the straggler effect of Tables 3/4 at scale).
+        ``"kill"`` — the named core dies permanently at sweep ``sweep``
+        (detected at its next collective), raising
+        :class:`CoreLostError`.
+    collective:
+        Global collective ordinal (0-based, as counted by
+        ``SPMDRuntime.collectives_executed``) the event fires at.  Drop /
+        delay / stall events require it.
+    sweep:
+        Sweep number a ``kill`` fires at (the driver reports sweeps to
+        the injector via :meth:`FaultInjector.begin_sweep`).  A kill may
+        alternatively name a ``collective``.
+    core:
+        Victim core linear id (required for ``stall`` and ``kill``;
+        informational for link events).
+    count:
+        For ``drop``: number of consecutive failed deliveries.
+    seconds:
+        For ``delay`` / ``stall``: extra modeled seconds.
+    """
+
+    kind: str
+    collective: int | None = None
+    sweep: int | None = None
+    core: int | None = None
+    count: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.kind == "kill":
+            if self.core is None:
+                raise ValueError("kill events must name a core")
+            if self.sweep is None and self.collective is None:
+                raise ValueError("kill events need a sweep or collective trigger")
+        elif self.collective is None:
+            raise ValueError(f"{self.kind} events must name a collective ordinal")
+        if self.kind == "drop" and self.count < 1:
+            raise ValueError(f"drop count must be >= 1, got {self.count}")
+        if self.kind in ("delay", "stall") and self.seconds <= 0:
+            raise ValueError(f"{self.kind} events need seconds > 0, got {self.seconds}")
+        if self.kind == "stall" and self.core is None:
+            raise ValueError("stall events must name a core")
+
+    def to_json_dict(self) -> dict:
+        payload = {"kind": self.kind}
+        for key in ("collective", "sweep", "core"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = int(value)
+        if self.kind == "drop":
+            payload["count"] = int(self.count)
+        if self.kind in ("delay", "stall"):
+            payload["seconds"] = float(self.seconds)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "FaultEvent":
+        return cls(
+            kind=payload["kind"],
+            collective=payload.get("collective"),
+            sweep=payload.get("sweep"),
+            core=payload.get("core"),
+            count=int(payload.get("count", 1)),
+            seconds=float(payload.get("seconds", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry semantics for transient collective failures.
+
+    A failed delivery attempt (dropped message, or an attempt whose
+    modeled duration exceeds ``timeout_seconds``) charges the timeout
+    plus an exponential backoff of ``backoff_base * 2**attempt`` modeled
+    seconds, then the collective is re-issued.  After ``max_retries``
+    failed attempts the collective is abandoned with
+    :class:`MeshTimeoutError`.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 5e-6
+    timeout_seconds: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Modeled backoff before re-issuing attempt ``attempt`` (1-based)."""
+        return self.backoff_base * (2.0 ** (attempt - 1))
+
+    def to_json_dict(self) -> dict:
+        return {
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "timeout_seconds": self.timeout_seconds,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "RetryPolicy":
+        return cls(
+            max_retries=int(payload.get("max_retries", 3)),
+            backoff_base=float(payload.get("backoff_base", 5e-6)),
+            timeout_seconds=float(payload.get("timeout_seconds", 1e-3)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, reproducible schedule of mesh faults.
+
+    Attach one to a :class:`~repro.core.distributed.DistributedIsing`
+    (or directly to an :class:`~repro.mesh.runtime.SPMDRuntime`) to run
+    under injected faults.  The same plan against the same run produces
+    the same faults: scheduled events fire at fixed collective ordinals
+    / sweeps, and random faults draw from a private Philox stream keyed
+    by ``seed`` — never from the simulation's streams.
+
+    Parameters
+    ----------
+    events:
+        Scheduled :class:`FaultEvent` instances.
+    drop_rate:
+        Per-collective probability of one transient drop (seeded).
+    delay_rate, delay_seconds:
+        Per-collective probability of an injected delay, and its size.
+    seed:
+        Seed of the plan's private fault stream.
+    retry:
+        The :class:`RetryPolicy` the runtime applies under this plan.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 50e-6
+    seed: int = 0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for name in ("drop_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+
+    @property
+    def has_random_faults(self) -> bool:
+        return self.drop_rate > 0.0 or self.delay_rate > 0.0
+
+    def with_events(self, extra: Iterable[FaultEvent]) -> "FaultPlan":
+        """A copy of this plan with additional scheduled events."""
+        return replace(self, events=self.events + tuple(extra))
+
+    def to_json_dict(self) -> dict:
+        return {
+            "events": [event.to_json_dict() for event in self.events],
+            "drop_rate": self.drop_rate,
+            "delay_rate": self.delay_rate,
+            "delay_seconds": self.delay_seconds,
+            "seed": self.seed,
+            "retry": self.retry.to_json_dict(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            events=tuple(
+                FaultEvent.from_json_dict(e) for e in payload.get("events", ())
+            ),
+            drop_rate=float(payload.get("drop_rate", 0.0)),
+            delay_rate=float(payload.get("delay_rate", 0.0)),
+            delay_seconds=float(payload.get("delay_seconds", 50e-6)),
+            seed=int(payload.get("seed", 0)),
+            retry=RetryPolicy.from_json_dict(payload.get("retry", {})),
+        )
+
+
+@dataclass
+class CollectiveFaults:
+    """The injector's verdict for one collective: what goes wrong.
+
+    ``drops`` failed delivery attempts precede the successful one, whose
+    duration is extended by ``delay_seconds`` (slow link) and
+    ``stall_seconds`` (preempted peer; lockstep makes everyone wait).
+    """
+
+    drops: int = 0
+    delay_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    injected: int = 0
+
+    @property
+    def any(self) -> bool:
+        return self.injected > 0
+
+
+class FaultInjector:
+    """Per-run fault engine: consulted by the runtime once per collective.
+
+    The injector owns all mutable fault state — which scheduled events
+    have fired, how many random draws were consumed, which cores are
+    dead — so a :class:`FaultPlan` stays immutable and reusable across
+    runs.  Drivers report sweep boundaries via :meth:`begin_sweep` (this
+    is how sweep-triggered kills find their trigger point).
+    """
+
+    def __init__(self, plan: FaultPlan, n_cores: int) -> None:
+        self.plan = plan
+        self.retry = plan.retry
+        self.n_cores = int(n_cores)
+        self.sweep = 0
+        self.injected_total = 0
+        self.dead_cores: set[int] = set()
+        self._fired: set[int] = set()  # indices into plan.events
+        self._stream = (
+            PhiloxStream(plan.seed, _FAULT_STREAM_ID)
+            if plan.has_random_faults
+            else None
+        )
+
+    def begin_sweep(self, sweep: int) -> None:
+        """Report the sweep about to run (enables sweep-triggered kills)."""
+        self.sweep = int(sweep)
+
+    def collective_faults(self, collective: int) -> CollectiveFaults:
+        """Faults afflicting global collective ordinal ``collective``.
+
+        Raises :class:`CoreLostError` if a kill triggers here; otherwise
+        returns the transient faults the runtime must model.  Each call
+        consumes this ordinal's scheduled events and (when the plan has
+        random rates) exactly two uniforms from the plan's private
+        stream, keeping the schedule deterministic under retries.
+        """
+        verdict = CollectiveFaults()
+        for idx, event in enumerate(self.plan.events):
+            if idx in self._fired:
+                continue
+            if event.kind == "kill":
+                triggered = (
+                    event.collective == collective
+                    if event.collective is not None
+                    else self.sweep >= event.sweep
+                )
+                if triggered:
+                    self._fired.add(idx)
+                    self.dead_cores.add(event.core)
+                    self.injected_total += 1
+                    raise CoreLostError(event.core, self.sweep, collective)
+                continue
+            if event.collective != collective:
+                continue
+            self._fired.add(idx)
+            verdict.injected += 1
+            if event.kind == "drop":
+                verdict.drops += event.count
+            elif event.kind == "delay":
+                verdict.delay_seconds += event.seconds
+            elif event.kind == "stall":
+                verdict.stall_seconds += event.seconds
+
+        if self._stream is not None:
+            u_drop, u_delay = self._stream.uniform(2)
+            if self.plan.drop_rate > 0.0 and u_drop < self.plan.drop_rate:
+                verdict.drops += 1
+                verdict.injected += 1
+            if self.plan.delay_rate > 0.0 and u_delay < self.plan.delay_rate:
+                verdict.delay_seconds += self.plan.delay_seconds
+                verdict.injected += 1
+
+        self.injected_total += verdict.injected
+        return verdict

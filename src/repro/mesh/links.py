@@ -15,6 +15,14 @@ eight-permute per-sweep total matches the paper's Table 4 grid:
 c0 = 2.9 us, c1 = 2.06 us, and an effective serialization of ~2.7 GB/s
 per edge.  Within the table's range the modeled per-sweep totals
 reproduce the measured 0.18-0.65 ms to ~25%.
+
+Fault charging: injected faults (``repro.mesh.faults``) flow through the
+same accounting.  A delayed or stalled collective charges
+``permute_time(...) + injected seconds`` to every core; a failed
+delivery attempt charges the retry policy's detection timeout plus
+backoff.  Degraded runs therefore produce the same honest Table 3/4
+style compute-vs-communication breakdowns as clean ones — the fault tax
+shows up in the ``communication`` category rather than vanishing.
 """
 
 from __future__ import annotations

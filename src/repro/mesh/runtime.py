@@ -14,6 +14,20 @@ Compute between collectives runs inside the generators, so any
 TPUBackend charges land on the right core automatically.  An optional
 :class:`~repro.telemetry.metrics.MetricsRegistry` additionally books
 collective counts, bytes and modeled seconds for run reports.
+
+Fault tolerance: with a :class:`~repro.mesh.faults.FaultInjector`
+attached, every collective first asks the injector what goes wrong.
+Transient failures (dropped or over-timeout deliveries) are retried with
+exponential backoff under the plan's :class:`~repro.mesh.faults.RetryPolicy`
+— each failed attempt charges the timeout plus backoff through the link
+model, books ``mesh_retries`` / ``mesh_timeouts`` /``fault_injected``
+counters, and records a span in :attr:`SPMDRuntime.fault_log` (exported
+as a dedicated mesh track by :func:`repro.telemetry.trace.chrome_trace`).
+A collective that exhausts its retry budget raises
+:class:`~repro.mesh.faults.MeshTimeoutError`; a permanent core kill
+surfaces as :class:`~repro.mesh.faults.CoreLostError`.  Without an
+injector the collective path is exactly the historical one — a single
+``is None`` branch (asserted <2% by ``benchmarks/bench_fault_overhead.py``).
 """
 
 from __future__ import annotations
@@ -25,6 +39,7 @@ import numpy as np
 
 from ..tpu.tensorcore import TensorCore
 from .collectives import collective_permute
+from .faults import CollectiveFaults, FaultInjector, FaultPlan, MeshTimeoutError
 from .links import LinkModel
 from .topology import Torus2D
 
@@ -63,6 +78,11 @@ class SPMDRuntime:
         ``collective_bytes_total`` (payload bytes per participating core)
         and the modeled ``collective_seconds`` histogram.  ``None`` (the
         default) keeps the lockstep loop free of metric calls.
+    fault_injector:
+        Optional :class:`~repro.mesh.faults.FaultInjector` (or a
+        :class:`~repro.mesh.faults.FaultPlan`, from which an injector is
+        built).  ``None`` (the default) keeps the historical perfect-mesh
+        collective path.
     """
 
     def __init__(
@@ -71,6 +91,7 @@ class SPMDRuntime:
         link_model: LinkModel | None = None,
         cores: list[TensorCore] | None = None,
         metrics=None,
+        fault_injector: "FaultInjector | FaultPlan | None" = None,
     ) -> None:
         self.torus = torus
         self.link_model = link_model if link_model is not None else LinkModel()
@@ -80,7 +101,18 @@ class SPMDRuntime:
             )
         self.cores = cores
         self.metrics = metrics
+        if isinstance(fault_injector, FaultPlan):
+            fault_injector = FaultInjector(fault_injector, torus.num_cores)
+        self.fault_injector = fault_injector
         self.collectives_executed = 0
+        #: Retry / fault spans on the modeled timeline:
+        #: ``{"name", "collective", "start", "duration"}`` dicts, consumed
+        #: by :func:`repro.telemetry.trace.chrome_trace` as a mesh track.
+        self.fault_log: list[dict] = []
+        # Modeled communication seconds accumulated so far — the time
+        # base for fault_log spans (matches the profiler timeline when
+        # cores are attached, still monotonic when they are not).
+        self._comm_clock = 0.0
 
     def run(
         self, make_program: Callable[[int], Generator[PermuteRequest, np.ndarray, Any]]
@@ -120,9 +152,7 @@ class SPMDRuntime:
                         f"issued {pairs} — collective specs must be globally identical"
                     )
 
-            received = collective_permute([req.tensor for req in requests], pairs)
-            self.collectives_executed += 1
-            self._charge_communication(requests[0])
+            received = self._execute_collective(requests)
 
             for cid, program in enumerate(programs):
                 try:
@@ -133,14 +163,125 @@ class SPMDRuntime:
                     results[cid] = stop.value
         return results
 
-    def _charge_communication(self, request: PermuteRequest) -> None:
+    def _execute_collective(self, requests: list[PermuteRequest]) -> list[np.ndarray]:
+        """Run one collective: fault consultation, retries, data movement.
+
+        The fault-free path (no injector) is the historical one — permute,
+        count, charge — behind a single ``is None`` branch.  Under a
+        fault plan, failed delivery attempts are modeled *before* the
+        data movement: a retried collective delivers exactly the same
+        tensors as an unfaulted one (transient faults cost time, never
+        data), which is what keeps fault-injected runs bit-identical.
+        """
+        request = requests[0]
+        injector = self.fault_injector
+        if injector is None:
+            received = collective_permute(
+                [req.tensor for req in requests], request.pairs
+            )
+            self.collectives_executed += 1
+            self._charge_communication(request)
+            return received
+
+        ordinal = self.collectives_executed
+        # May raise CoreLostError (permanent kill) — propagates to the
+        # driver, which degrades via checkpoint-restart.
+        faults = injector.collective_faults(ordinal)
+        if self.metrics is not None and faults.injected:
+            self.metrics.counter("fault_injected").inc(faults.injected)
+
+        policy = injector.retry
+        failed_attempts = faults.drops
+        delay = faults.delay_seconds
+        bytes_per_edge = float(request.tensor.nbytes)
+        base_seconds = self.link_model.permute_time(
+            self.torus.num_cores, bytes_per_edge
+        )
+        if delay > 0.0 and base_seconds + delay > policy.timeout_seconds:
+            # The slow link trips the per-collective timeout: the delayed
+            # attempt is abandoned at the deadline and re-issued; the
+            # retry then completes at base speed.
+            failed_attempts += 1
+            delay = 0.0
+            if self.metrics is not None:
+                self.metrics.counter("mesh_timeouts").inc()
+
+        if failed_attempts > policy.max_retries:
+            self._book_retries(request, ordinal, policy, policy.max_retries)
+            if self.metrics is not None:
+                self.metrics.counter("mesh_timeouts").inc()
+            raise MeshTimeoutError(request.name, ordinal, policy.max_retries + 1)
+        if failed_attempts:
+            self._book_retries(request, ordinal, policy, failed_attempts)
+
+        received = collective_permute(
+            [req.tensor for req in requests], request.pairs
+        )
+        self.collectives_executed += 1
+        extra = delay + faults.stall_seconds
+        self._charge_communication(request, extra_seconds=extra)
+        if extra > 0.0:
+            self.fault_log.append(
+                {
+                    "name": f"fault_extra:{request.name}",
+                    "collective": ordinal,
+                    "start": self._comm_clock - extra,
+                    "duration": extra,
+                }
+            )
+        return received
+
+    def _book_retries(
+        self,
+        request: PermuteRequest,
+        ordinal: int,
+        policy,
+        n_attempts: int,
+    ) -> None:
+        """Charge ``n_attempts`` failed deliveries + backoff to every core.
+
+        Each failed attempt costs the full per-collective timeout (drops
+        are detected by deadline, not by magic) plus the policy's
+        exponential backoff before the re-issue; lockstep means every
+        core pays.  Spans land in :attr:`fault_log` so retry storms are
+        visible in the exported Chrome trace.
+        """
+        bytes_per_edge = float(request.tensor.nbytes)
+        for attempt in range(1, n_attempts + 1):
+            seconds = policy.timeout_seconds + policy.backoff(attempt)
+            name = f"retry{attempt}:{request.name}"
+            if self.cores is not None:
+                for core in self.cores:
+                    core.charge_communication(
+                        seconds, bytes_moved=bytes_per_edge, name=name
+                    )
+            self.fault_log.append(
+                {
+                    "name": name,
+                    "collective": ordinal,
+                    "start": self._comm_clock,
+                    "duration": seconds,
+                }
+            )
+            self._comm_clock += seconds
+            if self.metrics is not None:
+                self.metrics.counter("mesh_retries").inc()
+
+    def _charge_communication(
+        self, request: PermuteRequest, extra_seconds: float = 0.0
+    ) -> None:
         bytes_per_edge = float(request.tensor.nbytes)
         if self.metrics is not None:
             self.metrics.counter("collectives_total").inc()
             self.metrics.counter("collective_bytes_total").inc(bytes_per_edge)
         if self.cores is None:
+            self._comm_clock += extra_seconds
             return
-        seconds = self.link_model.permute_time(self.torus.num_cores, bytes_per_edge)
+        seconds = (
+            self.link_model.permute_time(self.torus.num_cores, bytes_per_edge)
+            + extra_seconds
+        )
+        self._comm_clock += seconds
         if self.metrics is not None:
             self.metrics.histogram("collective_seconds").observe(seconds)
         for core in self.cores:

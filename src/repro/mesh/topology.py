@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Torus2D", "DIRECTIONS"]
+__all__ = ["Torus2D", "DIRECTIONS", "degraded_grid"]
 
 #: Shift directions: (row delta, col delta) of the *receiving* core
 #: relative to the sender.
@@ -85,3 +85,38 @@ class Torus2D:
             raise ValueError(
                 f"unknown direction {direction!r}; expected one of {sorted(DIRECTIONS)}"
             ) from None
+
+
+def degraded_grid(
+    core_grid: tuple[int, int], global_shape: tuple[int, int]
+) -> tuple[int, int] | None:
+    """Largest surviving torus sub-grid after a permanent core loss.
+
+    Pod slices are rectangular, so losing one core means re-forming a
+    *smaller rectangular* torus from the survivors and re-decomposing the
+    lattice onto it.  A candidate (r, c) must fit inside the old grid,
+    hold strictly fewer cores (the dead one is excluded), and still
+    decompose ``global_shape`` evenly into even-sided per-core lattices
+    (the checkerboard constraint).  Among candidates the most cores win;
+    ties prefer the taller grid, keeping the choice deterministic.
+
+    Returns ``None`` when no valid smaller grid exists (then the loss is
+    unrecoverable and :class:`~repro.mesh.faults.CoreLostError` should
+    propagate).
+    """
+    p_rows, p_cols = core_grid
+    rows, cols = global_shape
+    best: tuple[int, int] | None = None
+    best_key = None
+    for r in range(1, p_rows + 1):
+        if rows % r or (rows // r) % 2:
+            continue
+        for c in range(1, p_cols + 1):
+            if r * c >= p_rows * p_cols:
+                continue
+            if cols % c or (cols // c) % 2:
+                continue
+            key = (r * c, r)
+            if best_key is None or key > best_key:
+                best, best_key = (r, c), key
+    return best

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["total_energy", "energy_per_spin"]
+__all__ = ["total_energy", "energy_per_spin", "specific_heat"]
 
 
 def total_energy(plain: np.ndarray) -> float:

@@ -56,15 +56,29 @@ def _profilers_of(source) -> list[tuple[int, tuple | None, Profiler]]:
     return rows
 
 
+def _fault_spans_of(source) -> list[dict]:
+    """Retry / fault spans recorded by an SPMD runtime, if any.
+
+    Accepts anything exposing ``fault_log`` directly (an
+    :class:`~repro.mesh.runtime.SPMDRuntime`) or through a ``runtime``
+    attribute (:class:`~repro.core.distributed.DistributedIsing`).
+    """
+    runtime = getattr(source, "runtime", source)
+    return list(getattr(runtime, "fault_log", ()) or ())
+
+
 def chrome_trace(source) -> dict:
     """Build a Chrome trace-event JSON object from recorded trace buffers.
 
     ``source`` may be a :class:`Profiler`, a list of profilers, a
     :class:`~repro.tpu.device.PodSlice` or a distributed simulation.  One
     thread track is emitted per core; each op becomes a complete ("X")
-    event with its profiler category as the event category.  Raises if no
-    trace events were recorded (build the profilers with
-    ``record_trace=True``).
+    event with its profiler category as the event category.  When the
+    source carries an SPMD runtime with a non-empty ``fault_log`` (retry
+    storms, injected delays), those spans render on an extra "mesh
+    faults" track so degraded collectives line up against the per-core
+    timelines.  Raises if no trace events were recorded (build the
+    profilers with ``record_trace=True``).
     """
     rows = _profilers_of(source)
     events: list[dict] = []
@@ -92,6 +106,31 @@ def chrome_trace(source) -> dict:
                     "dur": ev.duration * _US,
                 }
             )
+    fault_spans = _fault_spans_of(source)
+    if fault_spans:
+        fault_tid = max(core_id for core_id, _, _ in rows) + 1
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": fault_tid,
+                "args": {"name": "mesh faults"},
+            }
+        )
+        for span in fault_spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span["name"],
+                    "cat": "fault",
+                    "pid": 0,
+                    "tid": fault_tid,
+                    "ts": span["start"] * _US,
+                    "dur": span["duration"] * _US,
+                    "args": {"collective": span["collective"]},
+                }
+            )
     if total_events == 0:
         raise ValueError(
             "no trace events recorded — construct the profiler/pod with "
@@ -104,6 +143,7 @@ def chrome_trace(source) -> dict:
             "source": "repro.telemetry.trace",
             "timeline": "modeled TPU seconds (not wall clock)",
             "num_cores": len(rows),
+            "num_fault_spans": len(fault_spans),
         },
     }
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["CATEGORIES", "TraceEvent", "Profiler"]
+__all__ = ["CATEGORIES", "TraceEvent", "StepRecord", "Profiler"]
 
 #: Charge categories, mirroring the paper's Table 3 columns.  "conv" is
 #: the appendix implementation's convolution work; reports fold it into

@@ -1,0 +1,255 @@
+"""Tests for the unified ``repro.api`` surface.
+
+SimulationConfig validation, the three factories, kind-dispatching
+``load()``, deprecated-kwarg shims, and the checkpoint-resume
+bit-identity matrix across solo / ensemble / distributed with the fused
+engine on and off.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    SimulationConfig,
+    deprecated_kwargs,
+    distributed,
+    ensemble,
+    load,
+    simulate,
+)
+from repro.backend import NumpyBackend
+from repro.core.distributed import DistributedIsing
+from repro.core.ensemble import EnsembleSimulation
+from repro.core.simulation import IsingSimulation
+
+
+class TestSimulationConfig:
+    def test_default_config_is_runnable(self):
+        sim = simulate(SimulationConfig())
+        assert sim.shape == (64, 64)
+        assert sim.temperature == 2.0
+
+    def test_temperature_and_beta_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            SimulationConfig(temperature=2.0, beta=0.5)
+
+    def test_beta_resolves_to_temperature(self):
+        assert SimulationConfig(beta=0.5).resolved_temperature == 2.0
+        assert SimulationConfig(temperature=1.5).resolved_temperature == 1.5
+        assert SimulationConfig().resolved_temperature == 2.0
+
+    def test_frozen(self):
+        cfg = SimulationConfig()
+        with pytest.raises(AttributeError):
+            cfg.seed = 1
+
+    def test_evolve_switches_temperature_spelling(self):
+        cfg = SimulationConfig(temperature=2.5)
+        assert cfg.evolve(beta=0.5).resolved_temperature == 2.0
+        assert cfg.evolve(temperature=3.0).beta is None
+
+    def test_validation_rejects_junk(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(updater="quantum")
+        with pytest.raises(ValueError):
+            SimulationConfig(fused="sometimes")
+        with pytest.raises(ValueError):
+            SimulationConfig(backend="gpu")
+        with pytest.raises(ValueError):
+            SimulationConfig(temperature=-1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(checkpoint_interval=0)
+
+    def test_every_field_has_a_default(self):
+        # The check_api.py lint enforces this too; keep it in-suite so a
+        # missing default fails fast with a readable message.
+        SimulationConfig()
+
+
+class TestFactories:
+    def test_simulate_carries_config_through(self):
+        cfg = SimulationConfig(
+            shape=32, temperature=1.9, updater="conv", seed=3, field=0.1
+        )
+        sim = simulate(cfg)
+        assert isinstance(sim, IsingSimulation)
+        assert sim.shape == (32, 32)
+        assert sim.temperature == 1.9
+        assert sim.updater_name == "conv"
+        assert sim.field == 0.1
+
+    def test_simulate_backend_and_dtype(self):
+        sim = simulate(SimulationConfig(shape=16, backend="numpy", dtype="bfloat16"))
+        assert isinstance(sim.backend, NumpyBackend)
+        assert sim.backend.dtype.name == "bfloat16"
+        explicit = NumpyBackend()
+        assert simulate(SimulationConfig(shape=16, backend=explicit)).backend is explicit
+
+    def test_simulate_rejects_distributed_fields(self):
+        with pytest.raises(ValueError, match="grid"):
+            simulate(SimulationConfig(grid=(2, 2)))
+        with pytest.raises(ValueError, match="fault_plan"):
+            simulate(SimulationConfig(fault_plan=repro.FaultPlan()))
+
+    def test_ensemble_n_chains(self):
+        ens = ensemble(SimulationConfig(shape=16, temperature=2.2), n_chains=5)
+        assert isinstance(ens, EnsembleSimulation)
+        assert ens.n_chains == 5
+        assert np.allclose(ens.temperatures, 2.2)
+
+    def test_ensemble_temperature_scan(self):
+        ens = ensemble(SimulationConfig(shape=16), temperatures=[1.5, 2.0, 3.0])
+        assert list(ens.temperatures) == [1.5, 2.0, 3.0]
+
+    def test_ensemble_needs_exactly_one_mode(self):
+        cfg = SimulationConfig(shape=16)
+        with pytest.raises(ValueError, match="exactly one"):
+            ensemble(cfg)
+        with pytest.raises(ValueError, match="exactly one"):
+            ensemble(cfg, n_chains=2, temperatures=[2.0])
+
+    def test_distributed_needs_grid(self):
+        with pytest.raises(ValueError, match="grid"):
+            distributed(SimulationConfig(shape=32))
+
+    def test_distributed_rejects_host_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            distributed(SimulationConfig(shape=32, grid=(2, 2), backend="numpy"))
+
+    def test_distributed_carries_fault_fields(self):
+        plan = repro.FaultPlan(drop_rate=0.01)
+        sim = distributed(
+            SimulationConfig(
+                shape=32, grid=(2, 2), fault_plan=plan, checkpoint_interval=4
+            )
+        )
+        assert isinstance(sim, DistributedIsing)
+        assert sim.fault_plan is plan
+        assert sim.checkpoint_interval == 4
+
+    def test_factory_output_matches_direct_construction(self):
+        cfg = SimulationConfig(shape=32, temperature=2.0, seed=9)
+        via_api = simulate(cfg)
+        direct = IsingSimulation(32, 2.0, seed=9)
+        via_api.run(5)
+        direct.run(5)
+        assert np.array_equal(via_api.lattice, direct.lattice)
+
+
+class TestLoadDispatch:
+    @pytest.mark.parametrize("fused", [False, True], ids=["elementwise", "fused"])
+    def test_round_trip_bit_identity_all_kinds(self, fused):
+        cfg = SimulationConfig(shape=16, temperature=2.1, seed=4, fused=fused)
+        solo = simulate(cfg)
+        ens = ensemble(cfg, n_chains=3)
+        dist = distributed(cfg.evolve(grid=(2, 2)))
+        solo.run(3)
+        ens.run(3)
+        dist.sweep(3)
+        for sim, advance, final in (
+            (solo, lambda s: s.run(2), lambda s: s.lattice),
+            (ens, lambda s: s.run(2), lambda s: s.lattices),
+            (dist, lambda s: s.sweep(2), lambda s: s.gather_lattice()),
+        ):
+            restored = load(sim.state_dict())
+            assert type(restored) is type(sim)
+            advance(sim)
+            advance(restored)
+            assert np.array_equal(final(restored), final(sim)), type(sim).__name__
+
+    def test_v1_dicts_dispatch_with_warning(self):
+        solo = simulate(SimulationConfig(shape=16, seed=4))
+        ens = ensemble(SimulationConfig(shape=16, seed=4), n_chains=2)
+        dist = distributed(SimulationConfig(shape=16, seed=4, grid=(2, 2)))
+        for sim in (solo, ens, dist):
+            v1 = {
+                k: v
+                for k, v in sim.state_dict().items()
+                if k not in ("schema", "kind")
+            }
+            with pytest.warns(DeprecationWarning, match="legacy v1"):
+                restored = load(v1)
+            assert type(restored) is type(sim)
+
+    def test_wrong_kind_is_an_error(self):
+        solo = simulate(SimulationConfig(shape=16))
+        with pytest.raises(ValueError, match="repro.api.load"):
+            DistributedIsing.from_state_dict(solo.state_dict())
+
+    def test_unknown_schema_is_an_error(self):
+        with pytest.raises(ValueError, match="unsupported checkpoint schema"):
+            load({"schema": "checkpoint/v99", "kind": "single"})
+
+
+class TestDeprecatedKwargs:
+    def test_renamed_kwarg_forwards_and_warns_once(self):
+        calls = []
+
+        @deprecated_kwargs(old="new")
+        def f(new=None):
+            calls.append(new)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            f(old=1)
+            f(old=2)
+        assert calls == [1, 2]
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "old" in str(dep[0].message)
+
+    def test_both_spellings_is_an_error(self):
+        @deprecated_kwargs(old="new")
+        def f(new=None):
+            return new
+
+        with pytest.raises(TypeError, match="both"):
+            f(old=1, new=2)
+
+    def test_config_accepts_core_grid_spelling(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cfg = SimulationConfig(shape=32, core_grid=(2, 2))
+        assert cfg.grid == (2, 2)
+
+    def test_config_accepts_T_spelling(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cfg = SimulationConfig(T=2.5)
+        assert cfg.resolved_temperature == 2.5
+
+
+class TestPublicSurface:
+    def test_api_symbols_reexported_from_repro(self):
+        for name in (
+            "SimulationConfig",
+            "simulate",
+            "ensemble",
+            "distributed",
+            "load",
+            "deprecated_kwargs",
+            "FaultPlan",
+            "FaultEvent",
+            "RetryPolicy",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_check_api_lint_passes(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        proc = subprocess.run(
+            [sys.executable, str(root / "tools" / "check_api.py")],
+            capture_output=True,
+            text=True,
+            cwd=root,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,330 @@
+"""Fault-matrix regression suite for the fault-tolerant SPMD runtime.
+
+Covers the four fault kinds (drop / delay / stall / kill) end to end:
+transient faults are retried or absorbed without perturbing the chain
+(bit-identity), retry storms book honest modeled time and telemetry
+counters, permanent kills degrade onto the surviving sub-grid from the
+last checkpoint, and the degraded chain still tracks Onsager's exact
+magnetization on both sides of T_c.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedIsing
+from repro.mesh.faults import (
+    CollectiveFaults,
+    CoreLostError,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    MeshTimeoutError,
+    RetryPolicy,
+)
+from repro.mesh.topology import degraded_grid
+from repro.observables.onsager import spontaneous_magnetization
+from repro.telemetry.report import RunTelemetry
+from repro.telemetry.trace import chrome_trace
+
+
+def _total_comm_seconds(sim: DistributedIsing) -> float:
+    return sum(
+        core.profiler.seconds["communication"] for core in sim.pod.cores
+    )
+
+
+# -- FaultEvent / FaultPlan validation ----------------------------------
+
+
+class TestFaultPlanValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("melt", collective=0)
+
+    def test_link_events_need_a_collective(self):
+        for kind in ("drop", "delay", "stall"):
+            with pytest.raises(ValueError, match="collective"):
+                FaultEvent(kind, core=0, seconds=1e-6)
+
+    def test_kill_needs_core_and_trigger(self):
+        with pytest.raises(ValueError, match="name a core"):
+            FaultEvent("kill", sweep=3)
+        with pytest.raises(ValueError, match="trigger"):
+            FaultEvent("kill", core=1)
+
+    def test_rates_bounded(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultPlan(drop_rate=1.5)
+
+    def test_plan_json_round_trip(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent("drop", collective=3, count=2),
+                FaultEvent("kill", core=1, sweep=5),
+            ),
+            drop_rate=0.01,
+            delay_rate=0.02,
+            delay_seconds=1e-5,
+            seed=9,
+            retry=RetryPolicy(max_retries=5, backoff_base=1e-6),
+        )
+        assert FaultPlan.from_json_dict(plan.to_json_dict()) == plan
+
+
+class TestFaultInjector:
+    def test_scheduled_events_fire_once(self):
+        plan = FaultPlan(events=(FaultEvent("drop", collective=2, count=3),))
+        inj = FaultInjector(plan, n_cores=4)
+        assert inj.collective_faults(2).drops == 3
+        assert inj.collective_faults(2).drops == 0  # consumed
+
+    def test_random_faults_reproducible(self):
+        # Each injector owns its stream position: replaying the plan
+        # from scratch reproduces the draw sequence exactly.
+        plan = FaultPlan(drop_rate=0.3, delay_rate=0.3, seed=17)
+        a = FaultInjector(plan, 4)
+        b = FaultInjector(plan, 4)
+        seq_a = [a.collective_faults(i).injected for i in range(50)]
+        seq_b = [b.collective_faults(i).injected for i in range(50)]
+        assert seq_a == seq_b
+        assert sum(seq_a) > 0
+
+    def test_kill_raises_core_lost(self):
+        plan = FaultPlan(events=(FaultEvent("kill", core=2, sweep=1),))
+        inj = FaultInjector(plan, n_cores=4)
+        inj.begin_sweep(0)
+        assert isinstance(inj.collective_faults(0), CollectiveFaults)
+        inj.begin_sweep(1)
+        with pytest.raises(CoreLostError) as exc:
+            inj.collective_faults(5)
+        assert exc.value.core_id == 2
+        assert 2 in inj.dead_cores
+
+
+# -- transient faults: bit-identity + honest accounting -----------------
+
+
+class TestTransientFaults:
+    def _pair(self, plan, sweeps=4, **kwargs):
+        clean = DistributedIsing(16, 2.0, core_grid=(2, 2), seed=5, **kwargs)
+        faulty = DistributedIsing(
+            16, 2.0, core_grid=(2, 2), seed=5, fault_plan=plan, **kwargs
+        )
+        clean.sweep(sweeps)
+        faulty.sweep(sweeps)
+        return clean, faulty
+
+    @pytest.mark.parametrize(
+        "event",
+        [
+            FaultEvent("drop", collective=5, count=2),
+            FaultEvent("delay", collective=5, seconds=20e-6),
+            FaultEvent("stall", collective=5, core=1, seconds=100e-6),
+        ],
+        ids=["drop", "delay", "stall"],
+    )
+    def test_transient_fault_is_bit_identical_but_slower(self, event):
+        clean, faulty = self._pair(FaultPlan(events=(event,)))
+        assert np.array_equal(clean.gather_lattice(), faulty.gather_lattice())
+        assert _total_comm_seconds(faulty) > _total_comm_seconds(clean)
+        assert faulty.runtime.fault_log
+
+    def test_empty_plan_is_bit_identical(self):
+        clean, faulty = self._pair(FaultPlan())
+        assert np.array_equal(clean.gather_lattice(), faulty.gather_lattice())
+        assert faulty.runtime.fault_log == []
+
+    def test_random_drops_retried_and_counted(self):
+        plan = FaultPlan(drop_rate=0.2, seed=3)
+        telemetry = RunTelemetry()
+        clean = DistributedIsing(16, 2.0, core_grid=(2, 2), seed=5)
+        faulty = DistributedIsing(
+            16, 2.0, core_grid=(2, 2), seed=5, fault_plan=plan, telemetry=telemetry
+        )
+        clean.sweep(6)
+        faulty.sweep(6)
+        assert np.array_equal(clean.gather_lattice(), faulty.gather_lattice())
+        registry = telemetry.registry
+        assert registry.counter("mesh_retries").value > 0
+        assert registry.counter("fault_injected").value > 0
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(
+            events=(FaultEvent("drop", collective=0, count=10),),
+            retry=RetryPolicy(max_retries=2),
+        )
+        sim = DistributedIsing(16, 2.0, core_grid=(2, 2), seed=5, fault_plan=plan)
+        with pytest.raises(MeshTimeoutError) as exc:
+            sim.sweep()
+        assert exc.value.attempts == 3  # initial + 2 retries, all failed
+
+    def test_retry_spans_reach_chrome_trace(self):
+        plan = FaultPlan(events=(FaultEvent("drop", collective=5, count=2),))
+        sim = DistributedIsing(
+            16, 2.0, core_grid=(2, 2), seed=5, fault_plan=plan, record_trace=True
+        )
+        sim.sweep(2)
+        trace = chrome_trace(sim)
+        fault_events = [e for e in trace["traceEvents"] if e.get("cat") == "fault"]
+        assert fault_events
+        assert trace["otherData"]["num_fault_spans"] == len(sim.runtime.fault_log)
+        names = {e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"}
+        assert "mesh faults" in names
+
+
+# -- checkpoint/v2 + resume ---------------------------------------------
+
+
+class TestDistributedCheckpoint:
+    @pytest.mark.parametrize("fused", [False, True], ids=["elementwise", "fused"])
+    def test_resume_is_bit_identical(self, fused):
+        sim = DistributedIsing(16, 2.0, core_grid=(2, 2), seed=7, fused=fused)
+        sim.sweep(3)
+        state = sim.state_dict()
+        assert state["schema"] == "checkpoint/v2"
+        assert state["kind"] == "distributed"
+        sim.sweep(4)
+        resumed = DistributedIsing.from_state_dict(state)
+        resumed.sweep(4)
+        assert resumed.sweeps_done == sim.sweeps_done
+        assert np.array_equal(resumed.gather_lattice(), sim.gather_lattice())
+
+    def test_resume_alias(self):
+        sim = DistributedIsing(16, 2.0, core_grid=(2, 2), seed=7)
+        sim.sweep(2)
+        resumed = DistributedIsing.resume(sim.state_dict())
+        assert np.array_equal(resumed.gather_lattice(), sim.gather_lattice())
+
+    def test_periodic_checkpoints_do_not_perturb_chain(self):
+        plain = DistributedIsing(16, 2.0, core_grid=(2, 2), seed=7)
+        snap = DistributedIsing(
+            16, 2.0, core_grid=(2, 2), seed=7, checkpoint_interval=2
+        )
+        plain.sweep(6)
+        snap.sweep(6)
+        assert np.array_equal(plain.gather_lattice(), snap.gather_lattice())
+        assert snap._last_checkpoint["sweeps_done"] == 6
+
+    def test_v1_checkpoint_reads_with_deprecation_warning(self):
+        sim = DistributedIsing(16, 2.0, core_grid=(2, 2), seed=7)
+        sim.sweep(2)
+        v1 = {
+            k: v
+            for k, v in sim.state_dict().items()
+            if k not in ("schema", "kind")
+        }
+        with pytest.warns(DeprecationWarning, match="legacy v1"):
+            resumed = DistributedIsing.from_state_dict(v1)
+        assert np.array_equal(resumed.gather_lattice(), sim.gather_lattice())
+
+
+# -- degraded_grid + elastic degrade ------------------------------------
+
+
+class TestDegradedGrid:
+    def test_prefers_largest_valid_subgrid(self):
+        assert degraded_grid((4, 4), (64, 64)) == (4, 2)
+
+    def test_divisibility_respected(self):
+        # (3, 4) would be larger than (2, 4) but 64 % 3 != 0.
+        assert degraded_grid((4, 4), (64, 64)) != (3, 4)
+
+    def test_single_core_cannot_degrade(self):
+        assert degraded_grid((1, 1), (16, 16)) is None
+
+    def test_even_local_sides_required(self):
+        # Degrading (2, 1) on a 6x6 would need odd local sides everywhere.
+        assert degraded_grid((2, 1), (6, 6)) == (1, 1)
+
+
+class TestElasticDegrade:
+    def test_kill_on_4x4_grid_degrades_and_finishes(self):
+        plan = FaultPlan(events=(FaultEvent("kill", core=5, sweep=4),))
+        telemetry = RunTelemetry()
+        sim = DistributedIsing(
+            (16, 16),
+            2.0,
+            core_grid=(4, 4),
+            seed=11,
+            fault_plan=plan,
+            checkpoint_interval=2,
+            telemetry=telemetry,
+        )
+        sim.run_resilient(10)
+        assert sim.sweeps_done == 10
+        assert sim.core_grid == (4, 2)
+        assert sim.num_cores == 8
+        (event,) = sim.topology_events
+        assert event["dead_core"] == 5
+        assert event["old_grid"] == [4, 4]
+        assert event["new_grid"] == [4, 2]
+        assert event["resumed_from_sweep"] == 4
+        assert telemetry.registry.counter("topology_degrades").value == 1
+        report = sim.report()
+        assert report.run["topology_events"] == sim.topology_events
+
+    def test_degrade_without_checkpoint_raises(self):
+        sim = DistributedIsing(16, 2.0, core_grid=(2, 2), seed=11)
+        err = CoreLostError(1, 0, 0)
+        sim._last_checkpoint = None
+        with pytest.raises(RuntimeError, match="no checkpoint"):
+            sim._degrade(err)
+
+    def test_degrade_on_single_core_reraises(self):
+        plan = FaultPlan(events=(FaultEvent("kill", core=0, sweep=1),))
+        sim = DistributedIsing(16, 2.0, core_grid=(1, 1), seed=11, fault_plan=plan)
+        with pytest.raises(CoreLostError):
+            sim.run_resilient(4)
+
+    def test_degraded_chain_state_round_trips(self):
+        plan = FaultPlan(events=(FaultEvent("kill", core=2, sweep=2),))
+        sim = DistributedIsing(
+            (16, 16), 2.0, core_grid=(2, 2), seed=11, fault_plan=plan
+        )
+        sim.run_resilient(5)
+        assert sim.core_grid == (2, 1)
+        state = sim.state_dict()
+        sim.sweep(3)
+        resumed = DistributedIsing.from_state_dict(state)
+        resumed.sweep(3)
+        assert np.array_equal(resumed.gather_lattice(), sim.gather_lattice())
+        assert resumed.topology_events == sim.topology_events
+
+
+class TestDegradedPhysics:
+    """Degraded runs stay honest Metropolis chains (Onsager tolerance)."""
+
+    @pytest.mark.parametrize(
+        "temperature,shape,expected,tol",
+        [
+            # Deep in the ordered phase |m| tracks Onsager's exact curve;
+            # in the disordered phase the exact m is 0 and the finite-size
+            # |m| floor (~ sqrt(chi/N)) needs the larger lattice to sit
+            # inside the tolerance.
+            (1.5, (16, 16), float(spontaneous_magnetization(1.5)), 0.02),
+            (3.0, (32, 32), 0.0, 0.12),
+        ],
+        ids=["T1.5-ordered", "T3.0-disordered"],
+    )
+    def test_degraded_magnetization_tracks_onsager(
+        self, temperature, shape, expected, tol
+    ):
+        plan = FaultPlan(events=(FaultEvent("kill", core=3, sweep=60),))
+        sim = DistributedIsing(
+            shape,
+            temperature,
+            core_grid=(4, 4),
+            seed=23,
+            initial="cold" if temperature < 2.0 else "hot",
+            fault_plan=plan,
+            checkpoint_interval=10,
+        )
+        sim.run_resilient(120)
+        assert sim.topology_events  # the kill really happened
+        samples = []
+        for _ in range(160):
+            sim.run_resilient(1)
+            samples.append(abs(sim.magnetization()))
+        assert np.mean(samples) == pytest.approx(expected, abs=tol)

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""API-surface lint, run in CI.
+
+Two invariants keep the public surface deliberate:
+
+1. **No symbol escapes ``__all__``** — every module under ``src/repro``
+   must define ``__all__``, every name listed in it must exist, and
+   every top-level public ``def`` / ``class`` defined in the module
+   (not imported into it) must be listed.  Helpers stay underscored or
+   get blessed explicitly; nothing leaks by accident.
+
+2. **Config fields always default** — every field of
+   ``repro.api.SimulationConfig`` carries a default (or factory), so
+   ``SimulationConfig()`` stays constructible and adding a field is
+   never a breaking change for existing call sites.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+# Modules allowed to skip __all__ entirely (single-assignment trivia).
+ALL_EXEMPT = {"repro/version.py"}
+
+
+def module_all(tree: ast.Module) -> list[str] | None:
+    """The literal ``__all__`` list of a parsed module, if any."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    return None
+                return [str(name) for name in value]
+    return None
+
+
+def public_definitions(tree: ast.Module) -> list[str]:
+    """Top-level public def/class names defined (not imported) here."""
+    names = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                names.append(node.name)
+    return names
+
+
+def check_all_invariant() -> list[str]:
+    errors = []
+    for path in sorted(PACKAGE_ROOT.rglob("*.py")):
+        rel = path.relative_to(REPO_ROOT / "src").as_posix()
+        if rel in ALL_EXEMPT:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+        declared = module_all(tree)
+        if declared is None:
+            errors.append(f"{rel}: missing (or non-literal) __all__")
+            continue
+        defined = public_definitions(tree)
+        for name in defined:
+            if name not in declared:
+                errors.append(
+                    f"{rel}: public symbol {name!r} escapes __all__ "
+                    "(list it or underscore it)"
+                )
+    return errors
+
+
+def check_all_resolves() -> list[str]:
+    """Every name each repro module lists in __all__ actually exists."""
+    import importlib
+    import pkgutil
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import repro
+
+    errors = []
+    modules = ["repro"] + [
+        name
+        for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    ]
+    for module_name in modules:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", ()):
+            if not hasattr(module, name):
+                errors.append(
+                    f"{module_name}: __all__ lists {name!r} which does not exist"
+                )
+    return errors
+
+
+def check_config_defaults() -> list[str]:
+    import dataclasses
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.api import SimulationConfig
+
+    errors = []
+    for field in dataclasses.fields(SimulationConfig):
+        if (
+            field.default is dataclasses.MISSING
+            and field.default_factory is dataclasses.MISSING
+        ):
+            errors.append(
+                f"repro.api.SimulationConfig: field {field.name!r} has no "
+                "default — every config field must default"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = check_all_invariant() + check_all_resolves() + check_config_defaults()
+    if errors:
+        for line in errors:
+            print(f"check_api: {line}")
+        print(f"check_api: FAILED ({len(errors)} violation(s))")
+        return 1
+    print("check_api: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
