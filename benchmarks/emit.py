@@ -12,6 +12,7 @@ Usage::
 
     PYTHONPATH=src python -m benchmarks.emit                 # all modules
     PYTHONPATH=src python -m benchmarks.emit ensemble table2 # a subset
+    PYTHONPATH=src python -m benchmarks.emit --only sched    # exactly one
     PYTHONPATH=src python -m benchmarks.emit --out-dir bench-artifacts
 """
 
@@ -59,12 +60,24 @@ def main(argv: list[str] | None = None) -> int:
         help="bench short names (e.g. 'ensemble', 'table2'); default: all",
     )
     parser.add_argument(
+        "--only",
+        metavar="NAME",
+        default=None,
+        help="emit exactly one bench module (mutually exclusive with "
+        "positional names)",
+    )
+    parser.add_argument(
         "--out-dir",
         default=None,
         help="output directory (default: $BENCH_OUT_DIR or '.')",
     )
     args = parser.parse_args(argv)
-    names = args.names or bench_module_names()
+    if args.only is not None and args.names:
+        print("--only and positional names are mutually exclusive", file=sys.stderr)
+        return 2
+    names = [args.only] if args.only is not None else (
+        args.names or bench_module_names()
+    )
     unknown = set(names) - set(bench_module_names())
     if unknown:
         print(

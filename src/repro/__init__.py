@@ -25,12 +25,14 @@ underlying classes remain importable for power users.  Fault tolerance
 """
 
 from .api import (
+    Client,
     SimulationConfig,
     deprecated_kwargs,
     distributed,
     ensemble,
     load,
     simulate,
+    submit,
 )
 from .core import (
     CheckerboardUpdater,
@@ -55,6 +57,7 @@ from .observables import (
 )
 from .mesh import FaultEvent, FaultPlan, RetryPolicy
 from .rng import PhiloxStream
+from .sched import Scheduler
 from .telemetry import (
     MetricsRegistry,
     RunReport,
@@ -71,6 +74,9 @@ __all__ = [
     "ensemble",
     "distributed",
     "load",
+    "submit",
+    "Client",
+    "Scheduler",
     "deprecated_kwargs",
     "FaultEvent",
     "FaultPlan",

@@ -33,11 +33,17 @@ import numpy as np
 
 from .backend.base import Backend
 from .backend.numpy_backend import NumpyBackend
-from .core.config import backend_from_checkpoint, checkpoint_kind, resolve_fused
+from .core.config import (
+    CHECKPOINT_SCHEMA,
+    backend_from_checkpoint,
+    checkpoint_kind,
+    resolve_fused,
+)
 from .core.distributed import DistributedIsing
 from .core.ensemble import EnsembleSimulation
 from .core.simulation import IsingSimulation
 from .mesh.faults import FaultPlan
+from .sched.client import Client, submit
 from .telemetry.report import RunTelemetry
 from .tpu.dtypes import DType, resolve_dtype
 
@@ -47,10 +53,12 @@ __all__ = [
     "ensemble",
     "distributed",
     "load",
+    "submit",
+    "Client",
     "deprecated_kwargs",
 ]
 
-_UPDATERS = ("naive", "compact", "conv")
+_UPDATERS = ("compact", "conv", "checkerboard", "masked_conv")
 
 # (qualified function name, old kwarg) pairs that already warned once.
 _DEPRECATION_WARNED: set[tuple[str, str]] = set()
@@ -116,7 +124,7 @@ class SimulationConfig:
     field:
         External magnetic field h.
     updater:
-        "naive", "compact" (default) or "conv".
+        "compact" (default), "conv", "checkerboard" or "masked_conv".
     dtype:
         On-device storage dtype: "float32" or "bfloat16".
     backend:
@@ -369,7 +377,23 @@ def load(state: dict, **kwargs):
     target class's ``from_state_dict`` (e.g. ``fault_plan=`` /
     ``telemetry=`` for distributed restores — runtime attachments are
     deliberately not part of the checkpoint).
+
+    An envelope from an unknown schema version fails *here*, by name —
+    a checkpoint from a newer writer must never be half-decoded by kind
+    guessing.
     """
+    if not isinstance(state, dict):
+        raise TypeError(
+            f"checkpoint must be a dict, got {type(state).__name__}"
+        )
+    schema = state.get("schema")
+    if schema is not None and schema != CHECKPOINT_SCHEMA:
+        raise ValueError(
+            f"unsupported checkpoint schema {schema!r}; this build reads "
+            f"{CHECKPOINT_SCHEMA!r} envelopes and legacy v1 dicts (no "
+            "'schema' key) — the checkpoint was written by an unknown "
+            "(likely newer) version and needs an explicit migration"
+        )
     kind = checkpoint_kind(state)
     loader = {
         "single": IsingSimulation.from_state_dict,

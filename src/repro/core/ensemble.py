@@ -136,6 +136,11 @@ class EnsembleSimulation:
         self.backend = backend if backend is not None else NumpyBackend()
         self.updater_name = updater
         self.seed = int(seed)
+        #: Per-chain Philox seeds.  The constructor broadcasts the shared
+        #: ``seed``; chains joined through :meth:`add_chain` /
+        #: :meth:`from_chains` may carry their own (the batched stream
+        #: keys every chain independently either way).
+        self.seeds = [self.seed] * self.n_chains
         self.sweeps_done = 0
         self.telemetry = telemetry
         self.fused_config = resolve_fused(fused)
@@ -153,39 +158,17 @@ class EnsembleSimulation:
                 f"{len(self.stream_ids)} stream ids for {self.n_chains} chains"
             )
 
-        # The per-chain beta vector broadcasts against the batched state:
-        # rank-3 (batch, rows, cols) for masked_conv, rank-5 grids for
-        # the blocked updaters.
-        state_rank = 3 if updater == "masked_conv" else 5
-        beta_vec = self.betas.reshape((self.n_chains,) + (1,) * (state_rank - 1))
-
         if updater == "masked_conv":
             if block_shape is not None:
                 raise ValueError("masked_conv does not take a block_shape")
-            self._updater = MaskedConvUpdater(
-                beta_vec, self.backend, field=self.field, fused=self.fused
-            )
         elif updater == "checkerboard":
             if block_shape is None:
                 block_shape = self.shape
-            self._updater = CheckerboardUpdater(
-                beta_vec,
-                self.backend,
-                block_shape=block_shape,
-                field=self.field,
-                fused=self.fused,
-            )
         else:
             if block_shape is None:
                 block_shape = (rows // 2, cols // 2)
-            updater_cls = ConvUpdater if updater == "conv" else CompactUpdater
-            self._updater = updater_cls(
-                beta_vec,
-                self.backend,
-                block_shape=block_shape,
-                field=self.field,
-                fused=self.fused,
-            )
+        self.block_shape = block_shape
+        self._updater = self._build_updater()
         self.block_shape = getattr(self._updater, "block_shape", None)
 
         # Per-chain initial states, drawn from each chain's own solo
@@ -222,6 +205,39 @@ class EnsembleSimulation:
         self.stream = BatchedPhiloxStream.from_streams(streams)
         self._state = self._updater.to_state(plains)
 
+    def _build_updater(self):
+        """Construct the batched updater for the current chain roster.
+
+        The per-chain beta vector broadcasts against the batched state:
+        rank-3 (batch, rows, cols) for masked_conv, rank-5 grids for the
+        blocked updaters.  Called at construction and again whenever the
+        roster changes (:meth:`add_chain` / :meth:`remove_chain`) — the
+        updaters precompute per-chain acceptance tables from the beta
+        vector, so a roster change rebuilds them.
+        """
+        state_rank = 3 if self.updater_name == "masked_conv" else 5
+        beta_vec = self.betas.reshape((self.n_chains,) + (1,) * (state_rank - 1))
+        if self.updater_name == "masked_conv":
+            return MaskedConvUpdater(
+                beta_vec, self.backend, field=self.field, fused=self.fused
+            )
+        if self.updater_name == "checkerboard":
+            return CheckerboardUpdater(
+                beta_vec,
+                self.backend,
+                block_shape=self.block_shape,
+                field=self.field,
+                fused=self.fused,
+            )
+        updater_cls = ConvUpdater if self.updater_name == "conv" else CompactUpdater
+        return updater_cls(
+            beta_vec,
+            self.backend,
+            block_shape=self.block_shape,
+            field=self.field,
+            fused=self.fused,
+        )
+
     # -- state access -------------------------------------------------------
 
     @property
@@ -249,7 +265,7 @@ class EnsembleSimulation:
             float(self.temperatures[index]),
             updater=self.updater_name,
             backend=self.backend,
-            seed=self.seed,
+            seed=self.seeds[index],
             stream_id=self.stream_ids[index],
             initial=np.asarray(self.lattices[index], dtype=np.float32),
             block_shape=self.block_shape,
@@ -258,6 +274,130 @@ class EnsembleSimulation:
         sim.stream = self.stream.chain(index)
         sim.sweeps_done = self.sweeps_done
         return sim
+
+    # -- continuous batching (join/leave at sweep boundaries) ----------------
+
+    @classmethod
+    def from_chains(
+        cls,
+        shape: int | tuple[int, int],
+        chains: "Sequence[tuple[float, PhiloxStream, np.ndarray]]",
+        updater: str = "compact",
+        backend: Backend | None = None,
+        block_shape: tuple[int, int] | None = None,
+        field: float = 0.0,
+        fused: "bool | str" = "auto",
+        telemetry: RunTelemetry | None = None,
+    ) -> "EnsembleSimulation":
+        """Build an ensemble from explicit ``(temperature, stream, lattice)`` rows.
+
+        This is the continuous-batching entry point: each chain arrives
+        with its *own* Philox stream (seed, stream id **and** counter
+        position) and its current plain lattice, so chains mid-flight —
+        restored from checkpoints, split out of other ensembles, or fresh
+        — batch together and each continues bit-identically to the solo
+        :class:`IsingSimulation` it came from.  Counters need not be
+        aligned across chains.
+        """
+        if not chains:
+            raise ValueError("need at least one chain")
+        temps = [float(t) for t, _, _ in chains]
+        streams = [s for _, s, _ in chains]
+        plains = np.stack(
+            [np.asarray(p, dtype=np.float32) for _, _, p in chains]
+        )
+        ensemble = cls(
+            shape,
+            temps,
+            updater=updater,
+            backend=backend,
+            seed=streams[0].seed,
+            stream_ids=[s.stream_id for s in streams],
+            initial=plains,
+            block_shape=block_shape,
+            field=field,
+            fused=fused,
+            telemetry=telemetry,
+        )
+        ensemble.stream = BatchedPhiloxStream.from_streams(streams)
+        ensemble.seeds = [s.seed for s in streams]
+        return ensemble
+
+    def _rebuild_roster(
+        self,
+        temps: np.ndarray,
+        plains: np.ndarray,
+        streams: "list[PhiloxStream]",
+    ) -> None:
+        """Re-batch the given chain roster; each chain's lattice and
+        Philox counter carry over exactly, so siblings are undisturbed."""
+        self.temperatures = np.asarray(temps, dtype=np.float64)
+        self.betas = 1.0 / self.temperatures
+        self.n_chains = int(self.temperatures.size)
+        self.seeds = [s.seed for s in streams]
+        self.stream_ids = [s.stream_id for s in streams]
+        self._updater = self._build_updater()
+        self.stream = BatchedPhiloxStream.from_streams(streams)
+        self._state = self._updater.to_state(
+            np.asarray(plains, dtype=np.float32)
+        )
+
+    def add_chain(
+        self, temperature: float, stream: PhiloxStream, lattice: np.ndarray
+    ) -> int:
+        """Join one chain to the batch at a sweep boundary.
+
+        ``stream`` is the chain's own :class:`PhiloxStream`, positioned
+        where its next draw must start; ``lattice`` is its current plain
+        +/-1 state.  Sibling chains' lattices and counters are untouched,
+        so their trajectories stay bit-identical to an undisturbed run —
+        only the batch width changes.  Returns the new chain's index.
+        """
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        plain = np.asarray(lattice, dtype=np.float32)
+        if plain.shape != self.shape:
+            raise ValueError(
+                f"joining lattice shape {plain.shape} != {self.shape}"
+            )
+        validate_spins(plain)
+        temps = np.append(self.temperatures, float(temperature))
+        plains = np.concatenate([self.lattices, plain[None]], axis=0)
+        streams = [self.stream.chain(b) for b in range(self.n_chains)]
+        streams.append(stream)
+        self._rebuild_roster(temps, plains, streams)
+        return self.n_chains - 1
+
+    def remove_chain(self, index: int) -> tuple[np.ndarray, PhiloxStream]:
+        """Leave the batch at a sweep boundary, returning the chain's state.
+
+        Returns the removed chain's ``(lattice, stream)`` — everything a
+        solo :class:`IsingSimulation` (or a later :meth:`add_chain`)
+        needs to continue it bit-identically.  The surviving chains keep
+        their exact lattices and Philox counters.  The last chain cannot
+        be removed; retire the whole ensemble instead.
+        """
+        if not 0 <= index < self.n_chains:
+            raise IndexError(
+                f"chain index {index} out of range for {self.n_chains} chains"
+            )
+        if self.n_chains == 1:
+            raise ValueError(
+                "cannot remove the last chain of an ensemble; "
+                "drop the ensemble object instead"
+            )
+        plains = self.lattices
+        removed = (
+            np.asarray(plains[index], dtype=np.float32),
+            self.stream.chain(index),
+        )
+        keep = [b for b in range(self.n_chains) if b != index]
+        self._rebuild_roster(
+            self.temperatures[keep],
+            plains[keep],
+            [self.stream.chain(b) for b in keep],
+        )
+        return removed
 
     # -- evolution -----------------------------------------------------------
 
@@ -431,5 +571,6 @@ class EnsembleSimulation:
             fused=state.get("fused", "auto"),
         )
         ensemble.stream = BatchedPhiloxStream.from_state(state["stream"])
+        ensemble.seeds = list(ensemble.stream.seeds)
         ensemble.sweeps_done = int(state["sweeps_done"])
         return ensemble

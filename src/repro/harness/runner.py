@@ -15,8 +15,8 @@ tables (see ``docs/observability.md`` for the schemas)::
 
 ``--telemetry-out`` writes a versioned RunReport JSON; ``--trace-out``
 writes a Chrome trace-event file (load it at https://ui.perfetto.dev or
-``chrome://tracing``) and is supported by experiments that execute on the
-simulated pod (currently ``smoke``).
+``chrome://tracing``) and is supported by experiments that execute on
+simulated devices (currently ``smoke`` and ``serve``).
 
 ``--fault-plan PATH`` loads a JSON-serialized
 :class:`~repro.mesh.faults.FaultPlan` (``FaultPlan.to_json_dict``
@@ -35,7 +35,8 @@ import sys
 
 from ..mesh.faults import FaultPlan
 from ..telemetry.report import RunTelemetry
-from . import figure4, figure7, figure8, figure9, smoke
+from ..version import __version__
+from . import figure4, figure7, figure8, figure9, serve, smoke
 from . import table1, table2, table3, table4, table5, table6, table7
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "figure8": (figure8.run, "throughput vs problem size, all platforms"),
     "figure9": (figure9.run, "strong scaling vs ideal"),
     "smoke": (smoke.run, "instrumented distributed run + telemetry artifacts [runs MCMC]"),
+    "serve": (serve.run, "mixed-priority job mix through the repro.sched service"),
 }
 
 _MCMC_EXPERIMENTS = {"figure4", "figure7"}
@@ -110,6 +112,12 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the tables and figures of 'High Performance "
         "Monte Carlo Simulation of Ising Model on TPU Clusters' (SC19) on "
         "the simulated TPU substrate.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the repro package version and exit",
     )
     parser.add_argument(
         "experiment",

@@ -1,0 +1,147 @@
+"""Content-addressed result cache keyed by canonical config hashes.
+
+Two requests that describe the *same trajectory* must hash to the same
+key, however they were spelled.  :func:`canonical_cache_key` therefore
+normalises every trajectory-determining field of a frozen
+:class:`~repro.api.SimulationConfig` before hashing:
+
+* ``temperature=2.0`` and ``beta=0.5`` resolve to one temperature, and
+  floats are hashed by their exact bit pattern (``float.hex``), never by
+  a printed decimal;
+* ``shape=64`` and ``shape=(64, 64)`` normalise to one tuple, and an
+  unset ``block_shape`` resolves to the updater's default decomposition
+  (so spelling the default explicitly still hits);
+* an explicit initial lattice hashes by content (shape + bytes).
+
+Fields that provably do **not** change the trajectory are excluded, so
+equivalent requests share cache entries across them: the backend kind
+("numpy" vs "tpu" execute bit-identically for a given dtype — the
+equivalence suite enforces it) and the fused-engine selection (fused and
+elementwise sweeps are bit-identical by construction).  ``dtype`` *is*
+part of the key: bfloat16 rounding changes trajectories.
+
+The cache itself is a bounded LRU mapping key -> :class:`~repro.sched.job.JobResult`;
+hits hand out aliasing-free copies so a caller mutating its result can
+never corrupt later servings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from ..tpu.dtypes import resolve_dtype
+from .job import JobResult
+
+__all__ = ["CACHE_KEY_SCHEMA", "canonical_cache_key", "ResultCache"]
+
+#: Versioned prefix folded into every key; bump when key semantics change
+#: (a stale persisted key can then never alias a new-scheme entry).
+CACHE_KEY_SCHEMA = "repro.sched/cache-key/v1"
+
+
+def _normalized_shape(shape) -> tuple[int, int]:
+    if isinstance(shape, (int, np.integer)):
+        return (int(shape), int(shape))
+    rows, cols = shape
+    return (int(rows), int(cols))
+
+
+def _resolved_block_shape(config, shape: tuple[int, int]):
+    """The effective block decomposition, mirroring the drivers' defaults."""
+    if config.block_shape is not None:
+        rows, cols = config.block_shape
+        return (int(rows), int(cols))
+    if config.updater == "masked_conv":
+        return None
+    if config.updater == "checkerboard":
+        return shape
+    return (shape[0] // 2, shape[1] // 2)
+
+
+def _initial_token(initial) -> str:
+    """Canonical token for the initial state ('hot'/'cold' or array hash)."""
+    if isinstance(initial, str):
+        return f"named:{initial}"
+    plain = np.ascontiguousarray(np.asarray(initial, dtype=np.float32))
+    digest = hashlib.sha256(plain.tobytes()).hexdigest()
+    return f"array:{plain.shape}:{digest}"
+
+
+def canonical_cache_key(config, sweeps: int) -> str:
+    """The content address of (config, seed, sweep count) as a sha256 hex.
+
+    Includes every trajectory-determining field (shape, temperature,
+    field, updater, dtype, block decomposition, initial state, seed,
+    sweep count); excludes execution details that are bit-identical by
+    contract (backend kind, fused selection, telemetry).
+    """
+    shape = _normalized_shape(config.shape)
+    parts = (
+        CACHE_KEY_SCHEMA,
+        f"shape={shape}",
+        f"temperature={float(config.resolved_temperature).hex()}",
+        f"field={float(config.field).hex()}",
+        f"updater={config.updater}",
+        f"dtype={resolve_dtype(config.dtype).name}",
+        f"block_shape={_resolved_block_shape(config, shape)}",
+        f"initial={_initial_token(config.initial)}",
+        f"seed={int(config.seed)}",
+        f"sweeps={int(sweeps)}",
+    )
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Bounded LRU of canonical-key -> :class:`~repro.sched.job.JobResult`.
+
+    ``get`` returns an aliasing-free copy (or None) and books the
+    hit/miss; ``put`` inserts and evicts least-recently-used entries
+    beyond ``max_entries``.  Purely in-process and synchronous — the
+    scheduler consults it before any job touches the device pool.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, JobResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> JobResult | None:
+        """The cached result for ``key`` (a fresh copy), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.copy()
+
+    def put(self, key: str, result: JobResult) -> None:
+        """Insert (a defensive copy of) ``result`` under ``key``."""
+        self._entries[key] = result.copy()
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counts plus current occupancy."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

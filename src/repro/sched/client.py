@@ -1,0 +1,146 @@
+"""The tenant-facing surface of the simulation service.
+
+:class:`Client` wraps one :class:`~repro.sched.scheduler.Scheduler` in
+the ergonomics a tenant wants: submit configs (or keyword fields), get
+:class:`~repro.sched.job.Job` handles back immediately, and collect
+:class:`~repro.sched.job.JobResult` s — the client drains the scheduler
+on demand, so callers never drive the step loop by hand.
+
+Module-level :func:`submit` is the one-call path: it runs the job
+through a process-wide default client and returns the result directly.
+Because that client is shared, repeated identical submits are served
+from its content-addressed cache — the service semantics, without
+holding a handle.
+
+This module is imported by :mod:`repro.api` (which re-exports
+``submit``/``Client``), so ``repro.api`` is only imported lazily inside
+function bodies here.
+"""
+
+from __future__ import annotations
+
+from .job import Job, JobResult
+from .scheduler import Scheduler
+
+__all__ = ["Client", "submit", "default_client", "reset_default_client"]
+
+
+class Client:
+    """A tenant handle on a scheduler (owned here or shared).
+
+    Parameters
+    ----------
+    scheduler:
+        Attach to an existing scheduler (multi-tenant sharing); when
+        omitted a private one is built from the remaining keyword
+        arguments (``n_devices``, ``max_batch``, ``quantum``,
+        ``tenant_weights``, ``telemetry``, ``record_trace``, ...).
+    tenant:
+        Default fair-share bucket for this client's submissions.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        tenant: str = "default",
+        **scheduler_kwargs,
+    ) -> None:
+        if scheduler is not None and scheduler_kwargs:
+            raise ValueError(
+                "pass either an existing scheduler or constructor kwargs, "
+                f"not both (got {sorted(scheduler_kwargs)})"
+            )
+        self.scheduler = scheduler if scheduler is not None else Scheduler(
+            **scheduler_kwargs
+        )
+        self.tenant = str(tenant)
+
+    def submit(
+        self,
+        config=None,
+        sweeps: int = 100,
+        priority: int = 0,
+        tenant: str | None = None,
+        **config_kwargs,
+    ) -> Job:
+        """Queue one job and return its handle (non-blocking).
+
+        Pass a built :class:`~repro.api.SimulationConfig`, or config
+        fields as keywords (``shape=64, temperature=2.0, ...``) and one
+        is built here.  The handle may already be ``done`` when the
+        result cache or an in-flight duplicate served it.
+        """
+        if config is None:
+            from ..api import SimulationConfig
+
+            config = SimulationConfig(**config_kwargs)
+        elif config_kwargs:
+            raise ValueError(
+                "pass either a config or config fields, not both "
+                f"(got {sorted(config_kwargs)})"
+            )
+        return self.scheduler.submit(
+            config,
+            sweeps,
+            priority=priority,
+            tenant=self.tenant if tenant is None else str(tenant),
+        )
+
+    def result(self, job: Job) -> JobResult:
+        """The job's result, draining the scheduler first if needed.
+
+        Re-raises the original error for a failed job.
+        """
+        if not job.done:
+            self.scheduler.drain()
+        if job.state == "failed":
+            raise job.error
+        if job.result is None:
+            raise RuntimeError(f"job {job.id} finished without a result")
+        return job.result
+
+    def run(self) -> None:
+        """Drain the scheduler: run until every submitted job settles."""
+        self.scheduler.drain()
+
+    def stats(self) -> dict:
+        return self.scheduler.stats()
+
+
+#: Process-wide client backing the module-level :func:`submit`.
+_default_client: Client | None = None
+
+
+def default_client() -> Client:
+    """The shared process-wide client (built on first use)."""
+    global _default_client
+    if _default_client is None:
+        _default_client = Client()
+    return _default_client
+
+
+def reset_default_client() -> None:
+    """Drop the shared client (tests; frees its cache and pool)."""
+    global _default_client
+    _default_client = None
+
+
+def submit(
+    config=None,
+    sweeps: int = 100,
+    priority: int = 0,
+    tenant: str = "default",
+    **config_kwargs,
+) -> JobResult:
+    """Run one job through the shared service client and return its result.
+
+    The synchronous one-call path: submits to the process-wide
+    :func:`default_client`, drains, and returns the
+    :class:`~repro.sched.job.JobResult`.  Identical repeat calls are
+    served from the shared content-addressed cache.
+    """
+    client = default_client()
+    job = client.submit(
+        config, sweeps, priority=priority, tenant=tenant, **config_kwargs
+    )
+    return client.result(job)

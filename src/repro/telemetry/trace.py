@@ -67,6 +67,16 @@ def _fault_spans_of(source) -> list[dict]:
     return list(getattr(runtime, "fault_log", ()) or ())
 
 
+def _sched_spans_of(source) -> list[dict]:
+    """Batch-advance spans recorded by a scheduler, if any.
+
+    Accepts anything exposing ``sched_log``
+    (:class:`~repro.sched.scheduler.Scheduler` records one span per
+    batch advance when built with ``record_trace=True``).
+    """
+    return list(getattr(source, "sched_log", ()) or ())
+
+
 def chrome_trace(source) -> dict:
     """Build a Chrome trace-event JSON object from recorded trace buffers.
 
@@ -77,8 +87,11 @@ def chrome_trace(source) -> dict:
     source carries an SPMD runtime with a non-empty ``fault_log`` (retry
     storms, injected delays), those spans render on an extra "mesh
     faults" track so degraded collectives line up against the per-core
-    timelines.  Raises if no trace events were recorded (build the
-    profilers with ``record_trace=True``).
+    timelines; a scheduler source with a non-empty ``sched_log`` gets a
+    "scheduler batches" track the same way, so batch advances line up
+    against the device timelines they were booked on.  Raises if no
+    trace events were recorded (build the profilers with
+    ``record_trace=True``).
     """
     rows = _profilers_of(source)
     events: list[dict] = []
@@ -106,9 +119,37 @@ def chrome_trace(source) -> dict:
                     "dur": ev.duration * _US,
                 }
             )
+    next_tid = max(core_id for core_id, _, _ in rows) + 1
+    sched_spans = _sched_spans_of(source)
+    if sched_spans:
+        sched_tid = next_tid
+        next_tid += 1
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": sched_tid,
+                "args": {"name": "scheduler batches"},
+            }
+        )
+        for span in sched_spans:
+            total_events += 1
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span["name"],
+                    "cat": "sched",
+                    "pid": 0,
+                    "tid": sched_tid,
+                    "ts": span["start"] * _US,
+                    "dur": span["duration"] * _US,
+                    "args": span.get("args", {}),
+                }
+            )
     fault_spans = _fault_spans_of(source)
     if fault_spans:
-        fault_tid = max(core_id for core_id, _, _ in rows) + 1
+        fault_tid = next_tid
         events.append(
             {
                 "ph": "M",
@@ -144,6 +185,7 @@ def chrome_trace(source) -> dict:
             "timeline": "modeled TPU seconds (not wall clock)",
             "num_cores": len(rows),
             "num_fault_spans": len(fault_spans),
+            "num_sched_spans": len(sched_spans),
         },
     }
 

@@ -253,3 +253,96 @@ class TestPublicSurface:
             cwd=root,
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestLoadSchemaVersioning:
+    """Regression: an unknown envelope version must fail by *name*,
+    before any kind dispatch can produce a misleading error."""
+
+    def test_unknown_schema_names_found_and_supported(self):
+        with pytest.raises(ValueError) as excinfo:
+            load({"schema": "checkpoint/v9", "kind": "pod"})
+        message = str(excinfo.value)
+        assert "checkpoint/v9" in message  # the version it found
+        assert "checkpoint/v2" in message  # the version it supports
+        assert "v1" in message  # and the legacy fallback
+
+    def test_unknown_schema_beats_kind_guessing(self):
+        # Even a recognisable kind must not be dispatched under an
+        # unknown schema (the payload layout may have changed).
+        with pytest.raises(ValueError, match="checkpoint/v3"):
+            load({"schema": "checkpoint/v3", "kind": "single"})
+
+    def test_non_dict_is_a_type_error(self):
+        with pytest.raises(TypeError, match="dict"):
+            load("not-a-checkpoint")
+
+    def test_v2_and_legacy_v1_still_load(self):
+        sim = simulate(SimulationConfig(shape=8, seed=1))
+        sim.run(2)
+        state = sim.state_dict()
+        np.testing.assert_array_equal(load(state).lattice, sim.lattice)
+        legacy = {k: v for k, v in state.items() if k not in ("schema", "kind")}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            np.testing.assert_array_equal(load(legacy).lattice, sim.lattice)
+
+
+class TestUpdaterWhitelist:
+    """Regression: the config accepts exactly the core's four updaters
+    (the stale list accepted 'naive', which crashed downstream)."""
+
+    @pytest.mark.parametrize(
+        "updater", ["compact", "conv", "checkerboard", "masked_conv"]
+    )
+    def test_all_core_updaters_buildable(self, updater):
+        sim = simulate(SimulationConfig(shape=8, updater=updater, seed=2))
+        sim.run(1)
+
+    def test_naive_is_rejected_up_front(self):
+        with pytest.raises(ValueError, match="updater"):
+            SimulationConfig(updater="naive")
+
+
+class TestSubmitSurface:
+    def test_submit_and_client_reexported(self):
+        for name in ("submit", "Client", "Scheduler"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_module_level_submit_shares_a_cache(self):
+        from repro.sched.client import default_client, reset_default_client
+
+        reset_default_client()
+        try:
+            config = SimulationConfig(shape=8, seed=5)
+            first = repro.submit(config, sweeps=4)
+            second = repro.submit(config, sweeps=4)
+            np.testing.assert_array_equal(first.lattice, second.lattice)
+            assert default_client().scheduler.cache.hits >= 1
+            solo = simulate(config)
+            solo.run(4)
+            np.testing.assert_array_equal(first.lattice, solo.lattice)
+        finally:
+            reset_default_client()
+
+    def test_client_builds_config_from_keywords(self):
+        client = repro.Client(n_devices=1)
+        job = client.submit(shape=8, temperature=2.2, seed=9, sweeps=3)
+        result = client.result(job)
+        solo = simulate(SimulationConfig(shape=8, temperature=2.2, seed=9))
+        solo.run(3)
+        np.testing.assert_array_equal(result.lattice, solo.lattice)
+
+    def test_client_rejects_config_plus_keywords(self):
+        client = repro.Client(n_devices=1)
+        with pytest.raises(ValueError, match="not both"):
+            client.submit(SimulationConfig(shape=8), 3, shape=16)
+
+    def test_client_result_reraises_failure(self):
+        client = repro.Client(n_devices=1)
+        job = client.submit(
+            SimulationConfig(shape=8, initial="lukewarm"), 3
+        )
+        with pytest.raises(ValueError, match="hot"):
+            client.result(job)
