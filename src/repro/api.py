@@ -38,6 +38,7 @@ from .core.config import (
     backend_from_checkpoint,
     checkpoint_kind,
     resolve_fused,
+    resolve_traced,
 )
 from .core.distributed import DistributedIsing
 from .core.ensemble import EnsembleSimulation
@@ -134,6 +135,12 @@ class SimulationConfig:
         own per-core TPU backends and only accepts None / "tpu".
     fused:
         Fused sweep engine: "auto" (default), True or False.
+    traced:
+        Traced sweep executor: "auto" (default — follows the resolved
+        ``fused`` setting), True or False.  When on, the driver records
+        one fused sweep as a replayable (op, buffer) program and runs
+        further sweeps with zero Python dispatch of updater logic
+        (:mod:`repro.core.traced`); ``True`` requires the fused engine.
     seed:
         Global Philox seed.
     telemetry:
@@ -167,6 +174,7 @@ class SimulationConfig:
     dtype: "DType | str" = "float32"
     backend: "Backend | str | None" = None
     fused: "bool | str" = "auto"
+    traced: "bool | str" = "auto"
     seed: int = 0
     telemetry: "RunTelemetry | bool | None" = None
     block_shape: "tuple[int, int] | None" = None
@@ -191,6 +199,7 @@ class SimulationConfig:
                 f"updater must be one of {_UPDATERS}, got {self.updater!r}"
             )
         resolve_fused(self.fused)  # raises on junk
+        resolve_traced(self.traced)  # raises on junk
         resolve_dtype(self.dtype)  # raises on junk
         if isinstance(self.backend, str) and self.backend not in ("numpy", "tpu"):
             raise ValueError(
@@ -295,6 +304,7 @@ def simulate(config: SimulationConfig) -> IsingSimulation:
         block_shape=config.block_shape,
         field=config.field,
         fused=config.fused,
+        traced=config.traced,
         telemetry=config._resolved_telemetry(),
     )
 
@@ -329,6 +339,7 @@ def ensemble(
         block_shape=config.block_shape,
         field=config.field,
         fused=config.fused,
+        traced=config.traced,
         telemetry=config._resolved_telemetry(),
     )
 
@@ -361,6 +372,7 @@ def distributed(config: SimulationConfig) -> DistributedIsing:
         updater="conv" if config.updater == "conv" else "compact",
         field=config.field,
         fused=config.fused,
+        traced=config.traced,
         telemetry=config._resolved_telemetry(),
         fault_plan=config.fault_plan,
         checkpoint_interval=config.checkpoint_interval,

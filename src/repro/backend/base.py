@@ -475,6 +475,24 @@ class Backend:
         )
         return target
 
+    def assign_at_slice_into(
+        self, target: np.ndarray, index: tuple, value: np.ndarray
+    ) -> np.ndarray:
+        """Overwrite ``target[index]`` with ``value`` in place.
+
+        The halo splice of the distributed neighbour sums: after a
+        boundary slab rolls, the entry that wrapped around the local edge
+        is replaced by the remote core's slab.  The store is bookkeeping
+        the device fuses into the roll it just performed (the same bytes
+        were already charged there), so this op books no additional cost
+        — but routing it through the backend instead of a raw indexed
+        store keeps it visible to the traced executor's recording proxy.
+        ``value`` must already hold quantized device values (it always
+        does: halos are slices of device tensors).
+        """
+        np.copyto(target[index], value)
+        return target
+
     def shifted_pair_sum_into(
         self, a: np.ndarray, axis: int, offset: int, out: np.ndarray
     ) -> np.ndarray:

@@ -45,14 +45,27 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     if cols % _WORD:
         raise ValueError(f"columns ({cols}) must be a multiple of {_WORD}")
     packed8 = np.packbits(bits.astype(np.uint8), axis=-1, bitorder="little")
-    return packed8.view(np.uint64) if packed8.flags.c_contiguous else np.ascontiguousarray(packed8).view(np.uint64)
+    if not packed8.flags.c_contiguous:
+        packed8 = np.ascontiguousarray(packed8)
+    # Compose the 8 bytes little-endian explicitly: a bare np.uint64 view
+    # would read them in *host* order, flipping which column each bit
+    # addresses on big-endian machines.  astype(uint64) then normalises
+    # to the native representation so downstream shifts stay fast; the
+    # word *values* are host-independent.
+    return packed8.view(np.dtype("<u8")).astype(np.uint64, copy=False)
 
 
 def unpack_bits(words: np.ndarray, cols: int) -> np.ndarray:
-    """Inverse of :func:`pack_bits`."""
+    """Inverse of :func:`pack_bits`.
+
+    Accepts words in any byte order (e.g. read from a foreign-endian
+    checkpoint): values are re-encoded as little-endian bytes before the
+    bit unpack, mirroring :func:`pack_bits`'s explicit ``'<u8'`` layout.
+    """
     rows = words.shape[0]
+    le_words = np.ascontiguousarray(words).astype(np.dtype("<u8"), copy=False)
     flat = np.unpackbits(
-        np.ascontiguousarray(words).view(np.uint8), axis=-1, bitorder="little"
+        le_words.view(np.uint8), axis=-1, bitorder="little"
     )
     return flat[:, :cols].reshape(rows, cols)
 

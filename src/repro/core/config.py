@@ -31,6 +31,8 @@ __all__ = [
     "CHECKPOINT_SCHEMA",
     "CHECKPOINT_KINDS",
     "resolve_fused",
+    "resolve_traced",
+    "default_block_shape",
     "backend_kind",
     "backend_from_checkpoint",
     "checkpoint_envelope",
@@ -57,6 +59,43 @@ def resolve_fused(fused: "bool | str") -> "bool | str":
     if isinstance(fused, (bool, np.bool_)):
         return bool(fused)
     raise ValueError(f"fused must be 'auto', True or False, got {fused!r}")
+
+
+def resolve_traced(traced: "bool | str") -> "bool | str":
+    """Normalise a traced-executor selection to ``"auto"`` / True / False.
+
+    ``"auto"`` resolves later against the fused-engine selection: the
+    traced executor replays a recorded fused sweep, so it follows the
+    fused flag wherever that resolves True and stays off elsewhere.
+    An explicit ``traced=True`` with the fused engine off is rejected by
+    the drivers — there is no elementwise trace to record.
+    """
+    if traced == "auto":
+        return "auto"
+    if isinstance(traced, (bool, np.bool_)):
+        return bool(traced)
+    raise ValueError(f"traced must be 'auto', True or False, got {traced!r}")
+
+
+def default_block_shape(
+    updater: str, shape: "tuple[int, int]"
+) -> "tuple[int, int] | None":
+    """The driver's default block decomposition for ``updater`` on ``shape``.
+
+    This is the single source of truth consumed by the drivers *and* by
+    the scheduler's cache key (:mod:`repro.sched.cache`), so an unset
+    ``block_shape`` and its spelled-out default can never drift apart:
+
+    * ``masked_conv`` runs unblocked (and rejects an explicit block);
+    * ``checkerboard`` defaults to one block covering the whole lattice;
+    * ``compact`` / ``conv`` default to a 2x2 grid of half-lattice blocks.
+    """
+    if updater == "masked_conv":
+        return None
+    rows, cols = (int(shape[0]), int(shape[1]))
+    if updater == "checkerboard":
+        return (rows, cols)
+    return (rows // 2, cols // 2)
 
 
 def backend_kind(backend: Backend) -> str:

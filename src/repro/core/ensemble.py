@@ -41,9 +41,12 @@ from .config import (
     backend_from_checkpoint,
     backend_kind,
     checkpoint_envelope,
+    default_block_shape,
     resolve_fused,
+    resolve_traced,
     unwrap_checkpoint,
 )
+from .traced import TracedExecutor, record_traced_metrics
 from .simulation import (
     ChainResult,
     IsingSimulation,
@@ -89,6 +92,14 @@ class EnsembleSimulation:
         bool.  The fused ensemble builds one per-chain
         :class:`~repro.core.accept.AcceptanceTable` (10 entries per
         chain) and keeps chains bit-identical to the elementwise path.
+    traced:
+        Traced sweep executor selection (see :mod:`repro.core.traced`):
+        ``"auto"`` (default) follows the resolved ``fused`` setting —
+        one recorded sweep is replayed for all chains at once, so the
+        whole batch amortises a single program.  ``True`` requires the
+        fused engine.  Roster changes (:meth:`add_chain` /
+        :meth:`remove_chain`) rebuild the batched state and therefore
+        re-record on the next sweep.
     telemetry:
         Optional :class:`~repro.telemetry.report.RunTelemetry` recorder
         (same contract as :class:`IsingSimulation`: absent by default,
@@ -109,6 +120,7 @@ class EnsembleSimulation:
         block_shape: tuple[int, int] | None = None,
         field: float = 0.0,
         fused: "bool | str" = "auto",
+        traced: "bool | str" = "auto",
         telemetry: RunTelemetry | None = None,
     ) -> None:
         if isinstance(shape, (int, np.integer)):
@@ -149,6 +161,15 @@ class EnsembleSimulation:
             if self.fused_config == "auto"
             else self.fused_config
         )
+        self.traced_config = resolve_traced(traced)
+        self.traced = (
+            self.fused if self.traced_config == "auto" else self.traced_config
+        )
+        if self.traced and not self.fused:
+            raise ValueError(
+                "traced=True requires the fused sweep engine; "
+                "the elementwise path allocates per sweep and cannot be replayed"
+            )
 
         if stream_ids is None:
             stream_ids = range(self.n_chains)
@@ -161,15 +182,12 @@ class EnsembleSimulation:
         if updater == "masked_conv":
             if block_shape is not None:
                 raise ValueError("masked_conv does not take a block_shape")
-        elif updater == "checkerboard":
-            if block_shape is None:
-                block_shape = self.shape
-        else:
-            if block_shape is None:
-                block_shape = (rows // 2, cols // 2)
+        elif block_shape is None:
+            block_shape = default_block_shape(updater, self.shape)
         self.block_shape = block_shape
         self._updater = self._build_updater()
         self.block_shape = getattr(self._updater, "block_shape", None)
+        self._executor = TracedExecutor(self._updater) if self.traced else None
 
         # Per-chain initial states, drawn from each chain's own solo
         # stream so hot starts match the corresponding IsingSimulation
@@ -287,6 +305,7 @@ class EnsembleSimulation:
         block_shape: tuple[int, int] | None = None,
         field: float = 0.0,
         fused: "bool | str" = "auto",
+        traced: "bool | str" = "auto",
         telemetry: RunTelemetry | None = None,
     ) -> "EnsembleSimulation":
         """Build an ensemble from explicit ``(temperature, stream, lattice)`` rows.
@@ -317,6 +336,7 @@ class EnsembleSimulation:
             block_shape=block_shape,
             field=field,
             fused=fused,
+            traced=traced,
             telemetry=telemetry,
         )
         ensemble.stream = BatchedPhiloxStream.from_streams(streams)
@@ -341,6 +361,10 @@ class EnsembleSimulation:
         self._state = self._updater.to_state(
             np.asarray(plains, dtype=np.float32)
         )
+        if self._executor is not None:
+            # New batch width, fresh tensors: the recorded program no
+            # longer matches — drop it and re-record on the next sweep.
+            self._executor.rebind(self._updater)
 
     def add_chain(
         self, temperature: float, stream: PhiloxStream, lattice: np.ndarray
@@ -401,17 +425,25 @@ class EnsembleSimulation:
 
     # -- evolution -----------------------------------------------------------
 
+    def _advance(self, n_sweeps: int) -> None:
+        """Advance ``n_sweeps`` sweeps through the traced executor or eagerly."""
+        executor = self._executor
+        if executor is not None:
+            self._state = executor.run(self._state, self.stream, n_sweeps)
+        else:
+            for _ in range(n_sweeps):
+                self._state = self._updater.sweep(self._state, self.stream)
+        self.sweeps_done += n_sweeps
+
     def sweep(self) -> None:
         """Advance every chain by one full lattice sweep (both colours)."""
         telemetry = self.telemetry
         if telemetry is None:
-            self._state = self._updater.sweep(self._state, self.stream)
-            self.sweeps_done += 1
+            self._advance(1)
             return
         start = perf_counter()
-        self._state = self._updater.sweep(self._state, self.stream)
+        self._advance(1)
         telemetry.record_sweep(perf_counter() - start)
-        self.sweeps_done += 1
         if telemetry.wants_physics(self.sweeps_done):
             plains = self.lattices
             mean_m = float(
@@ -423,9 +455,18 @@ class EnsembleSimulation:
             telemetry.record_physics(plains, mean_m, mean_e)
 
     def run(self, n_sweeps: int) -> None:
-        """Advance every chain by ``n_sweeps`` sweeps."""
+        """Advance every chain by ``n_sweeps`` sweeps.
+
+        Without telemetry the whole batch goes to the traced executor in
+        one call; with telemetry, sweeps advance one at a time to keep
+        per-sweep wall times.
+        """
         if n_sweeps < 0:
             raise ValueError(f"n_sweeps must be >= 0, got {n_sweeps}")
+        if self.telemetry is None:
+            if n_sweeps:
+                self._advance(n_sweeps)
+            return
         for _ in range(n_sweeps):
             self.sweep()
 
@@ -491,6 +532,7 @@ class EnsembleSimulation:
         registry.gauge("sweeps_done").set(self.sweeps_done)
         registry.gauge("n_chains").set(self.n_chains)
         record_fused_metrics(registry, self._updater)
+        record_traced_metrics(registry, self._executor)
         streams = [
             {"seed": seed, "stream_id": sid, "counter": counter}
             for seed, sid, counter in zip(
@@ -511,6 +553,7 @@ class EnsembleSimulation:
                 "n_chains": self.n_chains,
                 "sweeps_done": self.sweeps_done,
                 "fused": self.fused,
+                "traced": self.traced,
             },
             rng={"streams": streams},
         )
@@ -537,6 +580,7 @@ class EnsembleSimulation:
                 "block_shape": self.block_shape,
                 "seed": self.seed,
                 "fused": self.fused_config,
+                "traced": self.traced_config,
                 "lattices": self.lattices,
                 "stream": self.stream.state(),
                 "sweeps_done": self.sweeps_done,
@@ -569,6 +613,7 @@ class EnsembleSimulation:
             block_shape=tuple(block_shape) if block_shape is not None else None,
             field=state["field"],
             fused=state.get("fused", "auto"),
+            traced=state.get("traced", "auto"),
         )
         ensemble.stream = BatchedPhiloxStream.from_state(state["stream"])
         ensemble.seeds = list(ensemble.stream.seeds)

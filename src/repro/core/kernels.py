@@ -372,7 +372,9 @@ def _shifted_slab_into(
             raise ValueError(
                 f"halo shape {replacement.shape} != boundary shape {expected}"
             )
-        out[index] = replacement
+        # Through the backend (not a raw indexed store) so the halo
+        # splice lands in a recorded sweep trace like every other op.
+        backend.assign_at_slice_into(out, index, replacement)
     return out
 
 

@@ -36,11 +36,14 @@ from .config import (
     backend_from_checkpoint,
     backend_kind,
     checkpoint_envelope,
+    default_block_shape,
     resolve_fused,
+    resolve_traced,
     unwrap_checkpoint,
 )
 from .conv import ConvUpdater, MaskedConvUpdater
 from .fused import record_fused_metrics
+from .traced import TracedExecutor, record_traced_metrics
 from .lattice import cold_lattice, random_lattice, validate_spins
 
 __all__ = [
@@ -141,6 +144,14 @@ class IsingSimulation:
         disables it on accounting (TPU) backends so the calibrated cost
         tables keep their historical op sequence.  Pass ``True`` /
         ``False`` to force.  Trajectories are bit-identical either way.
+    traced:
+        Traced sweep executor selection.  ``"auto"`` (default) follows
+        the resolved ``fused`` setting: where the fused engine runs, one
+        sweep is recorded as an (op, buffer) program and further sweeps
+        replay it with zero Python re-interpretation of updater logic
+        (see :mod:`repro.core.traced`).  Pass ``True`` / ``False`` to
+        force; ``True`` requires the fused engine.  Replayed sweeps are
+        bit-identical to eager ones.
     telemetry:
         Optional :class:`~repro.telemetry.report.RunTelemetry` recorder.
         When omitted (the default) the sweep loop takes the exact seed
@@ -163,6 +174,7 @@ class IsingSimulation:
         block_shape: tuple[int, int] | None = None,
         field: float = 0.0,
         fused: "bool | str" = "auto",
+        traced: "bool | str" = "auto",
         telemetry: RunTelemetry | None = None,
     ) -> None:
         if isinstance(shape, (int, np.integer)):
@@ -192,6 +204,15 @@ class IsingSimulation:
             if self.fused_config == "auto"
             else self.fused_config
         )
+        self.traced_config = resolve_traced(traced)
+        self.traced = (
+            self.fused if self.traced_config == "auto" else self.traced_config
+        )
+        if self.traced and not self.fused:
+            raise ValueError(
+                "traced=True requires the fused sweep engine; "
+                "the elementwise path allocates per sweep and cannot be replayed"
+            )
 
         if updater == "masked_conv":
             if block_shape is not None:
@@ -201,7 +222,7 @@ class IsingSimulation:
             )
         elif updater == "checkerboard":
             if block_shape is None:
-                block_shape = self.shape
+                block_shape = default_block_shape(updater, self.shape)
             self._updater = CheckerboardUpdater(
                 self.beta,
                 self.backend,
@@ -211,7 +232,7 @@ class IsingSimulation:
             )
         else:
             if block_shape is None:
-                block_shape = (rows // 2, cols // 2)
+                block_shape = default_block_shape(updater, self.shape)
             if updater == "conv":
                 self._updater = ConvUpdater(
                     self.beta,
@@ -232,6 +253,7 @@ class IsingSimulation:
         #: keeps the plain layout).  Checkpoints carry it so a restored
         #: chain reproduces the same blocked tensors.
         self.block_shape = getattr(self._updater, "block_shape", None)
+        self._executor = TracedExecutor(self._updater) if self.traced else None
 
         if isinstance(initial, str):
             if initial == "hot":
@@ -264,17 +286,25 @@ class IsingSimulation:
 
     # -- evolution -----------------------------------------------------------
 
+    def _advance(self, n_sweeps: int) -> None:
+        """Advance ``n_sweeps`` sweeps through the traced executor or eagerly."""
+        executor = self._executor
+        if executor is not None:
+            self._state = executor.run(self._state, self.stream, n_sweeps)
+        else:
+            for _ in range(n_sweeps):
+                self._state = self._updater.sweep(self._state, self.stream)
+        self.sweeps_done += n_sweeps
+
     def sweep(self) -> None:
         """Advance the chain by one full lattice sweep (both colours)."""
         telemetry = self.telemetry
         if telemetry is None:
-            self._state = self._updater.sweep(self._state, self.stream)
-            self.sweeps_done += 1
+            self._advance(1)
             return
         start = perf_counter()
-        self._state = self._updater.sweep(self._state, self.stream)
+        self._advance(1)
         telemetry.record_sweep(perf_counter() - start)
-        self.sweeps_done += 1
         if telemetry.wants_physics(self.sweeps_done):
             plain = self.lattice
             telemetry.record_physics(
@@ -282,9 +312,19 @@ class IsingSimulation:
             )
 
     def run(self, n_sweeps: int) -> None:
-        """Advance the chain by ``n_sweeps`` sweeps."""
+        """Advance the chain by ``n_sweeps`` sweeps.
+
+        Without telemetry the whole batch goes to the traced executor in
+        one call — the replay loop never re-enters Python driver code;
+        with telemetry attached, sweeps advance one at a time so wall
+        times and physics samples keep their per-sweep resolution.
+        """
         if n_sweeps < 0:
             raise ValueError(f"n_sweeps must be >= 0, got {n_sweeps}")
+        if self.telemetry is None:
+            if n_sweeps:
+                self._advance(n_sweeps)
+            return
         for _ in range(n_sweeps):
             self.sweep()
 
@@ -319,6 +359,7 @@ class IsingSimulation:
                 "dtype": self.backend.dtype.name,
                 "block_shape": self.block_shape,
                 "fused": self.fused_config,
+                "traced": self.traced_config,
                 "lattice": self.lattice,
                 "stream": self.stream.state(),
                 "sweeps_done": self.sweeps_done,
@@ -356,6 +397,7 @@ class IsingSimulation:
             field=state["field"],
             block_shape=tuple(block_shape) if block_shape is not None else None,
             fused=state.get("fused", "auto"),
+            traced=state.get("traced", "auto"),
             initial=np.asarray(state["lattice"], dtype=np.float32),
         )
         sim.stream = PhiloxStream.from_state(state["stream"])
@@ -379,6 +421,7 @@ class IsingSimulation:
             )
         self.telemetry.registry.gauge("sweeps_done").set(self.sweeps_done)
         record_fused_metrics(self.telemetry.registry, self._updater)
+        record_traced_metrics(self.telemetry.registry, self._executor)
         return self.telemetry.build_report(
             kind="single",
             run={
@@ -390,6 +433,7 @@ class IsingSimulation:
                 "dtype": self.backend.dtype.name,
                 "block_shape": self.block_shape,
                 "fused": self.fused,
+                "traced": self.traced,
                 "seed": self.stream.seed,
                 "stream_id": self.stream.stream_id,
                 "sweeps_done": self.sweeps_done,

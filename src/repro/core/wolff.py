@@ -41,9 +41,14 @@ class WolffUpdater:
         rows, cols = plain.shape
         sigma = plain.copy()
 
+        # The uniform is float32 in [0, 1), but scaling by the extent can
+        # round *up* to the extent itself (a draw near 1.0 times rows may
+        # land exactly on rows in float32), which would index out of
+        # bounds — clamp to the last valid site.  Non-boundary draws are
+        # untouched, so existing trajectories stay bit-identical.
         seed_draw = stream.uniform(2)
-        i = int(seed_draw[0] * rows)
-        j = int(seed_draw[1] * cols)
+        i = min(int(seed_draw[0] * rows), rows - 1)
+        j = min(int(seed_draw[1] * cols), cols - 1)
         seed_spin = sigma[i, j]
 
         in_cluster = np.zeros((rows, cols), dtype=bool)

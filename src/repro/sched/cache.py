@@ -32,6 +32,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..core.config import default_block_shape
 from ..tpu.dtypes import resolve_dtype
 from .job import JobResult
 
@@ -50,15 +51,16 @@ def _normalized_shape(shape) -> tuple[int, int]:
 
 
 def _resolved_block_shape(config, shape: tuple[int, int]):
-    """The effective block decomposition, mirroring the drivers' defaults."""
+    """The effective block decomposition, via the drivers' shared default.
+
+    Delegating to :func:`~repro.core.config.default_block_shape` (rather
+    than re-spelling the per-updater defaults here) guarantees an unset
+    ``block_shape`` and its explicit default hash to the same key.
+    """
     if config.block_shape is not None:
         rows, cols = config.block_shape
         return (int(rows), int(cols))
-    if config.updater == "masked_conv":
-        return None
-    if config.updater == "checkerboard":
-        return shape
-    return (shape[0] // 2, shape[1] // 2)
+    return default_block_shape(config.updater, shape)
 
 
 def _initial_token(initial) -> str:

@@ -30,14 +30,19 @@ def compat_key(config) -> tuple:
 
     Two jobs coalesce into one ensemble iff their keys are equal:
     (shape, updater, dtype, backend kind, field bits, resolved block
-    decomposition, resolved fused flag).  Temperature and seed are
-    deliberately absent — they are per-chain inside a batch.
+    decomposition, resolved fused flag, resolved traced flag).
+    Temperature and seed are deliberately absent — they are per-chain
+    inside a batch.  Batched jobs with tracing on all ride one recorded
+    sweep program per engine key.
     """
     shape = _normalized_shape(config.shape)
     backend = "tpu" if config.backend == "tpu" else "numpy"
     fused = config.fused
     if fused == "auto":
         fused = backend == "numpy"
+    traced = getattr(config, "traced", "auto")
+    if traced == "auto":
+        traced = bool(fused)
     return (
         shape,
         config.updater,
@@ -46,6 +51,7 @@ def compat_key(config) -> tuple:
         float(config.field).hex(),
         _resolved_block_shape(config, shape),
         bool(fused),
+        bool(traced),
     )
 
 

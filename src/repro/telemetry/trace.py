@@ -77,6 +77,16 @@ def _sched_spans_of(source) -> list[dict]:
     return list(getattr(source, "sched_log", ()) or ())
 
 
+def _traced_spans_of(source) -> list[dict]:
+    """Traced-executor replay spans, if any.
+
+    Accepts anything exposing ``traced_log``
+    (:class:`~repro.core.distributed.DistributedIsing` records one span
+    per sweep when both ``record_trace`` and the traced executor are on).
+    """
+    return list(getattr(source, "traced_log", ()) or ())
+
+
 def chrome_trace(source) -> dict:
     """Build a Chrome trace-event JSON object from recorded trace buffers.
 
@@ -89,7 +99,9 @@ def chrome_trace(source) -> dict:
     faults" track so degraded collectives line up against the per-core
     timelines; a scheduler source with a non-empty ``sched_log`` gets a
     "scheduler batches" track the same way, so batch advances line up
-    against the device timelines they were booked on.  Raises if no
+    against the device timelines they were booked on; a distributed run
+    with tracing on (non-empty ``traced_log``) gets a "traced replay"
+    track showing which sweeps ran as recorded programs.  Raises if no
     trace events were recorded (build the profilers with
     ``record_trace=True``).
     """
@@ -147,6 +159,33 @@ def chrome_trace(source) -> dict:
                     "args": span.get("args", {}),
                 }
             )
+    traced_spans = _traced_spans_of(source)
+    if traced_spans:
+        traced_tid = next_tid
+        next_tid += 1
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": traced_tid,
+                "args": {"name": "traced replay"},
+            }
+        )
+        for span in traced_spans:
+            total_events += 1
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span["name"],
+                    "cat": "traced",
+                    "pid": 0,
+                    "tid": traced_tid,
+                    "ts": span["start"] * _US,
+                    "dur": span["duration"] * _US,
+                    "args": span.get("args", {}),
+                }
+            )
     fault_spans = _fault_spans_of(source)
     if fault_spans:
         fault_tid = next_tid
@@ -186,6 +225,7 @@ def chrome_trace(source) -> dict:
             "num_cores": len(rows),
             "num_fault_spans": len(fault_spans),
             "num_sched_spans": len(sched_spans),
+            "num_traced_spans": len(traced_spans),
         },
     }
 

@@ -200,7 +200,11 @@ class TestWorkspaceReuse:
 
     @pytest.mark.parametrize("updater", UPDATERS)
     def test_zero_steady_state_allocations(self, updater):
-        sim = IsingSimulation((16, 16), 2.2, updater=updater, seed=1, fused=True)
+        # traced=False: replayed sweeps bypass the Python-side workspace
+        # lookups this test counts, so pin the eager fused engine.
+        sim = IsingSimulation(
+            (16, 16), 2.2, updater=updater, seed=1, fused=True, traced=False
+        )
         sim.run(2)  # warm the workspace
         ws = sim._updater.workspace
         assert ws is not None
@@ -218,9 +222,11 @@ class TestWorkspaceReuse:
 
 class TestFusedTelemetry:
     def test_report_carries_fused_flag_and_gauges(self):
+        # traced=False: replayed sweeps bypass the Python-side table-hit
+        # counters (the traced_* gauges cover them instead).
         sim = IsingSimulation(
             (16, 16), 2.2, updater="checkerboard", seed=2,
-            fused=True, telemetry=RunTelemetry(physics_interval=0),
+            fused=True, traced=False, telemetry=RunTelemetry(physics_interval=0),
         )
         sim.run(3)
         report = sim.report()

@@ -121,3 +121,22 @@ class TestUpdater:
         assert np.mean(samples) == pytest.approx(
             ref.abs_m, abs=5 * (ref.abs_m_err + 1e-3)
         )
+
+
+class TestEndianness:
+    def test_unpack_accepts_byteswapped_words(self):
+        # A foreign-endian checkpoint hands us the same word *values*
+        # with the opposite byte order; the bit layout must not flip.
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, size=(4, 128)).astype(np.uint8)
+        words = pack_bits(bits)
+        foreign = words.byteswap().view(words.dtype.newbyteorder())
+        assert foreign.dtype.byteorder != words.dtype.byteorder
+        assert np.array_equal(unpack_bits(foreign, 128), bits)
+
+    def test_packed_word_values_are_little_endian_bit_compose(self):
+        # Bit j of word w addresses column 64*w + j regardless of host
+        # byte order: column 0 -> value 1, column 8 -> value 256.
+        bits = np.zeros((1, 64), dtype=np.uint8)
+        bits[0, 8] = 1
+        assert pack_bits(bits)[0, 0] == np.uint64(256)

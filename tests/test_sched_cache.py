@@ -118,3 +118,16 @@ class TestResultCache:
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError, match="max_entries"):
             ResultCache(max_entries=0)
+
+    def test_contains_does_not_refresh_recency(self):
+        # ``in`` is a pure membership probe; only ``get`` counts as a
+        # use.  If ``__contains__`` refreshed recency, the probe below
+        # would keep "a" alive and evict "b" instead.
+        cache = ResultCache(max_entries=2)
+        cache.put("a", _result(1.0))
+        cache.put("b", _result(2.0))
+        assert "a" in cache
+        cache.put("c", _result(3.0))
+        assert "a" not in cache
+        assert "b" in cache
+        assert "c" in cache

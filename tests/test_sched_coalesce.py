@@ -76,3 +76,39 @@ class TestCoalescer:
     def test_rejects_nonpositive_max_batch(self):
         with pytest.raises(ValueError, match="max_batch"):
             Coalescer(max_batch=0)
+
+
+class TestDefaultBlockShapeAllUpdaters:
+    @pytest.mark.parametrize(
+        "updater, explicit",
+        [
+            ("compact", (8, 8)),
+            ("conv", (8, 8)),
+            ("checkerboard", (16, 16)),
+            ("masked_conv", None),
+        ],
+    )
+    def test_explicit_default_coalesces_per_updater(self, updater, explicit):
+        # The per-updater driver default, spelled out explicitly, must
+        # land in the same batch (and the same cache key) as leaving
+        # block_shape unset — for every updater, not just compact.
+        implicit = SimulationConfig(shape=16, updater=updater)
+        spelled = SimulationConfig(shape=16, updater=updater, block_shape=explicit)
+        assert compat_key(implicit) == compat_key(spelled)
+        assert canonical_cache_key(implicit, 5) == canonical_cache_key(spelled, 5)
+
+
+class TestTracedDimension:
+    def test_traced_split_batches(self):
+        on = SimulationConfig(shape=16, traced=True)
+        off = SimulationConfig(shape=16, traced=False)
+        assert compat_key(on) != compat_key(off)
+
+    def test_traced_auto_resolves_to_fused(self):
+        # "auto" follows the resolved fused engine, so spelling the
+        # resolved value explicitly still coalesces.
+        auto = SimulationConfig(shape=16, backend="numpy", fused=True)
+        explicit = SimulationConfig(
+            shape=16, backend="numpy", fused=True, traced=True
+        )
+        assert compat_key(auto) == compat_key(explicit)

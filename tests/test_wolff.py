@@ -126,3 +126,45 @@ class TestPhysicsAgreement:
             total += abs(float(plain.mean()))
         exact_m = float(spontaneous_magnetization(temperature))
         assert total / n == pytest.approx(exact_m, abs=0.02)
+
+
+class _BoundaryDrawStream:
+    """Seed draw returns exactly 1.0 — the float32 round-up hazard.
+
+    ``uniform`` is nominally in [0, 1), but a float32 uniform can land
+    exactly on 1.0 once scaled (or via a foreign generator); the seed
+    site index must clamp instead of indexing one past the edge.
+    Subsequent draws delegate to a real stream so the BFS still runs.
+    """
+
+    def __init__(self):
+        self._inner = PhiloxStream(0, 0)
+        self._first = True
+
+    def uniform(self, shape):
+        if self._first:
+            self._first = False
+            return np.array([1.0, 0.5], dtype=np.float32)
+        return self._inner.uniform(shape)
+
+
+class TestSeedSiteClamp:
+    def test_boundary_draw_clamps_to_last_site(self):
+        updater = WolffUpdater(0.6)
+        rows, cols = 8, 8
+        plain = make_lattice((rows, cols), seed=4)
+        out, size = updater.step(plain, _BoundaryDrawStream())
+        # Without the clamp this indexes sigma[8, 4] and raises.
+        assert size >= 1
+        # The seed site is part of the flipped cluster: row clamps to
+        # rows - 1, column is int(0.5 * cols).
+        assert out[rows - 1, cols // 2] == -plain[rows - 1, cols // 2]
+
+    def test_interior_draws_bit_identical_to_history(self):
+        # The clamp must not perturb non-boundary trajectories.
+        updater = WolffUpdater(0.6)
+        plain = make_lattice((8, 8), seed=4)
+        a, size_a = updater.step(plain, PhiloxStream(1, 0))
+        b, size_b = updater.step(plain, PhiloxStream(1, 0))
+        assert size_a == size_b
+        assert np.array_equal(a, b)
