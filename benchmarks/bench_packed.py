@@ -1,0 +1,197 @@
+"""Packed multi-spin engine vs the elementwise checkerboard — the 8x gate.
+
+The packed engine (``repro.core.packed`` over the ``packed_*`` backend
+kernels) stores 64 spins per uint64 word and collapses the Metropolis
+rule to three bitwise cases, so one vector op advances 64 sites and the
+Philox generator feeds two sites per word (``rng_bits=16``).  This
+module measures the resulting flips/sec jump on a 512^2 lattice against
+the *elementwise* checkerboard updater — the same baseline the
+multi-spin GPU literature quotes — and **asserts** the headline factor.
+
+Correctness is asserted before any timing: the packed engine fed the
+same per-site float32 uniforms must reproduce the unpacked
+checkerboard-order multi-spin baseline bit-for-bit, and a short
+stream-mode run must land in the Onsager-ordered phase.  A benchmark
+that got faster by drifting off the float chains' trajectory contract
+would fail here, not in a physics plot three PRs later.
+
+Run as a script for the CI check::
+
+    PYTHONPATH=src python benchmarks/bench_packed.py            # 512, gated
+    PYTHONPATH=src python benchmarks/bench_packed.py 256        # quick look
+
+or emit the machine-readable snapshot::
+
+    PYTHONPATH=src python -m benchmarks.emit packed --out-dir bench-artifacts
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.backend.numpy_backend import NumpyBackend
+from repro.core.simulation import IsingSimulation
+from repro.tpu.dtypes import PACKED
+
+#: The CI assertion: packed flips/sec at least this multiple of the
+#: elementwise checkerboard updater's on the same lattice.
+GATE_SPEEDUP = 8.0
+
+#: Near-critical temperature — the regime the paper simulates.
+TEMPERATURE = 2.2
+
+
+def check_bit_identity(side: int = 128, n_sweeps: int = 8) -> None:
+    """Assert the packed engine matches the unpacked multi-spin baseline.
+
+    Feeds both engines identical per-site float32 uniforms (the explicit
+    ``probs`` path — the CI-gated invariant of ``docs/packed_engine.md``)
+    and requires bit-equal lattices after every sweep.
+    """
+    from repro.baselines.multispin import MultispinUpdater
+    from repro.core.packed import PackedUpdater
+
+    rng = np.random.default_rng(7)
+    plain = np.where(rng.random((side, side)) < 0.5, 1.0, -1.0).astype(
+        np.float32
+    )
+    baseline = MultispinUpdater(1.0 / TEMPERATURE)
+    packed = PackedUpdater(1.0 / TEMPERATURE)
+    b_state = baseline.to_state(plain)
+    p_state = packed.to_state(plain)
+    quarter = (side // 2, side // 2)
+    for _ in range(n_sweeps):
+        probs = [
+            rng.random(quarter, dtype=np.float32) for _ in range(4)
+        ]
+        b_state = baseline.sweep(
+            b_state, probs_black=tuple(probs[:2]), probs_white=tuple(probs[2:])
+        )
+        p_state = packed.sweep(
+            p_state, probs_black=tuple(probs[:2]), probs_white=tuple(probs[2:])
+        )
+        if not np.array_equal(baseline.to_plain(b_state), packed.to_plain(p_state)):
+            raise AssertionError(
+                "packed engine diverged from the unpacked multi-spin "
+                "baseline on identical uniforms — refusing to time a "
+                "broken engine"
+            )
+
+
+def check_physics(side: int = 128, n_sweeps: int = 300) -> None:
+    """Assert a stream-mode packed chain orders at T = 1.5 (Onsager)."""
+    sim = IsingSimulation(
+        (side, side), 1.5, backend=NumpyBackend(PACKED), seed=3, initial="cold"
+    )
+    sim.run(n_sweeps)
+    m = abs(sim.magnetization())
+    if not 0.95 < m <= 1.0:
+        raise AssertionError(
+            f"packed chain at T=1.5 has |m| = {m:.4f}, outside the "
+            "Onsager-ordered band (0.95, 1.0] — engine physics is broken"
+        )
+
+
+def _sweep_seconds(sim: IsingSimulation, n_sweeps: int, reps: int) -> float:
+    """Min-of-reps seconds per sweep."""
+    sim.run(2)  # warm caches, tables and the workspace
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        sim.run(n_sweeps)
+        best = min(best, (time.perf_counter() - t0) / n_sweeps)
+    return best
+
+
+def measure(side: int = 512, n_sweeps: int = 8, reps: int = 3) -> dict:
+    """Packed vs elementwise-checkerboard timings on side^2."""
+    elementwise = _sweep_seconds(
+        IsingSimulation(
+            (side, side), TEMPERATURE, updater="checkerboard", seed=1, fused=False
+        ),
+        max(2, n_sweeps // 2),
+        reps,
+    )
+    packed = _sweep_seconds(
+        IsingSimulation(
+            (side, side), TEMPERATURE, backend=NumpyBackend(PACKED), seed=1
+        ),
+        n_sweeps,
+        reps,
+    )
+    n_sites = side * side
+    return {
+        "elementwise_s": elementwise,
+        "packed_s": packed,
+        "speedup": elementwise / packed,
+        "elementwise_flips_per_s": n_sites / elementwise,
+        "packed_flips_per_s": n_sites / packed,
+    }
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary: packed vs elementwise checkerboard."""
+    check_bit_identity()
+    check_physics()
+    row = measure()
+    metrics = {
+        "measured_elementwise_seconds": row["elementwise_s"],
+        "measured_packed_seconds": row["packed_s"],
+        "measured_speedup_x": row["speedup"],
+        "measured_elementwise_flips_per_second": row["elementwise_flips_per_s"],
+        "measured_packed_flips_per_second": row["packed_flips_per_s"],
+    }
+    meta = {
+        "side": 512,
+        "temperature": TEMPERATURE,
+        "backend": "numpy",
+        "dtype": "packed",
+        "rng_bits": 16,
+        "baseline": "elementwise checkerboard (fused=False)",
+        "gate_threshold_x": GATE_SPEEDUP,
+        "bit_identity": "asserted vs repro.baselines.multispin on shared uniforms",
+    }
+    return metrics, meta
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    import sys
+
+    raw = argv if argv is not None else sys.argv[1:]
+    try:
+        side = int(raw[0]) if raw else 512
+    except ValueError:
+        sys.exit(
+            f"usage: bench_packed.py [side] — side must be an integer, got {raw}"
+        )
+    if side % 128:
+        sys.exit(f"side must be a multiple of 128 for the packed engine, got {side}")
+    gated = not raw  # the default 512 run is the CI gate
+    check_bit_identity()
+    print("bit-identity vs unpacked multi-spin baseline OK")
+    check_physics()
+    print("Onsager physics check OK")
+    row = measure(side=side)
+    print(f"packed vs elementwise checkerboard, {side}^2 lattice (numpy)")
+    print(
+        f"elementwise {row['elementwise_s'] * 1e3:8.2f} ms/sweep "
+        f"({row['elementwise_flips_per_s'] / 1e6:7.1f} Mflips/s)"
+    )
+    print(
+        f"packed      {row['packed_s'] * 1e3:8.2f} ms/sweep "
+        f"({row['packed_flips_per_s'] / 1e6:7.1f} Mflips/s)"
+    )
+    print(f"speedup     {row['speedup']:8.2f}x")
+    if gated:
+        if row["speedup"] < GATE_SPEEDUP:
+            sys.exit(
+                f"FAIL: packed speedup {row['speedup']:.2f}x is below the "
+                f"{GATE_SPEEDUP}x gate on the {side}^2 lattice"
+            )
+        print(f"gate OK: packed {row['speedup']:.2f}x >= {GATE_SPEEDUP}x")
+
+
+if __name__ == "__main__":
+    main()

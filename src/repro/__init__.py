@@ -65,7 +65,7 @@ from .telemetry import (
     chrome_trace,
     write_chrome_trace,
 )
-from .tpu import BFLOAT16, FLOAT32, PodSlice, TPU_V3, TensorCore
+from .tpu import BFLOAT16, FLOAT32, PACKED, PodSlice, TPU_V3, TensorCore
 from .version import __version__
 
 __all__ = [
@@ -107,6 +107,7 @@ __all__ = [
     "write_chrome_trace",
     "BFLOAT16",
     "FLOAT32",
+    "PACKED",
     "PodSlice",
     "TPU_V3",
     "TensorCore",

@@ -127,7 +127,11 @@ class SimulationConfig:
     updater:
         "compact" (default), "conv", "checkerboard" or "masked_conv".
     dtype:
-        On-device storage dtype: "float32" or "bfloat16".
+        On-device storage dtype: "float32", "bfloat16" or "packed"
+        (64 spins per uint64 word; see ``docs/packed_engine.md``).
+        Packed runs require ``updater`` "compact" / "checkerboard",
+        ``field=0.0``, no ``block_shape``, and a lattice width that is
+        a multiple of 128; :func:`distributed` does not support it.
     backend:
         "numpy" (host arithmetic), "tpu" (single simulated TensorCore
         cost model), a pre-built :class:`~repro.backend.base.Backend`,
@@ -200,7 +204,33 @@ class SimulationConfig:
             )
         resolve_fused(self.fused)  # raises on junk
         resolve_traced(self.traced)  # raises on junk
-        resolve_dtype(self.dtype)  # raises on junk
+        dtype = resolve_dtype(self.dtype)  # raises on junk
+        if dtype.name == "packed":
+            if self.updater not in ("compact", "checkerboard"):
+                raise ValueError(
+                    f"dtype='packed' supports updater='compact' or "
+                    f"'checkerboard' (both run the packed multi-spin "
+                    f"engine); {self.updater!r} has no packed kernels — "
+                    f"use dtype='float32' for it"
+                )
+            if self.field:
+                raise ValueError(
+                    "dtype='packed' requires field=0.0: the three-case "
+                    f"Metropolis collapse assumes h = 0 (got {self.field!r}); "
+                    "use dtype='float32' for runs with a field"
+                )
+            if self.block_shape is not None:
+                raise ValueError(
+                    "dtype='packed' does not take a block_shape: spins are "
+                    "stored as 64-bit words per compact quarter, not "
+                    "blocked grids"
+                )
+            if self.fused is False:
+                raise ValueError(
+                    "dtype='packed' has no elementwise path: the packed "
+                    "engine is workspace-backed only; drop fused=False or "
+                    "use dtype='float32'"
+                )
         if isinstance(self.backend, str) and self.backend not in ("numpy", "tpu"):
             raise ValueError(
                 f"backend must be 'numpy', 'tpu', a Backend or None, "
@@ -359,6 +389,13 @@ def distributed(config: SimulationConfig) -> DistributedIsing:
         raise ValueError(
             "distributed() always runs on simulated-TPU per-core backends; "
             f"config.backend must be None or 'tpu', got {config.backend!r}"
+        )
+    if resolve_dtype(config.dtype).name == "packed":
+        raise ValueError(
+            "distributed() does not support dtype='packed': the halo "
+            "exchange moves float spin planes, not 64-spin words; run "
+            "packed chains through simulate() / ensemble(), or use "
+            "dtype='float32'/'bfloat16' for pod runs"
         )
     return DistributedIsing(
         config.shape,

@@ -25,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from . import packed_ops
 from ..rng.streams import PhiloxStream
 from ..tpu.dtypes import DType, FLOAT32, resolve_dtype
 
@@ -534,6 +535,182 @@ class Backend:
             "conv", flops=2.0 * 9.0 * out.size, bytes_moved=self._nbytes(a, out)
         )
         return self._quantize_into(out)
+
+    # -- packed (multi-spin) vocabulary ------------------------------------
+    #
+    # Word kernels of the ``packed`` dtype: 64 spins per uint64 word,
+    # little-endian bit order (see repro.backend.packed_ops for the
+    # representation contract).  These ops charge the "alu" cost-model
+    # category — integer word work on the vector unit's elementwise
+    # pipe, NOT matmul parity — and account *actual* buffer bytes
+    # (planes mix uint64 words, uint32 draws and uint8/bool scratch, so
+    # the dtype-itemsize accounting of ``_nbytes`` would be wrong).
+
+    @staticmethod
+    def _raw_nbytes(*arrays: np.ndarray) -> float:
+        """Actual HBM bytes of mixed-width packed buffers."""
+        return float(sum(a.nbytes for a in arrays))
+
+    def packed_bits_into(self, stream: PhiloxStream, out: np.ndarray) -> np.ndarray:
+        """Fill ``out`` (C-contiguous uint32) with raw Philox words.
+
+        Same draw and counter advance as ``stream.bits_into(out)`` —
+        ``ceil(out.size / 4)`` blocks — with the generator cost charged
+        at the backend's RNG rate (20 flops per 32-bit word, matching
+        :meth:`uniform_into` per word drawn).  The words are raw: the
+        caller owns the lane split and threshold comparison.
+        """
+        stream.bits_into(out)
+        self._charge(
+            "alu", flops=20.0 * out.size, bytes_moved=self._raw_nbytes(out)
+        )
+        return out
+
+    def packed_rshift_into(self, a: np.ndarray, shift: int, out: np.ndarray) -> np.ndarray:
+        """``out = a >> shift`` on unsigned words; ``out`` may alias ``a``.
+
+        The packed engine uses this to reduce 32-bit draws to their top
+        24 bits in place (the exact-twin mode of the float chains'
+        ``uint32 -> uniform`` mapping).
+        """
+        np.right_shift(a, a.dtype.type(shift), out=out)
+        self._charge(
+            "alu", flops=float(out.size), bytes_moved=self._raw_nbytes(a, out)
+        )
+        return out
+
+    def packed_xor_into(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``out = a ^ b`` on uint64 word planes; ``out`` may alias either input.
+
+        Used both for the neighbour disagreement planes (``spins ^
+        neighbour``) and for applying a flip mask to the spin words in
+        place (``spins ^= flips``) — a self-inverse store, which is why
+        aliasing is explicitly allowed here and nowhere else in the
+        packed vocabulary.
+        """
+        np.bitwise_xor(a, b, out=out)
+        self._charge(
+            "alu", flops=float(out.size), bytes_moved=self._raw_nbytes(a, b, out)
+        )
+        return out
+
+    def packed_shift_cols_into(
+        self, words: np.ndarray, direction: int, out: np.ndarray, tmp: np.ndarray
+    ) -> np.ndarray:
+        """Column-neighbour bit plane with word carry (torus wrap).
+
+        ``direction=+1`` is the column-(j-1) plane, ``-1`` the
+        column-(j+1) plane; see :func:`repro.backend.packed_ops.shift_cols_into`
+        for the exact bit algebra and aliasing rules (``out``/``tmp``
+        must not alias ``words`` or each other).  Row neighbours need no
+        bit carry — use :meth:`roll_into` on axis ``-2`` for those.
+        """
+        if out is words or tmp is words or tmp is out:
+            raise ValueError("words, out and tmp must be distinct buffers")
+        packed_ops.shift_cols_into(words, direction, out, tmp)
+        self._charge(
+            "alu",
+            flops=3.0 * out.size,
+            bytes_moved=self._raw_nbytes(words, out),
+        )
+        return out
+
+    def packed_compare_pack_into(
+        self,
+        values: np.ndarray,
+        threshold: "np.ndarray | np.number",
+        out: np.ndarray,
+        cmp: np.ndarray,
+        byte_lo: np.ndarray,
+        byte_tmp: np.ndarray,
+    ) -> np.ndarray:
+        """Pack the acceptance mask ``values < threshold`` into words.
+
+        See :func:`repro.backend.packed_ops.compare_pack_into` for shape
+        and aliasing contracts.  Charged as half a word-op per site lane
+        (the compare and the byte-pack passes both run at full vector
+        width over sub-word lanes).
+        """
+        packed_ops.compare_pack_into(values, threshold, out, cmp, byte_lo, byte_tmp)
+        self._charge(
+            "alu",
+            flops=0.5 * values.size,
+            bytes_moved=self._raw_nbytes(values, out),
+        )
+        return out
+
+    def packed_full_adder_into(
+        self,
+        d1: np.ndarray,
+        d2: np.ndarray,
+        d3: np.ndarray,
+        d4: np.ndarray,
+        low: np.ndarray,
+        bit1: np.ndarray,
+        bit2: np.ndarray,
+        s1: np.ndarray,
+        s2: np.ndarray,
+    ) -> None:
+        """Bitwise full adders: neighbour disagreement count per bit lane.
+
+        In-place carry network of the multi-spin popcount (12 word ops);
+        ``d1``/``d3`` are consumed as carry scratch.  See
+        :func:`repro.backend.packed_ops.full_adder_into` for the full
+        aliasing contract.
+        """
+        packed_ops.full_adder_into(d1, d2, d3, d4, low, bit1, bit2, s1, s2)
+        self._charge(
+            "alu",
+            flops=12.0 * low.size,
+            bytes_moved=self._raw_nbytes(d1, d2, d3, d4, low, bit1, bit2),
+        )
+
+    def packed_flip_select_into(
+        self,
+        low: np.ndarray,
+        bit1: np.ndarray,
+        bit2: np.ndarray,
+        r1: np.ndarray,
+        r0: np.ndarray,
+        out: np.ndarray,
+        tmp: np.ndarray,
+    ) -> np.ndarray:
+        """Three-case Metropolis flip mask from count planes + acceptance words.
+
+        ``out = (k>=2) | (k==1 & r1) | (k==0 & r0)`` in 9 word ops; see
+        :func:`repro.backend.packed_ops.flip_select_into` for aliasing
+        rules (``out``/``tmp`` must not alias any input).
+        """
+        if out is tmp:
+            raise ValueError("out and tmp must be distinct buffers")
+        packed_ops.flip_select_into(low, bit1, bit2, r1, r0, out, tmp)
+        self._charge(
+            "alu",
+            flops=9.0 * out.size,
+            bytes_moved=self._raw_nbytes(low, bit1, bit2, r1, r0, out),
+        )
+        return out
+
+    def packed_pack(self, bits: np.ndarray) -> np.ndarray:
+        """Pack a 0/1 site plane into uint64 words (allocating; boundary only).
+
+        Wraps :func:`repro.baselines.multispin.pack_bits` with a
+        formatting charge — state import/export, never the sweep hot
+        path (steady-state packed sweeps call only ``*_into`` ops).
+        """
+        from ..baselines.multispin import pack_bits
+
+        out = pack_bits(bits)
+        self._charge("formatting", bytes_moved=2.0 * self._raw_nbytes(out))
+        return out
+
+    def packed_unpack(self, words: np.ndarray, cols: int) -> np.ndarray:
+        """Unpack uint64 words to a 0/1 site plane (allocating; boundary only)."""
+        from ..baselines.multispin import unpack_bits
+
+        out = unpack_bits(words, cols)
+        self._charge("formatting", bytes_moved=2.0 * self._raw_nbytes(words))
+        return out
 
     # -- data formatting -------------------------------------------------------
 

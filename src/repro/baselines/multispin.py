@@ -38,8 +38,14 @@ _WORD = 64
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Pack a (rows, cols) 0/1 array into (rows, cols/64) uint64 words.
 
-    Bit ``j`` of word ``w`` holds column ``64*w + j`` (LSB-first), so
-    shifting words left by one moves each bit to one column higher.
+    Bit ``j`` of word ``w`` holds column ``64*w + j`` (LSB-first /
+    little-endian within the word), so shifting words left by one moves
+    each bit to one column higher.  ``cols`` must be a multiple of 64;
+    the row count is unconstrained.  Returns a fresh native-order
+    uint64 array whose word *values* are host-independent — this is the
+    word layout shared by :class:`MultispinState`, the first-class
+    packed engine (:mod:`repro.core.packed`) and the ``packed``
+    checkpoint payload.
     """
     rows, cols = bits.shape
     if cols % _WORD:
@@ -56,11 +62,15 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
 
 
 def unpack_bits(words: np.ndarray, cols: int) -> np.ndarray:
-    """Inverse of :func:`pack_bits`.
+    """Inverse of :func:`pack_bits`: (rows, cols/64) words → (rows, cols) 0/1.
 
+    ``cols`` is the unpacked column count (it cannot be recovered from
+    the word array alone when the last word is partially used, so the
+    caller states it; the packed engine keeps it in ``quarter_shape``).
     Accepts words in any byte order (e.g. read from a foreign-endian
     checkpoint): values are re-encoded as little-endian bytes before the
     bit unpack, mirroring :func:`pack_bits`'s explicit ``'<u8'`` layout.
+    Returns a fresh uint8 array.
     """
     rows = words.shape[0]
     le_words = np.ascontiguousarray(words).astype(np.dtype("<u8"), copy=False)
@@ -71,22 +81,34 @@ def unpack_bits(words: np.ndarray, cols: int) -> np.ndarray:
 
 
 def _prev_col(words: np.ndarray) -> np.ndarray:
-    """Bit plane of the column-(j-1) neighbour, wrapping on the torus."""
+    """Bit plane of the column-(j-1) neighbour, wrapping on the torus.
+
+    In the little-endian bit order a left word shift moves every bit to
+    one column *higher*, so the plane whose column-``j`` bit holds the
+    old column ``j-1`` is ``words << 1`` with the top bit of the
+    preceding word carried into bit 0.
+    """
     left_word = np.roll(words, 1, axis=-1)
     return (words << np.uint64(1)) | (left_word >> np.uint64(_WORD - 1))
 
 
 def _next_col(words: np.ndarray) -> np.ndarray:
-    """Bit plane of the column-(j+1) neighbour, wrapping on the torus."""
+    """Bit plane of the column-(j+1) neighbour, wrapping on the torus.
+
+    Mirror of :func:`_prev_col`: ``words >> 1`` with bit 0 of the
+    following word carried into the top bit.
+    """
     right_word = np.roll(words, -1, axis=-1)
     return (words >> np.uint64(1)) | (right_word << np.uint64(_WORD - 1))
 
 
 def _prev_row(words: np.ndarray) -> np.ndarray:
+    """Bit plane of the row-(i-1) neighbour — a pure roll, no bit carries."""
     return np.roll(words, 1, axis=0)
 
 
 def _next_row(words: np.ndarray) -> np.ndarray:
+    """Bit plane of the row-(i+1) neighbour — a pure roll, no bit carries."""
     return np.roll(words, -1, axis=0)
 
 
@@ -106,7 +128,15 @@ def _disagreement_count_bits(
 
 @dataclass
 class MultispinState:
-    """Bit-packed compact lattice: four quarters of words (rows, cols/64)."""
+    """Bit-packed compact lattice: four quarter word planes.
+
+    Each plane is ``(rows/2, cols/128)`` uint64 in :func:`pack_bits`'s
+    little-endian bit order (bit value 1 = spin +1); ``quarter_shape``
+    is the unpacked ``(rows/2, cols/2)`` quarter geometry.  The same
+    representation, with leading batch axes allowed, backs the
+    first-class packed engine's
+    :class:`~repro.core.packed.PackedState`.
+    """
 
     w00: np.ndarray
     w01: np.ndarray
@@ -116,6 +146,7 @@ class MultispinState:
 
     @classmethod
     def from_plain(cls, plain: np.ndarray) -> "MultispinState":
+        """Pack a plain ``(rows, cols)`` ±1 lattice (width % 128 == 0)."""
         q00, q01, q10, q11 = plain_to_quarters(plain)
         bits = [(q > 0).astype(np.uint8) for q in (q00, q01, q10, q11)]
         return cls(
@@ -127,6 +158,7 @@ class MultispinState:
         )
 
     def to_plain(self) -> np.ndarray:
+        """Unpack back to a fresh plain ±1 float32 lattice."""
         cols = self.quarter_shape[1]
         quarters = [
             (2.0 * unpack_bits(w, cols).astype(np.float32)) - 1.0
@@ -135,6 +167,7 @@ class MultispinState:
         return quarters_to_plain(*quarters)
 
     def copy(self) -> "MultispinState":
+        """Deep copy (fresh word arrays; ``update_color`` never mutates)."""
         return MultispinState(
             self.w00.copy(),
             self.w01.copy(),
@@ -170,7 +203,14 @@ class MultispinUpdater:
         neighbors: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
         probs: np.ndarray,
     ) -> np.ndarray:
-        """Flip mask for one packed quarter given its 4 neighbour planes."""
+        """Flip mask for one packed quarter given its 4 neighbour planes.
+
+        ``spins`` and ``neighbors`` are word planes of one quarter
+        (same shape); ``probs`` are that quarter's per-site float32
+        uniforms in *unpacked* ``quarter_shape``.  Returns a fresh word
+        plane with bit set where the site flips; no argument is
+        mutated.
+        """
         d = [spins ^ n for n in neighbors]
         low, bit1, bit2 = _disagreement_count_bits(*d)
         k_ge_2 = bit1 | bit2
@@ -191,7 +231,12 @@ class MultispinUpdater:
 
         ``probs`` are the two active quarters' uniforms ((q00, q11) for
         black, (q01, q10) for white) — drawn from ``stream`` when absent,
-        in the same order as Algorithm 2.
+        in the same order as Algorithm 2, each shaped
+        ``quarter_shape``.  Returns a *new* state (copy semantics, the
+        passive planes shared by reference); the input state is never
+        mutated — unlike the in-place first-class engine, which is
+        bit-identical anyway because active quarters of a colour never
+        read each other.
         """
         if color not in ("black", "white"):
             raise ValueError(f"color must be 'black' or 'white', got {color!r}")
@@ -248,6 +293,7 @@ class MultispinUpdater:
         probs_black: tuple[np.ndarray, np.ndarray] | None = None,
         probs_white: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> MultispinState:
+        """One full lattice sweep (black then white), returning a new state."""
         state = self.update_color(state, "black", stream, probs_black)
         return self.update_color(state, "white", stream, probs_white)
 
@@ -255,11 +301,14 @@ class MultispinUpdater:
 
     @staticmethod
     def to_state(plain: np.ndarray) -> MultispinState:
+        """Pack a plain ±1 lattice (the updaters' shared entry point)."""
         return MultispinState.from_plain(plain)
 
     @staticmethod
     def to_plain(state: MultispinState) -> np.ndarray:
+        """Unpack to a fresh plain ±1 float32 lattice."""
         return state.to_plain()
 
     def sweep_plain(self, plain: np.ndarray, stream: PhiloxStream) -> np.ndarray:
+        """Pack, sweep once, unpack — convenience for tests."""
         return self.to_plain(self.sweep(self.to_state(plain), stream))

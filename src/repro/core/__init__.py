@@ -42,6 +42,7 @@ from .lattice import (
 )
 from .ensemble import EnsembleSimulation
 from .metropolis import metropolis_chain, metropolis_sweep
+from .packed import PackedState, PackedUpdater, record_packed_metrics
 from .wolff import WolffUpdater
 from .simulation import ChainResult, IsingSimulation, run_temperature_scan, summarize_chain
 from .update import acceptance_ratio, metropolis_flip
@@ -71,6 +72,9 @@ __all__ = [
     "validate_spins",
     "metropolis_chain",
     "metropolis_sweep",
+    "PackedState",
+    "PackedUpdater",
+    "record_packed_metrics",
     "WolffUpdater",
     "ChainResult",
     "EnsembleSimulation",

@@ -35,6 +35,7 @@ __all__ = [
     "default_block_shape",
     "backend_kind",
     "backend_from_checkpoint",
+    "check_checkpoint_dtype",
     "checkpoint_envelope",
     "unwrap_checkpoint",
     "checkpoint_kind",
@@ -124,6 +125,37 @@ def backend_from_checkpoint(kind: str, dtype_name: str) -> Backend:
         return TPUBackend(TensorCore(core_id=0), dtype)
     raise ValueError(
         f"unknown backend kind {kind!r} in checkpoint; expected 'numpy' or 'tpu'"
+    )
+
+
+def check_checkpoint_dtype(state_dtype: str, backend: Backend) -> None:
+    """Refuse cross-loading between packed and unpacked checkpoints.
+
+    The packed engine stores the lattice as 64-spin words and (in stream
+    mode) consumes randomness on a different counter schedule than the
+    unpacked chains, so resuming a checkpoint across the packed/unpacked
+    boundary would silently change the trajectory.  Loading is only
+    allowed when both sides agree on packedness; dtype changes *within*
+    the unpacked family (float32 <-> bfloat16) remain legal.
+    """
+    backend_packed = backend.dtype.name == "packed"
+    state_packed = state_dtype == "packed"
+    if backend_packed == state_packed:
+        return
+    if backend_packed:
+        raise ValueError(
+            f"checkpoint was written by an unpacked dtype={state_dtype!r} "
+            "chain and cannot resume as dtype='packed': the packed stream "
+            "mode consumes randomness on a different counter schedule. "
+            "Resume on the checkpoint's own dtype, or start a fresh packed "
+            "run seeded from its lattice."
+        )
+    raise ValueError(
+        "checkpoint was written by a dtype='packed' chain and cannot "
+        f"resume on an unpacked dtype={backend.dtype.name!r} backend: the "
+        "stored randomness schedule only matches the packed engine. Resume "
+        "with dtype='packed', or start a fresh unpacked run seeded from "
+        "the checkpoint's lattice."
     )
 
 

@@ -40,12 +40,14 @@ from .lattice import cold_lattice, random_lattice, validate_spins
 from .config import (
     backend_from_checkpoint,
     backend_kind,
+    check_checkpoint_dtype,
     checkpoint_envelope,
     default_block_shape,
     resolve_fused,
     resolve_traced,
     unwrap_checkpoint,
 )
+from .packed import PackedState, PackedUpdater, record_packed_metrics
 from .traced import TracedExecutor, record_traced_metrics
 from .simulation import (
     ChainResult,
@@ -155,12 +157,24 @@ class EnsembleSimulation:
         self.seeds = [self.seed] * self.n_chains
         self.sweeps_done = 0
         self.telemetry = telemetry
+        self.packed = self.backend.dtype.name == "packed"
         self.fused_config = resolve_fused(fused)
-        self.fused = (
-            backend_kind(self.backend) == "numpy"
-            if self.fused_config == "auto"
-            else self.fused_config
-        )
+        if self.packed:
+            # The packed engine exists only in workspace-backed *_into
+            # form, so it is always "fused" regardless of backend kind.
+            if self.fused_config is False:
+                raise ValueError(
+                    "dtype='packed' has no elementwise path: the packed "
+                    "engine is workspace-backed only; drop fused=False or "
+                    "use dtype='float32'"
+                )
+            self.fused = True
+        else:
+            self.fused = (
+                backend_kind(self.backend) == "numpy"
+                if self.fused_config == "auto"
+                else self.fused_config
+            )
         self.traced_config = resolve_traced(traced)
         self.traced = (
             self.fused if self.traced_config == "auto" else self.traced_config
@@ -179,7 +193,33 @@ class EnsembleSimulation:
                 f"{len(self.stream_ids)} stream ids for {self.n_chains} chains"
             )
 
-        if updater == "masked_conv":
+        if self.packed:
+            if updater not in ("compact", "checkerboard"):
+                raise ValueError(
+                    f"dtype='packed' supports updater='compact' or "
+                    f"'checkerboard' (both run the packed multi-spin "
+                    f"engine); {updater!r} has no packed kernels — use "
+                    f"dtype='float32' for it"
+                )
+            if self.field:
+                raise ValueError(
+                    "dtype='packed' requires field=0.0: the three-case "
+                    f"Metropolis collapse assumes h = 0 (got {self.field!r}); "
+                    "use dtype='float32' for runs with a field"
+                )
+            if block_shape is not None:
+                raise ValueError(
+                    "dtype='packed' does not take a block_shape: spins are "
+                    "stored as 64-bit words per compact quarter, not "
+                    "blocked grids"
+                )
+            if cols % 128:
+                raise ValueError(
+                    f"dtype='packed' needs the lattice width to be a "
+                    f"multiple of 128 (each compact quarter packs into "
+                    f"whole 64-bit words), got {cols}"
+                )
+        elif updater == "masked_conv":
             if block_shape is not None:
                 raise ValueError("masked_conv does not take a block_shape")
         elif block_shape is None:
@@ -233,6 +273,10 @@ class EnsembleSimulation:
         updaters precompute per-chain acceptance tables from the beta
         vector, so a roster change rebuilds them.
         """
+        if self.packed:
+            # The packed updater broadcasts its own (B,) thresholds over
+            # the batched (B, rows/2, cols/128) word planes.
+            return PackedUpdater(self.betas, self.backend, field=self.field)
         state_rank = 3 if self.updater_name == "masked_conv" else 5
         beta_vec = self.betas.reshape((self.n_chains,) + (1,) * (state_rank - 1))
         if self.updater_name == "masked_conv":
@@ -533,6 +577,7 @@ class EnsembleSimulation:
         registry.gauge("n_chains").set(self.n_chains)
         record_fused_metrics(registry, self._updater)
         record_traced_metrics(registry, self._executor)
+        record_packed_metrics(registry, self._updater)
         streams = [
             {"seed": seed, "stream_id": sid, "counter": counter}
             for seed, sid, counter in zip(
@@ -566,26 +611,37 @@ class EnsembleSimulation:
         Emitted as a versioned ``checkpoint/v2`` envelope.  Round-trips
         everything a resume needs for bit-identical continuation:
         lattices, per-chain RNG counters, backend kind, dtype and block
-        decomposition.
+        decomposition.  Packed ensembles additionally store the batched
+        word planes (see :meth:`IsingSimulation.state_dict`), so resume
+        is bit-identical at the word level.
         """
-        return checkpoint_envelope(
-            "ensemble",
-            {
-                "shape": self.shape,
-                "temperatures": self.temperatures.tolist(),
-                "field": self.field,
-                "updater": self.updater_name,
-                "backend": backend_kind(self.backend),
-                "dtype": self.backend.dtype.name,
-                "block_shape": self.block_shape,
-                "seed": self.seed,
-                "fused": self.fused_config,
-                "traced": self.traced_config,
-                "lattices": self.lattices,
-                "stream": self.stream.state(),
-                "sweeps_done": self.sweeps_done,
-            },
-        )
+        payload = {
+            "shape": self.shape,
+            "temperatures": self.temperatures.tolist(),
+            "field": self.field,
+            "updater": self.updater_name,
+            "backend": backend_kind(self.backend),
+            "dtype": self.backend.dtype.name,
+            "block_shape": self.block_shape,
+            "seed": self.seed,
+            "fused": self.fused_config,
+            "traced": self.traced_config,
+            "lattices": self.lattices,
+            "stream": self.stream.state(),
+            "sweeps_done": self.sweeps_done,
+        }
+        if self.packed:
+            payload["packed"] = {
+                "word_bits": 64,
+                "bit_order": "little",
+                "rng_bits": self._updater.rng_bits,
+                "quarter_shape": self._state.quarter_shape,
+                "words": {
+                    name: getattr(self._state, name).copy()
+                    for name in ("w00", "w01", "w10", "w11")
+                },
+            }
+        return checkpoint_envelope("ensemble", payload)
 
     @classmethod
     def from_state_dict(
@@ -601,6 +657,7 @@ class EnsembleSimulation:
             backend = backend_from_checkpoint(
                 state.get("backend", "numpy"), state["dtype"]
             )
+        check_checkpoint_dtype(state["dtype"], backend)
         block_shape = state.get("block_shape")
         ensemble = cls(
             tuple(state["shape"]),
@@ -615,7 +672,48 @@ class EnsembleSimulation:
             fused=state.get("fused", "auto"),
             traced=state.get("traced", "auto"),
         )
+        if ensemble.packed:
+            ensemble._restore_packed(state.get("packed"))
         ensemble.stream = BatchedPhiloxStream.from_state(state["stream"])
         ensemble.seeds = list(ensemble.stream.seeds)
         ensemble.sweeps_done = int(state["sweeps_done"])
         return ensemble
+
+    def _restore_packed(self, packed: dict | None) -> None:
+        """Rebuild the batched packed word planes from a checkpoint payload."""
+        if packed is None:
+            raise ValueError(
+                "checkpoint has no packed payload: it was written by an "
+                "unpacked ensemble and cannot resume as dtype='packed' (the "
+                "packed stream mode consumes randomness on a different "
+                "counter schedule); resume on the checkpoint's own dtype, "
+                "or start a fresh packed run from its lattices"
+            )
+        if packed.get("word_bits", 64) != 64 or packed.get("bit_order", "little") != "little":
+            raise ValueError(
+                f"unsupported packed word layout {packed.get('word_bits')!r}-bit "
+                f"/ {packed.get('bit_order')!r}; this build packs 64-spin "
+                "little-endian words"
+            )
+        rng_bits = int(packed.get("rng_bits", 16))
+        if rng_bits != self._updater.rng_bits:
+            self._updater = PackedUpdater(
+                self.betas, self.backend, rng_bits=rng_bits
+            )
+            if self._executor is not None:
+                self._executor.rebind(self._updater)
+        words = {
+            # astype normalises foreign-endian checkpoint words to the
+            # native representation; the *values* are host-independent.
+            name: np.ascontiguousarray(
+                np.asarray(packed["words"][name]).astype(np.uint64, copy=False)
+            )
+            for name in ("w00", "w01", "w10", "w11")
+        }
+        self._state = PackedState(
+            words["w00"],
+            words["w01"],
+            words["w10"],
+            words["w11"],
+            tuple(packed["quarter_shape"]),
+        )

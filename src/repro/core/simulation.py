@@ -35,6 +35,7 @@ from .compact import CompactUpdater
 from .config import (
     backend_from_checkpoint,
     backend_kind,
+    check_checkpoint_dtype,
     checkpoint_envelope,
     default_block_shape,
     resolve_fused,
@@ -43,6 +44,7 @@ from .config import (
 )
 from .conv import ConvUpdater, MaskedConvUpdater
 from .fused import record_fused_metrics
+from .packed import PackedState, PackedUpdater, record_packed_metrics
 from .traced import TracedExecutor, record_traced_metrics
 from .lattice import cold_lattice, random_lattice, validate_spins
 
@@ -194,16 +196,28 @@ class IsingSimulation:
         self.beta = 1.0 / self.temperature
         self.field = float(field)
         self.backend = backend if backend is not None else NumpyBackend()
+        self.packed = self.backend.dtype.name == "packed"
         self.stream = PhiloxStream(seed, stream_id)
         self.updater_name = updater
         self.sweeps_done = 0
         self.telemetry = telemetry
         self.fused_config = resolve_fused(fused)
-        self.fused = (
-            _backend_kind(self.backend) == "numpy"
-            if self.fused_config == "auto"
-            else self.fused_config
-        )
+        if self.packed:
+            # The packed engine exists only in workspace-backed *_into
+            # form, so it is always "fused" regardless of backend kind.
+            if self.fused_config is False:
+                raise ValueError(
+                    "dtype='packed' has no elementwise path: the packed "
+                    "engine is workspace-backed only; drop fused=False or "
+                    "use dtype='float32'"
+                )
+            self.fused = True
+        else:
+            self.fused = (
+                _backend_kind(self.backend) == "numpy"
+                if self.fused_config == "auto"
+                else self.fused_config
+            )
         self.traced_config = resolve_traced(traced)
         self.traced = (
             self.fused if self.traced_config == "auto" else self.traced_config
@@ -214,7 +228,34 @@ class IsingSimulation:
                 "the elementwise path allocates per sweep and cannot be replayed"
             )
 
-        if updater == "masked_conv":
+        if self.packed:
+            if updater not in ("compact", "checkerboard"):
+                raise ValueError(
+                    f"dtype='packed' supports updater='compact' or "
+                    f"'checkerboard' (both run the packed multi-spin "
+                    f"engine); {updater!r} has no packed kernels — use "
+                    f"dtype='float32' for it"
+                )
+            if self.field:
+                raise ValueError(
+                    "dtype='packed' requires field=0.0: the three-case "
+                    f"Metropolis collapse assumes h = 0 (got {self.field!r}); "
+                    "use dtype='float32' for runs with a field"
+                )
+            if block_shape is not None:
+                raise ValueError(
+                    "dtype='packed' does not take a block_shape: spins are "
+                    "stored as 64-bit words per compact quarter, not "
+                    "blocked grids"
+                )
+            if cols % 128:
+                raise ValueError(
+                    f"dtype='packed' needs the lattice width to be a "
+                    f"multiple of 128 (each compact quarter packs into "
+                    f"whole 64-bit words), got {cols}"
+                )
+            self._updater = PackedUpdater(self.beta, self.backend, field=self.field)
+        elif updater == "masked_conv":
             if block_shape is not None:
                 raise ValueError("masked_conv does not take a block_shape")
             self._updater = MaskedConvUpdater(
@@ -347,24 +388,40 @@ class IsingSimulation:
         :func:`repro.api.load` — continues the chain bit-identically
         (same Philox counter, same lattice), on the same backend kind /
         dtype and with the same block decomposition.
+
+        Packed chains additionally store their four quarter word planes
+        with the bit-order contract (``packed`` key: little-endian
+        64-bit words plus the stream mode's ``rng_bits``); restore
+        rebuilds the state from the words, so resume is bit-identical
+        at the word level, and a packed checkpoint refuses to load on
+        an unpacked backend (and vice versa) with a clear error.
         """
-        return checkpoint_envelope(
-            "single",
-            {
-                "shape": self.shape,
-                "temperature": self.temperature,
-                "field": self.field,
-                "updater": self.updater_name,
-                "backend": backend_kind(self.backend),
-                "dtype": self.backend.dtype.name,
-                "block_shape": self.block_shape,
-                "fused": self.fused_config,
-                "traced": self.traced_config,
-                "lattice": self.lattice,
-                "stream": self.stream.state(),
-                "sweeps_done": self.sweeps_done,
-            },
-        )
+        payload = {
+            "shape": self.shape,
+            "temperature": self.temperature,
+            "field": self.field,
+            "updater": self.updater_name,
+            "backend": backend_kind(self.backend),
+            "dtype": self.backend.dtype.name,
+            "block_shape": self.block_shape,
+            "fused": self.fused_config,
+            "traced": self.traced_config,
+            "lattice": self.lattice,
+            "stream": self.stream.state(),
+            "sweeps_done": self.sweeps_done,
+        }
+        if self.packed:
+            payload["packed"] = {
+                "word_bits": 64,
+                "bit_order": "little",
+                "rng_bits": self._updater.rng_bits,
+                "quarter_shape": self._state.quarter_shape,
+                "words": {
+                    name: getattr(self._state, name).copy()
+                    for name in ("w00", "w01", "w10", "w11")
+                },
+            }
+        return checkpoint_envelope("single", payload)
 
     @classmethod
     def from_state_dict(
@@ -388,6 +445,7 @@ class IsingSimulation:
             backend = backend_from_checkpoint(
                 state.get("backend", "numpy"), state["dtype"]
             )
+        check_checkpoint_dtype(state["dtype"], backend)
         block_shape = state.get("block_shape")
         sim = cls(
             tuple(state["shape"]),
@@ -400,9 +458,47 @@ class IsingSimulation:
             traced=state.get("traced", "auto"),
             initial=np.asarray(state["lattice"], dtype=np.float32),
         )
+        if sim.packed:
+            sim._restore_packed(state.get("packed"))
         sim.stream = PhiloxStream.from_state(state["stream"])
         sim.sweeps_done = int(state["sweeps_done"])
         return sim
+
+    def _restore_packed(self, packed: dict | None) -> None:
+        """Rebuild the packed word planes from a checkpoint's packed payload."""
+        if packed is None:
+            raise ValueError(
+                "checkpoint has no packed payload: it was written by an "
+                "unpacked chain and cannot resume as dtype='packed' (the "
+                "packed stream mode consumes randomness on a different "
+                "counter schedule); resume on the checkpoint's own dtype, "
+                "or start a fresh packed run from its lattice"
+            )
+        if packed.get("word_bits", 64) != 64 or packed.get("bit_order", "little") != "little":
+            raise ValueError(
+                f"unsupported packed word layout {packed.get('word_bits')!r}-bit "
+                f"/ {packed.get('bit_order')!r}; this build packs 64-spin "
+                "little-endian words"
+            )
+        rng_bits = int(packed.get("rng_bits", 16))
+        if rng_bits != self._updater.rng_bits:
+            self._updater = PackedUpdater(self.beta, self.backend, rng_bits=rng_bits)
+            self._executor = TracedExecutor(self._updater) if self.traced else None
+        words = {
+            # astype normalises foreign-endian checkpoint words to the
+            # native representation; the *values* are host-independent.
+            name: np.ascontiguousarray(
+                np.asarray(packed["words"][name]).astype(np.uint64, copy=False)
+            )
+            for name in ("w00", "w01", "w10", "w11")
+        }
+        self._state = PackedState(
+            words["w00"],
+            words["w01"],
+            words["w10"],
+            words["w11"],
+            tuple(packed["quarter_shape"]),
+        )
 
     # -- telemetry ---------------------------------------------------------
 
@@ -422,6 +518,7 @@ class IsingSimulation:
         self.telemetry.registry.gauge("sweeps_done").set(self.sweeps_done)
         record_fused_metrics(self.telemetry.registry, self._updater)
         record_traced_metrics(self.telemetry.registry, self._executor)
+        record_packed_metrics(self.telemetry.registry, self._updater)
         return self.telemetry.build_report(
             kind="single",
             run={

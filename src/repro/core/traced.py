@@ -92,6 +92,15 @@ REPLAYABLE_OPS = frozenset(
         "assign_at_slice_into",
         "shifted_pair_sum_into",
         "conv2d_neighbors_into",
+        # Packed (multi-spin) word kernels — in-place, workspace-backed,
+        # same replay contract as the float *_into vocabulary.
+        "packed_bits_into",
+        "packed_rshift_into",
+        "packed_xor_into",
+        "packed_shift_cols_into",
+        "packed_compare_pack_into",
+        "packed_full_adder_into",
+        "packed_flip_select_into",
     }
 )
 
@@ -118,6 +127,8 @@ ALLOCATING_OPS = frozenset(
         "slice_copy",
         "reshape",
         "copy",
+        "packed_pack",
+        "packed_unpack",
     }
 )
 
@@ -229,6 +240,10 @@ class _TracedBase:
         s00 = getattr(state, "s00", None)
         if s00 is not None:
             return (s00, state.s01, state.s10, state.s11)
+        w00 = getattr(state, "w00", None)
+        if w00 is not None:
+            # Packed states carry four uint64 word planes.
+            return (w00, state.w01, state.w10, state.w11)
         return (state,)
 
     def _check_binding(self, state, stream) -> None:

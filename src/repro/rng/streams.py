@@ -132,6 +132,34 @@ class PhiloxStream:
         uniform_from_bits_into(scratch["bits"], out.reshape(1, size))
         return out
 
+    def bits_into(self, out: np.ndarray) -> np.ndarray:
+        """Fill ``out`` (C-contiguous uint32) with raw Philox words, allocation-free.
+
+        Bit-identical to ``random_bits(out.size).reshape(out.shape)`` —
+        same counter advance of ``ceil(size / 4)`` blocks — but every
+        intermediate lives in the same per-size workspace
+        :meth:`uniform_into` uses.  The words are the *raw* generator
+        output: no top-24-bit shift is applied, so callers own the
+        mapping from words to acceptance values (the packed engine
+        compares them against integer thresholds directly).
+        """
+        if out.dtype != np.uint32 or not out.flags["C_CONTIGUOUS"]:
+            raise ValueError("out must be a C-contiguous uint32 array")
+        size = int(out.size)
+        if size == 0:
+            return out
+        scratch = self._inplace_scratch.get(size)
+        if scratch is None:
+            scratch = make_philox_scratch(1, size)
+            scratch["bits"] = np.empty((1, size), dtype=np.uint32)
+            scratch["keys"] = np.array([self._key], dtype=np.uint32)
+            self._inplace_scratch[size] = scratch
+        philox_bits_into(
+            [self._counter], scratch["keys"], out.reshape(1, size), scratch
+        )
+        self._counter += -(-size // 4)
+        return out
+
     def state(self) -> dict:
         """Serializable state (for checkpoint/restart of long chains)."""
         return {
@@ -277,6 +305,43 @@ class BatchedPhiloxStream:
         uniform_from_bits_into(
             scratch["bits"], out.reshape(self.n_chains, per_chain)
         )
+        return out
+
+    def bits_into(self, out: np.ndarray) -> np.ndarray:
+        """Fill ``out`` with per-chain raw Philox words, allocation-free.
+
+        ``out`` must be C-contiguous uint32 with the chain axis leading
+        (``out.shape[0] == n_chains``); chain ``b`` receives exactly what
+        ``self.chain(b).bits_into(...)`` would for the same per-chain
+        word count, with the same counter advance.  As with
+        :meth:`PhiloxStream.bits_into`, the words are raw generator
+        output — no top-24-bit shift.
+        """
+        if out.dtype != np.uint32 or not out.flags["C_CONTIGUOUS"]:
+            raise ValueError("out must be a C-contiguous uint32 array")
+        if out.ndim == 0 or out.shape[0] != self.n_chains:
+            raise ValueError(
+                f"batched bits_into shape {out.shape} must lead with "
+                f"the chain axis (n_chains={self.n_chains})"
+            )
+        per_chain = int(out.size) // self.n_chains
+        if per_chain == 0:
+            return out
+        scratch = self._inplace_scratch.get(per_chain)
+        if scratch is None:
+            scratch = make_philox_scratch(self.n_chains, per_chain)
+            scratch["bits"] = np.empty(
+                (self.n_chains, per_chain), dtype=np.uint32
+            )
+            self._inplace_scratch[per_chain] = scratch
+        philox_bits_into(
+            self._counters,
+            self._keys,
+            out.reshape(self.n_chains, per_chain),
+            scratch,
+        )
+        n_counters = -(-per_chain // 4)
+        self._counters = [c + n_counters for c in self._counters]
         return out
 
     def state(self) -> dict:

@@ -11,7 +11,7 @@ from .bfloat16 import (
 )
 from .cost_model import TPUCostModel, TPU_V3
 from .device import CHIPS_PER_BOARD, CORES_PER_CHIP, PodSlice
-from .dtypes import BFLOAT16, FLOAT32, DType, resolve_dtype
+from .dtypes import BFLOAT16, FLOAT32, PACKED, DType, resolve_dtype
 from .hbm import HBMModel, tensor_bytes, tiled_shape
 from .mxu import MXUModel
 from .power import TESLA_V100_WATTS, TPU_V3_CORE_WATTS, energy_per_flip_nj
@@ -34,6 +34,7 @@ __all__ = [
     "PodSlice",
     "BFLOAT16",
     "FLOAT32",
+    "PACKED",
     "DType",
     "resolve_dtype",
     "HBMModel",

@@ -15,11 +15,16 @@ import numpy as np
 
 from .bfloat16 import round_to_bfloat16, round_to_bfloat16_into
 
-__all__ = ["DType", "FLOAT32", "BFLOAT16", "resolve_dtype"]
+__all__ = ["DType", "FLOAT32", "BFLOAT16", "PACKED", "resolve_dtype"]
 
 
 def _identity(x: np.ndarray) -> np.ndarray:
     return np.asarray(x, dtype=np.float32)
+
+
+def _passthrough(x: np.ndarray) -> np.ndarray:
+    # Packed tensors are integer bit-planes; never coerce them to float.
+    return np.asarray(x)
 
 
 @dataclass(frozen=True)
@@ -63,7 +68,20 @@ BFLOAT16 = DType(
     quantize_into=round_to_bfloat16_into,
 )
 
-_BY_NAME = {"float32": FLOAT32, "f32": FLOAT32, "bfloat16": BFLOAT16, "bf16": BFLOAT16}
+#: Bit-packed spin storage: 64 spins per uint64 word (bit j of word w is
+#: lattice column ``64*w + j`` — little-endian bit order; see
+#: ``docs/packed_engine.md``).  ``itemsize`` is the *word* width, so HBM
+#: accounting on word-shaped arrays is exact; ``quantize`` is a
+#: passthrough because packed planes are integers, never floats.
+PACKED = DType(name="packed", itemsize=8, quantize=_passthrough)
+
+_BY_NAME = {
+    "float32": FLOAT32,
+    "f32": FLOAT32,
+    "bfloat16": BFLOAT16,
+    "bf16": BFLOAT16,
+    "packed": PACKED,
+}
 
 
 def resolve_dtype(dtype: "DType | str") -> DType:

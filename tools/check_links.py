@@ -11,6 +11,12 @@ Usage::
 
     python tools/check_links.py            # check the whole repo
     python tools/check_links.py docs       # check one subtree
+    python tools/check_links.py --require docs/engines.md   # + existence
+
+``--require PAGE...`` additionally asserts that the named repo-relative
+pages exist and are reachable by the scan — CI uses it to pin
+must-not-regress documentation pages (a deleted page with no inbound
+links would otherwise pass the link check silently).
 """
 
 from __future__ import annotations
@@ -52,20 +58,36 @@ def check_file(path: Path, root: Path) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
+    args = list(argv if argv is not None else sys.argv[1:])
     root = Path(__file__).resolve().parent.parent
+    required: list[str] = []
+    if "--require" in args:
+        at = args.index("--require")
+        required = args[at + 1 :]
+        args = args[:at]
+        if not required:
+            print("--require needs at least one page path", file=sys.stderr)
+            return 2
     scan = root / args[0] if args else root
     if not scan.exists():
         print(f"no such path: {scan}", file=sys.stderr)
         return 2
     errors: list[str] = []
     n_files = 0
+    scanned: set[Path] = set()
     for md in iter_markdown(scan):
         n_files += 1
+        scanned.add(md.resolve())
         errors.extend(check_file(md, root))
+    for page in required:
+        path = (root / page).resolve()
+        if not path.exists():
+            errors.append(f"{page}: required page is missing")
+        elif path not in scanned:
+            errors.append(f"{page}: required page exists but was not scanned")
     for err in errors:
         print(err, file=sys.stderr)
-    print(f"checked {n_files} markdown files: {len(errors)} broken links")
+    print(f"checked {n_files} markdown files: {len(errors)} problems")
     return 1 if errors else 0
 
 
