@@ -38,6 +38,7 @@ from .core.config import (
     backend_from_checkpoint,
     checkpoint_kind,
     resolve_fused,
+    resolve_overlap,
     resolve_traced,
 )
 from .core.distributed import DistributedIsing
@@ -156,6 +157,14 @@ class SimulationConfig:
     grid:
         Core grid (rows, cols) — required by :func:`distributed`,
         rejected elsewhere.  ``core_grid=`` is the deprecated spelling.
+    pod_grid:
+        Optional (pod rows, pod cols) tiling of ``grid`` into sub-pods —
+        a hierarchical multi-pod mesh with a two-tier link model (see
+        ``docs/multipod.md``).  :func:`distributed` only.
+    overlap:
+        Split-phase halo overlap: "auto" (default — on exactly for
+        multi-pod meshes), True or False.  Changes only the modeled
+        clock, never the chain.  :func:`distributed` only.
     fault_plan:
         Optional :class:`~repro.mesh.faults.FaultPlan` for
         :func:`distributed` runs (single-core drivers have no mesh to
@@ -183,6 +192,8 @@ class SimulationConfig:
     telemetry: "RunTelemetry | bool | None" = None
     block_shape: "tuple[int, int] | None" = None
     grid: "tuple[int, int] | None" = None
+    pod_grid: "tuple[int, int] | None" = None
+    overlap: "bool | str" = "auto"
     fault_plan: "FaultPlan | None" = None
     checkpoint_interval: "int | None" = None
     initial: "str | np.ndarray" = "hot"
@@ -204,6 +215,7 @@ class SimulationConfig:
             )
         resolve_fused(self.fused)  # raises on junk
         resolve_traced(self.traced)  # raises on junk
+        resolve_overlap(self.overlap)  # raises on junk
         dtype = resolve_dtype(self.dtype)  # raises on junk
         if dtype.name == "packed":
             if self.updater not in ("compact", "checkerboard"):
@@ -240,6 +252,16 @@ class SimulationConfig:
             rows, cols = self.grid
             if rows < 1 or cols < 1:
                 raise ValueError(f"grid must be positive, got {self.grid}")
+        if self.pod_grid is not None:
+            p_rows, p_cols = self.pod_grid
+            if p_rows < 1 or p_cols < 1:
+                raise ValueError(f"pod_grid must be positive, got {self.pod_grid}")
+            if self.grid is not None and (
+                self.grid[0] % p_rows or self.grid[1] % p_cols
+            ):
+                raise ValueError(
+                    f"grid {self.grid} not divisible by pod_grid {self.pod_grid}"
+                )
         if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
             raise ValueError(
                 "checkpoint_interval must be >= 1 or None, "
@@ -313,16 +335,21 @@ def _reject_trace(config: SimulationConfig, factory: str) -> None:
             f"{factory}() has no per-core trace recorder; record_trace is a "
             "distributed() field"
         )
+    if config.overlap != "auto":
+        raise ValueError(
+            f"{factory}() has no halo exchange to overlap; overlap is a "
+            "distributed() field"
+        )
 
 
 def simulate(config: SimulationConfig) -> IsingSimulation:
     """Build the single-chain simulation a config describes.
 
-    Rejects distributed-only fields (``grid``, ``fault_plan``,
-    ``checkpoint_interval``, ``record_trace``) instead of silently
-    ignoring them.
+    Rejects distributed-only fields (``grid``, ``pod_grid``, ``overlap``,
+    ``fault_plan``, ``checkpoint_interval``, ``record_trace``) instead of
+    silently ignoring them.
     """
-    _reject(config, "simulate", "grid", "fault_plan", "checkpoint_interval")
+    _reject(config, "simulate", "grid", "pod_grid", "fault_plan", "checkpoint_interval")
     _reject_trace(config, "simulate")
     return IsingSimulation(
         config.shape,
@@ -357,7 +384,7 @@ def ensemble(
         if n_chains < 1:
             raise ValueError(f"n_chains must be >= 1, got {n_chains}")
         temperatures = [config.resolved_temperature] * n_chains
-    _reject(config, "ensemble", "grid", "fault_plan", "checkpoint_interval")
+    _reject(config, "ensemble", "grid", "pod_grid", "fault_plan", "checkpoint_interval")
     _reject_trace(config, "ensemble")
     return EnsembleSimulation(
         config.shape,
@@ -401,6 +428,8 @@ def distributed(config: SimulationConfig) -> DistributedIsing:
         config.shape,
         config.resolved_temperature,
         core_grid=config.grid,
+        pod_grid=config.pod_grid,
+        overlap=config.overlap,
         dtype=config.dtype,
         block_shape=config.block_shape,
         seed=config.seed,

@@ -33,10 +33,15 @@ import numpy as np
 
 from ..backend.base import Backend
 from ..backend.tpu_backend import TPUBackend
-from ..mesh.faults import CoreLostError, FaultInjector, FaultPlan
-from ..mesh.links import LinkModel
-from ..mesh.runtime import PermuteRequest, SPMDRuntime
-from ..mesh.topology import Torus2D, degraded_grid
+from ..mesh.faults import CoreLostError, FaultInjector, FaultPlan, PodLostError
+from ..mesh.links import LinkModel, TwoTierLinkModel, interior_fraction
+from ..mesh.runtime import OverlapCommit, PermuteRequest, SPMDRuntime
+from ..mesh.topology import (
+    HierarchicalTorus,
+    Torus2D,
+    degraded_grid,
+    degraded_pod_grid,
+)
 from ..observables.energy import energy_per_spin
 from ..observables.magnetization import magnetization
 from ..rng.streams import PhiloxStream
@@ -48,6 +53,7 @@ from .config import (
     checkpoint_envelope,
     default_block_shape,
     resolve_fused,
+    resolve_overlap,
     resolve_traced,
     unwrap_checkpoint,
 )
@@ -107,6 +113,26 @@ class DistributedIsing:
         (rows, cols) of the core decomposition; each core gets a
         ``global/rows x global/cols`` sub-lattice (sides must divide
         evenly into even local sides).
+    pod_grid:
+        Optional (pod rows, pod cols) tiling of the core grid into
+        sub-pods.  When given, the mesh is a
+        :class:`~repro.mesh.topology.HierarchicalTorus` — flat core ids
+        and halo pairs (the chain is unchanged) but pod-crossing
+        collectives are priced on the slower inter-pod tier of a
+        :class:`~repro.mesh.links.TwoTierLinkModel` (the default link
+        model for hierarchical meshes), and a permanent loss degrades by
+        whole sub-pods (see ``docs/multipod.md``).  ``None`` (the
+        default) keeps the single-pod flat torus.
+    overlap:
+        Split-phase halo overlap selection: ``"auto"`` (default), True
+        or False.  "auto" enables overlap exactly on multi-pod
+        hierarchical meshes.  When on, each colour phase issues its four
+        halo permutes into an overlap window and commits the window
+        against the phase's interior compute — the modeled phase cost
+        becomes ``max(interior_compute, comm) + boundary_compute``
+        instead of ``comm + compute``.  The executed op stream is
+        identical either way (same sites, same Philox draws); only the
+        modeled clock changes.
     pod:
         An existing :class:`~repro.tpu.device.PodSlice` whose core grid
         matches; one is created when omitted.
@@ -177,6 +203,8 @@ class DistributedIsing:
         global_shape: int | tuple[int, int],
         temperature: float,
         core_grid: tuple[int, int],
+        pod_grid: tuple[int, int] | None = None,
+        overlap: "bool | str" = "auto",
         pod: PodSlice | None = None,
         dtype: DType | str = FLOAT32,
         block_shape: tuple[int, int] | None = None,
@@ -213,6 +241,15 @@ class DistributedIsing:
             )
         if temperature <= 0:
             raise ValueError(f"temperature must be positive, got {temperature}")
+        if pod_grid is not None:
+            g_rows, g_cols = pod_grid
+            if g_rows <= 0 or g_cols <= 0:
+                raise ValueError(f"pod grid must be positive, got {pod_grid}")
+            if p_rows % g_rows or p_cols % g_cols:
+                raise ValueError(
+                    f"core grid {core_grid} not divisible by pod grid {pod_grid}"
+                )
+            pod_grid = (int(g_rows), int(g_cols))
 
         if checkpoint_interval is not None and checkpoint_interval < 1:
             raise ValueError(
@@ -221,6 +258,7 @@ class DistributedIsing:
 
         self.global_shape = (rows, cols)
         self.core_grid = (p_rows, p_cols)
+        self.pod_grid = pod_grid
         self.local_shape = (local_rows, local_cols)
         self.temperature = float(temperature)
         self.beta = 1.0 / self.temperature
@@ -241,6 +279,13 @@ class DistributedIsing:
                 "traced=True requires the fused sweep engine; "
                 "the elementwise path allocates per sweep and cannot be replayed"
             )
+        self.overlap_config = resolve_overlap(overlap)
+        # "auto": hide halos exactly where the slow inter-pod tier makes
+        # it worth modeling; flat single-pod timelines stay historical.
+        multi_pod = pod_grid is not None and pod_grid[0] * pod_grid[1] > 1
+        self.overlap = (
+            multi_pod if self.overlap_config == "auto" else self.overlap_config
+        )
         #: Per-sweep traced-replay spans on the modeled timeline (only
         #: when ``record_trace`` and tracing are both on); exported as
         #: the "traced replay" Chrome-trace track.
@@ -298,21 +343,38 @@ class DistributedIsing:
             if pod is not None
             else PodSlice(core_grid, record_trace=self._record_trace)
         )
-        self.torus = Torus2D(p_rows, p_cols)
+        if self.pod_grid is not None:
+            self.torus = HierarchicalTorus(
+                p_rows, p_cols, self.pod_grid[0], self.pod_grid[1]
+            )
+        else:
+            self.torus = Torus2D(p_rows, p_cols)
+        # The surface-to-volume fraction of each colour phase that runs
+        # while halos are in flight under the overlap schedule.
+        self._interior_fraction = interior_fraction(self.local_shape)
+        link_model = self._link_model
+        if link_model is None and isinstance(self.torus, HierarchicalTorus):
+            link_model = TwoTierLinkModel()
         if self.fault_plan is not None and self.fault_injector is None:
             self.fault_injector = FaultInjector(self.fault_plan, self.torus.num_cores)
-        prior_fault_log = getattr(self, "runtime", None)
+        prior_runtime = getattr(self, "runtime", None)
         self.runtime = SPMDRuntime(
             self.torus,
-            self._link_model,
+            link_model,
             cores=self.pod.cores,
             metrics=self.telemetry.registry if self.telemetry is not None else None,
             fault_injector=self.fault_injector,
         )
-        if prior_fault_log is not None:
-            # Keep pre-degrade fault spans so the trace shows the whole
-            # incident, not just the surviving generation.
-            self.runtime.fault_log.extend(prior_fault_log.fault_log)
+        if prior_runtime is not None:
+            # Keep pre-degrade fault and overlap spans so the trace shows
+            # the whole incident, not just the surviving generation.
+            self.runtime.fault_log.extend(prior_runtime.fault_log)
+            self.runtime.overlap_log.extend(prior_runtime.overlap_log)
+            self.runtime.overlap_windows = prior_runtime.overlap_windows
+            self.runtime.overlap_hidden_seconds = prior_runtime.overlap_hidden_seconds
+            self.runtime.overlap_exposed_seconds = (
+                prior_runtime.overlap_exposed_seconds
+            )
         self._backends: list[Backend] = [
             TPUBackend(core, self.dtype) for core in self.pod.cores
         ]
@@ -503,12 +565,23 @@ class DistributedIsing:
         probs_black: np.ndarray | None,
         probs_white: np.ndarray | None,
     ) -> Generator[PermuteRequest, np.ndarray, CompactLattice]:
-        """The per-core SPMD program for one sweep (two colour phases)."""
+        """The per-core SPMD program for one sweep (two colour phases).
+
+        Under the overlap schedule the op stream is *identical* — same
+        slab copies, same permutes, same phase update, same Philox draws
+        — but the permutes are flagged ``overlap=True`` (their modeled
+        time lands in a window instead of blocking) and each phase ends
+        with an :class:`~repro.mesh.runtime.OverlapCommit` carrying the
+        interior share of the phase's measured compute, so the runtime
+        can charge ``max(interior, comm) + boundary`` for the phase.
+        """
         lat = self._states[core_id]
         updater = self._updaters[core_id]
         backend = self._backends[core_id]
         stream = self._streams[core_id]
         executor = self._executors[core_id]
+        overlap = self.overlap
+        profiler = self.pod.cores[core_id].profiler
         global_probs = {"black": probs_black, "white": probs_white}
 
         for color in ("black", "white"):
@@ -519,8 +592,11 @@ class DistributedIsing:
                     tensor=slab,
                     pairs=self.torus.shift_pairs(send_dir),
                     name=f"halo_{color}_{field}",
+                    overlap=overlap,
                 )
             probs = self._phase_probs(core_id, color, global_probs[color])
+            if overlap:
+                compute_start = profiler.total_seconds
             if executor is not None and probs is None:
                 # Traced path: halos are staged into stable buffers and
                 # the phase runs as a recorded program after warm-up.
@@ -532,6 +608,12 @@ class DistributedIsing:
                     stream=stream,
                     probs=probs,
                     halos=PhaseHalos(**halos),
+                )
+            if overlap:
+                phase_compute = profiler.total_seconds - compute_start
+                yield OverlapCommit(
+                    interior_seconds=self._interior_fraction * phase_compute,
+                    name=f"overlap_{color}",
                 )
         return lat
 
@@ -567,6 +649,8 @@ class DistributedIsing:
             {
                 "shape": self.global_shape,
                 "core_grid": self.core_grid,
+                "pod_grid": list(self.pod_grid) if self.pod_grid else None,
+                "overlap": self.overlap_config,
                 "temperature": self.temperature,
                 "field": self.field,
                 "updater": self.updater_name,
@@ -606,10 +690,13 @@ class DistributedIsing:
         """
         state = unwrap_checkpoint(state, "distributed")
         block_shape = state.get("block_shape")
+        pod_grid = state.get("pod_grid")
         sim = cls(
             tuple(state["shape"]),
             state["temperature"],
             core_grid=tuple(state["core_grid"]),
+            pod_grid=tuple(pod_grid) if pod_grid is not None else None,
+            overlap=state.get("overlap", "auto"),
             pod=pod,
             dtype=state["dtype"],
             block_shape=tuple(block_shape) if block_shape is not None else None,
@@ -651,7 +738,12 @@ class DistributedIsing:
         original decomposition (see
         :func:`~repro.mesh.topology.degraded_grid`), records the topology
         change in :attr:`topology_events`, and re-runs the lost sweeps
-        there.  Requires a checkpoint to exist — any ``fault_plan`` or
+        there.  On a hierarchical mesh losses degrade by whole sub-pods —
+        a ``kill_pod`` event (:class:`~repro.mesh.faults.PodLostError`)
+        or a single dead core inside a pod both shed that pod's tile and
+        resume on the surviving pod grid (see
+        :func:`~repro.mesh.topology.degraded_pod_grid`).  Requires a
+        checkpoint to exist — any ``fault_plan`` or
         ``checkpoint_interval`` at construction guarantees one.
         """
         if n_sweeps < 0:
@@ -680,9 +772,27 @@ class DistributedIsing:
                 "core lost but no checkpoint to restart from; construct with "
                 "checkpoint_interval=... or a fault_plan"
             ) from loss
-        new_grid = degraded_grid(self.core_grid, self.global_shape)
-        if new_grid is None:
-            raise loss
+        old_pod_grid = self.pod_grid
+        dead_pod: int | None = None
+        if isinstance(self.torus, HierarchicalTorus):
+            # Sub-pods are the degrade granularity on a hierarchical
+            # mesh: a pod loss (or a single dead core inside a pod —
+            # its pod's intra-torus is broken either way) sheds the
+            # whole tile and re-forms a smaller pod grid with the
+            # intra-pod shape intact.
+            if isinstance(loss, PodLostError):
+                dead_pod = loss.pod_id
+            else:
+                dead_pod = self.torus.pod_of(loss.core_id)
+            new_torus = degraded_pod_grid(self.torus, self.global_shape)
+            if new_torus is None:
+                raise loss
+            new_grid = (new_torus.rows, new_torus.cols)
+            self.pod_grid = new_torus.pod_grid
+        else:
+            new_grid = degraded_grid(self.core_grid, self.global_shape)
+            if new_grid is None:
+                raise loss
         old_grid = self.core_grid
         checkpoint = unwrap_checkpoint(self._last_checkpoint, "distributed")
         self._generation += 1
@@ -694,16 +804,19 @@ class DistributedIsing:
             np.asarray(checkpoint["lattice"], dtype=np.float32)
         )
         self.sweeps_done = int(checkpoint["sweeps_done"])
-        self.topology_events.append(
-            {
-                "sweep_detected": loss.sweep,
-                "resumed_from_sweep": self.sweeps_done,
-                "dead_core": loss.core_id,
-                "old_grid": list(old_grid),
-                "new_grid": list(new_grid),
-                "generation": self._generation,
-            }
-        )
+        event = {
+            "sweep_detected": loss.sweep,
+            "resumed_from_sweep": self.sweeps_done,
+            "dead_core": loss.core_id,
+            "old_grid": list(old_grid),
+            "new_grid": list(new_grid),
+            "generation": self._generation,
+        }
+        if dead_pod is not None:
+            event["dead_pod"] = dead_pod
+            event["old_pod_grid"] = list(old_pod_grid)
+            event["new_pod_grid"] = list(self.pod_grid)
+        self.topology_events.append(event)
         if self.telemetry is not None:
             self.telemetry.registry.counter("topology_degrades").inc()
         self._last_checkpoint = self.state_dict()
@@ -773,6 +886,13 @@ class DistributedIsing:
         registry.gauge("collectives_executed").set(
             self.runtime.collectives_executed
         )
+        registry.gauge("halo_overlap_windows").set(self.runtime.overlap_windows)
+        registry.gauge("halo_overlap_hidden_seconds").set(
+            self.runtime.overlap_hidden_seconds
+        )
+        registry.gauge("halo_overlap_exposed_seconds").set(
+            self.runtime.overlap_exposed_seconds
+        )
         record_fused_metrics(registry, *self._updaters)
         record_traced_metrics(registry, *self._executors)
         return self.telemetry.build_report(
@@ -781,6 +901,8 @@ class DistributedIsing:
                 "shape": self.global_shape,
                 "local_shape": self.local_shape,
                 "core_grid": self.core_grid,
+                "pod_grid": list(self.pod_grid) if self.pod_grid else None,
+                "overlap": self.overlap,
                 "n_cores": self.num_cores,
                 "temperature": self.temperature,
                 "field": self.field,

@@ -7,7 +7,8 @@ because the mesh is lockstep), and occasionally a core dies outright.
 This module provides the *model* of those failures:
 
 * :class:`FaultEvent` — one scheduled fault: ``drop`` / ``delay`` /
-  ``stall`` a collective, or ``kill`` a core at a given sweep.
+  ``stall`` a collective, ``kill`` a core at a given sweep, or
+  ``kill_pod`` an entire sub-pod of a hierarchical mesh.
 * :class:`FaultPlan` — an immutable, serializable schedule of events
   plus optional seeded random fault rates; attaching the same plan to
   the same run reproduces the same faults draw-for-draw.
@@ -44,11 +45,12 @@ __all__ = [
     "CollectiveFaults",
     "MeshFaultError",
     "CoreLostError",
+    "PodLostError",
     "MeshTimeoutError",
 ]
 
 #: Fault kinds a plan may schedule.
-FAULT_KINDS = ("drop", "delay", "stall", "kill")
+FAULT_KINDS = ("drop", "delay", "stall", "kill", "kill_pod")
 
 #: Stream id of the plan's private Philox stream for random faults.
 #: Deliberately far outside the per-core id range (core i uses i + 1)
@@ -72,6 +74,30 @@ class CoreLostError(MeshFaultError):
             f"core {core_id} lost at sweep {sweep} (collective #{collective})"
         )
         self.core_id = core_id
+        self.sweep = sweep
+        self.collective = collective
+
+
+class PodLostError(CoreLostError):
+    """An entire sub-pod was permanently lost (killed by the fault plan).
+
+    Raised for ``kill_pod`` events on hierarchical meshes: a whole
+    intra-pod torus goes dark at once (rack power loss, pod-slice
+    revocation).  Subclasses :class:`CoreLostError` so every existing
+    recovery path (``run_resilient`` checkpoint-restart) catches it;
+    ``core_id`` is ``None`` because no single core is the victim — the
+    driver degrades by dropping the whole pod from the pod grid.
+    """
+
+    def __init__(self, pod_id: int, sweep: int, collective: int) -> None:
+        # Deliberately skip CoreLostError.__init__ (its message names a
+        # single core); keep the attribute contract it established.
+        RuntimeError.__init__(
+            self,
+            f"sub-pod {pod_id} lost at sweep {sweep} (collective #{collective})",
+        )
+        self.pod_id = pod_id
+        self.core_id: "int | None" = None
         self.sweep = sweep
         self.collective = collective
 
@@ -109,6 +135,9 @@ class FaultEvent:
         ``"kill"`` — the named core dies permanently at sweep ``sweep``
         (detected at its next collective), raising
         :class:`CoreLostError`.
+        ``"kill_pod"`` — the named sub-pod (every core of one intra-pod
+        torus on a :class:`~repro.mesh.topology.HierarchicalTorus`) dies
+        permanently, raising :class:`PodLostError`.
     collective:
         Global collective ordinal (0-based, as counted by
         ``SPMDRuntime.collectives_executed``) the event fires at.  Drop /
@@ -120,6 +149,8 @@ class FaultEvent:
     core:
         Victim core linear id (required for ``stall`` and ``kill``;
         informational for link events).
+    pod:
+        Victim sub-pod linear id (required for ``kill_pod``).
     count:
         For ``drop``: number of consecutive failed deliveries.
     seconds:
@@ -132,6 +163,7 @@ class FaultEvent:
     core: int | None = None
     count: int = 1
     seconds: float = 0.0
+    pod: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -143,6 +175,13 @@ class FaultEvent:
                 raise ValueError("kill events must name a core")
             if self.sweep is None and self.collective is None:
                 raise ValueError("kill events need a sweep or collective trigger")
+        elif self.kind == "kill_pod":
+            if self.pod is None:
+                raise ValueError("kill_pod events must name a pod")
+            if self.sweep is None and self.collective is None:
+                raise ValueError(
+                    "kill_pod events need a sweep or collective trigger"
+                )
         elif self.collective is None:
             raise ValueError(f"{self.kind} events must name a collective ordinal")
         if self.kind == "drop" and self.count < 1:
@@ -154,7 +193,7 @@ class FaultEvent:
 
     def to_json_dict(self) -> dict:
         payload = {"kind": self.kind}
-        for key in ("collective", "sweep", "core"):
+        for key in ("collective", "sweep", "core", "pod"):
             value = getattr(self, key)
             if value is not None:
                 payload[key] = int(value)
@@ -173,6 +212,7 @@ class FaultEvent:
             core=payload.get("core"),
             count=int(payload.get("count", 1)),
             seconds=float(payload.get("seconds", 0.0)),
+            pod=payload.get("pod"),
         )
 
 
@@ -333,6 +373,7 @@ class FaultInjector:
         self.sweep = 0
         self.injected_total = 0
         self.dead_cores: set[int] = set()
+        self.dead_pods: set[int] = set()
         self._fired: set[int] = set()  # indices into plan.events
         self._stream = (
             PhiloxStream(plan.seed, _FAULT_STREAM_ID)
@@ -357,7 +398,7 @@ class FaultInjector:
         for idx, event in enumerate(self.plan.events):
             if idx in self._fired:
                 continue
-            if event.kind == "kill":
+            if event.kind in ("kill", "kill_pod"):
                 triggered = (
                     event.collective == collective
                     if event.collective is not None
@@ -365,8 +406,11 @@ class FaultInjector:
                 )
                 if triggered:
                     self._fired.add(idx)
-                    self.dead_cores.add(event.core)
                     self.injected_total += 1
+                    if event.kind == "kill_pod":
+                        self.dead_pods.add(event.pod)
+                        raise PodLostError(event.pod, self.sweep, collective)
+                    self.dead_cores.add(event.core)
                     raise CoreLostError(event.core, self.sweep, collective)
                 continue
             if event.collective != collective:

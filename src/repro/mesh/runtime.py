@@ -15,6 +15,19 @@ TPUBackend charges land on the right core automatically.  An optional
 :class:`~repro.telemetry.metrics.MetricsRegistry` additionally books
 collective counts, bytes and modeled seconds for run reports.
 
+Split-phase overlap: a program may flag halo permutes with
+``overlap=True`` and later yield an :class:`OverlapCommit` carrying the
+interior compute it performed while those halos were notionally in
+flight.  The runtime executes overlap permutes *identically* to blocking
+ones (same data movement, same lockstep order — the chain stays
+bit-identical) but defers their modeled link time into a window; at the
+commit it charges only ``max(0, window_comm - interior_seconds)`` as
+exposed communication, turning the per-phase cost into
+``max(interior_compute, comm) + boundary_compute``.  Window outcomes are
+recorded in :attr:`SPMDRuntime.overlap_log` and the
+``halo_overlap_windows_total`` / ``halo_overlap_hidden_seconds_total`` /
+``halo_overlap_exposed_seconds_total`` counters.
+
 Fault tolerance: with a :class:`~repro.mesh.faults.FaultInjector`
 attached, every collective first asks the injector what goes wrong.
 Transient failures (dropped or over-timeout deliveries) are retried with
@@ -43,16 +56,45 @@ from .faults import CollectiveFaults, FaultInjector, FaultPlan, MeshTimeoutError
 from .links import LinkModel
 from .topology import Torus2D
 
-__all__ = ["PermuteRequest", "LockstepError", "SPMDRuntime"]
+__all__ = ["PermuteRequest", "OverlapCommit", "LockstepError", "SPMDRuntime"]
 
 
 @dataclass
 class PermuteRequest:
-    """A core's collective_permute call: its operand and the global pairs."""
+    """A core's collective_permute call: its operand and the global pairs.
+
+    With ``overlap=True`` the runtime still moves the data immediately
+    (the receiving program gets its halo back from the ``yield`` exactly
+    as in the blocking schedule — same tensors, same order, which is
+    what keeps the chain bit-identical), but the modeled link time is
+    *deferred* into the current overlap window instead of charged on the
+    spot.  The program must later yield an :class:`OverlapCommit` to
+    close the window; only the communication time the interior compute
+    could not hide is then charged.
+    """
 
     tensor: np.ndarray
     pairs: tuple[tuple[int, int], ...]
     name: str = "collective_permute"
+    overlap: bool = False
+
+
+@dataclass
+class OverlapCommit:
+    """Closes an overlap window: the halos issued with ``overlap=True``
+    have landed and the phase's boundary updates are about to run.
+
+    ``interior_seconds`` is this core's modeled compute that ran while
+    the halos were in flight (the interior-site updates of the
+    split-phase schedule).  The runtime charges
+    ``max(0, window_comm - interior_seconds)`` as *exposed*
+    communication — i.e. the per-phase cost becomes
+    ``max(interior_compute, comm) + boundary_compute`` instead of the
+    blocking ``comm + compute``.
+    """
+
+    interior_seconds: float
+    name: str = "halo_overlap"
 
 
 class LockstepError(RuntimeError):
@@ -109,6 +151,19 @@ class SPMDRuntime:
         #: ``{"name", "collective", "start", "duration"}`` dicts, consumed
         #: by :func:`repro.telemetry.trace.chrome_trace` as a mesh track.
         self.fault_log: list[dict] = []
+        #: Committed overlap windows on the modeled timeline:
+        #: ``{"name", "start", "duration", "comm_seconds", "hidden_seconds",
+        #: "exposed_seconds", "permutes"}`` dicts, exported as a
+        #: ``halo overlap`` track by :func:`repro.telemetry.trace.chrome_trace`.
+        self.overlap_log: list[dict] = []
+        self.overlap_windows = 0
+        self.overlap_hidden_seconds = 0.0
+        self.overlap_exposed_seconds = 0.0
+        # Open overlap window: deferred comm seconds/bytes of permutes
+        # issued with overlap=True, charged at the next OverlapCommit.
+        self._window_seconds = 0.0
+        self._window_bytes = 0.0
+        self._window_permutes = 0
         # Modeled communication seconds accumulated so far — the time
         # base for fault_log spans (matches the profiler timeline when
         # cores are attached, still monotonic when they are not).
@@ -144,15 +199,31 @@ class SPMDRuntime:
                     "collective — SPMD programs must not diverge"
                 )
             requests = [req for req in pending if req is not None]
-            pairs = requests[0].pairs
-            for cid, req in enumerate(requests):
-                if req.pairs != pairs:
-                    raise LockstepError(
-                        f"core {cid} issued pairs {req.pairs} while core 0 "
-                        f"issued {pairs} — collective specs must be globally identical"
-                    )
-
-            received = self._execute_collective(requests)
+            first = requests[0]
+            if isinstance(first, OverlapCommit):
+                for cid, req in enumerate(requests):
+                    if not isinstance(req, OverlapCommit):
+                        raise LockstepError(
+                            f"core {cid} issued a collective while core 0 "
+                            "committed an overlap window — SPMD programs "
+                            "must not diverge"
+                        )
+                received = self._commit_overlap(requests)
+            else:
+                pairs = first.pairs
+                for cid, req in enumerate(requests):
+                    if isinstance(req, OverlapCommit):
+                        raise LockstepError(
+                            f"core {cid} committed an overlap window while "
+                            "core 0 issued a collective — SPMD programs "
+                            "must not diverge"
+                        )
+                    if req.pairs != pairs:
+                        raise LockstepError(
+                            f"core {cid} issued pairs {req.pairs} while core 0 "
+                            f"issued {pairs} — collective specs must be globally identical"
+                        )
+                received = self._execute_collective(requests)
 
             for cid, program in enumerate(programs):
                 try:
@@ -161,6 +232,13 @@ class SPMDRuntime:
                     finished[cid] = True
                     pending[cid] = None
                     results[cid] = stop.value
+        if self._window_permutes or self._window_seconds:
+            raise LockstepError(
+                f"programs finished with an open overlap window "
+                f"({self._window_permutes} uncommitted overlap permutes) — "
+                "every overlap=True PermuteRequest must be followed by an "
+                "OverlapCommit before the program returns"
+            )
         return results
 
     def _execute_collective(self, requests: list[PermuteRequest]) -> list[np.ndarray]:
@@ -180,7 +258,10 @@ class SPMDRuntime:
                 [req.tensor for req in requests], request.pairs
             )
             self.collectives_executed += 1
-            self._charge_communication(request)
+            if request.overlap:
+                self._defer_communication(request)
+            else:
+                self._charge_communication(request)
             return received
 
         ordinal = self.collectives_executed
@@ -194,8 +275,8 @@ class SPMDRuntime:
         failed_attempts = faults.drops
         delay = faults.delay_seconds
         bytes_per_edge = float(request.tensor.nbytes)
-        base_seconds = self.link_model.permute_time(
-            self.torus.num_cores, bytes_per_edge
+        base_seconds = self.link_model.permute_time_on(
+            self.torus, request.pairs, bytes_per_edge
         )
         if delay > 0.0 and base_seconds + delay > policy.timeout_seconds:
             # The slow link trips the per-collective timeout: the delayed
@@ -219,6 +300,23 @@ class SPMDRuntime:
         )
         self.collectives_executed += 1
         extra = delay + faults.stall_seconds
+        if request.overlap:
+            # Transient slowdowns ride along in the window: a delayed
+            # halo is still hideable behind interior compute, exactly
+            # like the base link time.  (Retries above were charged
+            # immediately — a deadline-detected drop blocks the issuing
+            # phase itself, nothing can hide it.)
+            self._defer_communication(request, extra_seconds=extra)
+            if extra > 0.0:
+                self.fault_log.append(
+                    {
+                        "name": f"fault_extra:{request.name}",
+                        "collective": ordinal,
+                        "start": self._comm_clock,
+                        "duration": extra,
+                    }
+                )
+            return received
         self._charge_communication(request, extra_seconds=extra)
         if extra > 0.0:
             self.fault_log.append(
@@ -278,7 +376,9 @@ class SPMDRuntime:
             self._comm_clock += extra_seconds
             return
         seconds = (
-            self.link_model.permute_time(self.torus.num_cores, bytes_per_edge)
+            self.link_model.permute_time_on(
+                self.torus, request.pairs, bytes_per_edge
+            )
             + extra_seconds
         )
         self._comm_clock += seconds
@@ -288,3 +388,93 @@ class SPMDRuntime:
             core.charge_communication(
                 seconds, bytes_moved=bytes_per_edge, name=request.name
             )
+
+    def _defer_communication(
+        self, request: PermuteRequest, extra_seconds: float = 0.0
+    ) -> None:
+        """Book an overlap permute's modeled time into the open window.
+
+        The data already moved (the caller permuted before calling us);
+        only the *clock* is deferred: the link time joins the window and
+        is reconciled against interior compute at the next
+        :class:`OverlapCommit`.  Collective counters book immediately —
+        the op happened — so fault-plan ordinals and run-report op
+        counts are schedule-independent.
+        """
+        bytes_per_edge = float(request.tensor.nbytes)
+        if self.metrics is not None:
+            self.metrics.counter("collectives_total").inc()
+            self.metrics.counter("collective_bytes_total").inc(bytes_per_edge)
+        seconds = (
+            self.link_model.permute_time_on(
+                self.torus, request.pairs, bytes_per_edge
+            )
+            + extra_seconds
+        )
+        if self.metrics is not None:
+            self.metrics.histogram("collective_seconds").observe(seconds)
+        self._window_seconds += seconds
+        self._window_bytes += bytes_per_edge
+        self._window_permutes += 1
+
+    def _commit_overlap(self, commits: list[OverlapCommit]) -> list[None]:
+        """Close the open overlap window against each core's interior work.
+
+        Lockstep semantics: every core waited on the same permutes, so
+        the window's comm total is global; each core hides up to its own
+        ``interior_seconds`` of it and pays the remainder as *exposed*
+        communication — ``max(interior, comm)`` instead of
+        ``interior + comm``.  The aggregate counters track the slowest
+        core (the one the modeled step time follows).
+        """
+        window = self._window_seconds
+        window_bytes = self._window_bytes
+        n_permutes = self._window_permutes
+        self._window_seconds = 0.0
+        self._window_bytes = 0.0
+        self._window_permutes = 0
+
+        exposed_pod = 0.0
+        if self.cores is not None:
+            for cid, commit in enumerate(commits):
+                interior = max(0.0, float(commit.interior_seconds))
+                exposed = max(0.0, window - interior)
+                exposed_pod = max(exposed_pod, exposed)
+                # Bytes book here rather than per-permute so total comm
+                # bytes match the blocking schedule even when the time
+                # is fully hidden.
+                self.cores[cid].charge_communication(
+                    exposed,
+                    bytes_moved=window_bytes,
+                    name=f"halo_exposed:{commit.name}",
+                )
+        else:
+            interior = max(0.0, float(commits[0].interior_seconds))
+            exposed_pod = max(0.0, window - interior)
+        hidden_pod = window - exposed_pod
+
+        self.overlap_windows += 1
+        self.overlap_hidden_seconds += hidden_pod
+        self.overlap_exposed_seconds += exposed_pod
+        self.overlap_log.append(
+            {
+                "name": commits[0].name,
+                "start": self._comm_clock,
+                "duration": window,
+                "comm_seconds": window,
+                "hidden_seconds": hidden_pod,
+                "exposed_seconds": exposed_pod,
+                "permutes": n_permutes,
+                "bytes": window_bytes,
+            }
+        )
+        self._comm_clock += exposed_pod
+        if self.metrics is not None:
+            self.metrics.counter("halo_overlap_windows_total").inc()
+            self.metrics.counter("halo_overlap_hidden_seconds_total").inc(
+                hidden_pod
+            )
+            self.metrics.counter("halo_overlap_exposed_seconds_total").inc(
+                exposed_pod
+            )
+        return [None] * len(commits)

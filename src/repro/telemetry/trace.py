@@ -77,6 +77,18 @@ def _sched_spans_of(source) -> list[dict]:
     return list(getattr(source, "sched_log", ()) or ())
 
 
+def _overlap_spans_of(source) -> list[dict]:
+    """Halo-overlap window spans recorded by an SPMD runtime, if any.
+
+    Accepts anything exposing ``overlap_log`` directly (an
+    :class:`~repro.mesh.runtime.SPMDRuntime`) or through a ``runtime``
+    attribute (:class:`~repro.core.distributed.DistributedIsing` under
+    the split-phase overlap schedule).
+    """
+    runtime = getattr(source, "runtime", source)
+    return list(getattr(runtime, "overlap_log", ()) or ())
+
+
 def _traced_spans_of(source) -> list[dict]:
     """Traced-executor replay spans, if any.
 
@@ -101,9 +113,11 @@ def chrome_trace(source) -> dict:
     "scheduler batches" track the same way, so batch advances line up
     against the device timelines they were booked on; a distributed run
     with tracing on (non-empty ``traced_log``) gets a "traced replay"
-    track showing which sweeps ran as recorded programs.  Raises if no
-    trace events were recorded (build the profilers with
-    ``record_trace=True``).
+    track showing which sweeps ran as recorded programs; a run under the
+    split-phase overlap schedule (non-empty ``overlap_log``) gets a
+    "halo overlap" track showing each window's hidden vs exposed
+    communication.  Raises if no trace events were recorded (build the
+    profilers with ``record_trace=True``).
     """
     rows = _profilers_of(source)
     events: list[dict] = []
@@ -186,6 +200,38 @@ def chrome_trace(source) -> dict:
                     "args": span.get("args", {}),
                 }
             )
+    overlap_spans = _overlap_spans_of(source)
+    if overlap_spans:
+        overlap_tid = next_tid
+        next_tid += 1
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": overlap_tid,
+                "args": {"name": "halo overlap"},
+            }
+        )
+        for span in overlap_spans:
+            total_events += 1
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span["name"],
+                    "cat": "overlap",
+                    "pid": 0,
+                    "tid": overlap_tid,
+                    "ts": span["start"] * _US,
+                    "dur": span["duration"] * _US,
+                    "args": {
+                        "comm_seconds": span["comm_seconds"],
+                        "hidden_seconds": span["hidden_seconds"],
+                        "exposed_seconds": span["exposed_seconds"],
+                        "permutes": span["permutes"],
+                    },
+                }
+            )
     fault_spans = _fault_spans_of(source)
     if fault_spans:
         fault_tid = next_tid
@@ -226,6 +272,7 @@ def chrome_trace(source) -> dict:
             "num_fault_spans": len(fault_spans),
             "num_sched_spans": len(sched_spans),
             "num_traced_spans": len(traced_spans),
+            "num_overlap_spans": len(overlap_spans),
         },
     }
 

@@ -1,10 +1,34 @@
-"""2D torus topology tests."""
+"""2D torus topology tests (flat and hierarchical)."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.mesh.topology import DIRECTIONS, Torus2D
+from repro.mesh.topology import (
+    DIRECTIONS,
+    HierarchicalTorus,
+    Torus2D,
+    degraded_pod_grid,
+)
+
+
+@pytest.fixture(params=["flat", "hierarchical"])
+def make_torus(request):
+    """Build a flat or hierarchical torus of the same core-id space.
+
+    The hierarchical subclass inherits the flat id space, so every
+    wrap-around / edge-case invariant of ``shift_pairs`` and
+    ``hop_distance`` must hold identically for both.
+    """
+
+    def make(rows: int, cols: int) -> Torus2D:
+        if request.param == "flat":
+            return Torus2D(rows, cols)
+        pod_rows = 2 if rows % 2 == 0 and rows > 1 else 1
+        pod_cols = 2 if cols % 2 == 0 and cols > 1 else 1
+        return HierarchicalTorus(rows, cols, pod_rows, pod_cols)
+
+    return make
 
 
 class TestCoordinates:
@@ -88,3 +112,138 @@ class TestHopDistance:
         for a in range(0, 21, 5):
             for b in range(0, 21, 4):
                 assert torus.hop_distance(a, b) == torus.hop_distance(b, a)
+
+
+class TestShiftPairsEdgeCases:
+    """Wrap-around invariants both topology classes must satisfy."""
+
+    def test_degenerate_axis_self_sends(self, make_torus):
+        # On a 1 x n torus, north/south shifts wrap every core onto itself.
+        torus = make_torus(1, 4)
+        for direction in ("north", "south"):
+            assert all(s == t for s, t in torus.shift_pairs(direction))
+        for s, t in torus.shift_pairs("east"):
+            assert t == torus.neighbor(s, "east")
+
+    def test_two_wide_axis_shifts_invert_themselves(self, make_torus):
+        # With exactly two cores along an axis, the wrap makes opposite
+        # shifts identical: everyone swaps with the same partner.
+        torus = make_torus(2, 6)
+        assert torus.shift_pairs("south") == torus.shift_pairs("north")
+
+    def test_pairs_are_a_permutation(self, make_torus):
+        torus = make_torus(4, 6)
+        n = torus.num_cores
+        for direction in DIRECTIONS:
+            pairs = torus.shift_pairs(direction)
+            assert sorted(s for s, _ in pairs) == list(range(n))
+            assert sorted(t for _, t in pairs) == list(range(n))
+
+    def test_every_shift_moves_one_hop(self, make_torus):
+        torus = make_torus(4, 6)
+        for direction in DIRECTIONS:
+            for src, dst in torus.shift_pairs(direction):
+                assert torus.hop_distance(src, dst) in (0, 1)
+                assert dst == torus.neighbor(src, direction)
+
+
+class TestHopDistanceEdgeCases:
+    """Wrap-around invariants both topology classes must satisfy."""
+
+    def test_wrap_beats_direct_path(self, make_torus):
+        torus = make_torus(6, 8)
+        # Last row/col to first is one wrapped hop, not size - 1.
+        assert torus.hop_distance(torus.linear_id(5, 0), torus.linear_id(0, 0)) == 1
+        assert torus.hop_distance(torus.linear_id(0, 7), torus.linear_id(0, 0)) == 1
+
+    def test_diameter(self, make_torus):
+        torus = make_torus(4, 6)
+        far = torus.linear_id(2, 3)
+        assert torus.hop_distance(0, far) == 2 + 3
+        assert all(
+            torus.hop_distance(0, cid) <= 5 for cid in range(torus.num_cores)
+        )
+
+    def test_triangle_inequality_across_wrap(self, make_torus):
+        torus = make_torus(4, 4)
+        for a in range(torus.num_cores):
+            for b in range(torus.num_cores):
+                via = torus.neighbor(a, "east")
+                assert torus.hop_distance(a, b) <= 1 + torus.hop_distance(via, b)
+
+
+class TestHierarchicalTorus:
+    def test_flat_id_space_is_inherited(self):
+        flat = Torus2D(4, 6)
+        hier = HierarchicalTorus(4, 6, 2, 3)
+        for direction in DIRECTIONS:
+            assert hier.shift_pairs(direction) == flat.shift_pairs(direction)
+        for cid in range(flat.num_cores):
+            assert hier.coords(cid) == flat.coords(cid)
+
+    def test_pod_structure(self):
+        hier = HierarchicalTorus(4, 6, 2, 3)
+        assert hier.pod_grid == (2, 3)
+        assert hier.pod_shape == (2, 2)
+        assert hier.num_pods == 6
+        assert hier.cores_per_pod == 4
+        seen = []
+        for pod_id in range(hier.num_pods):
+            cores = hier.cores_in_pod(pod_id)
+            assert len(cores) == 4
+            assert all(hier.pod_of(c) == pod_id for c in cores)
+            seen.extend(cores)
+        assert sorted(seen) == list(range(hier.num_cores))
+
+    def test_crosses_pods(self):
+        hier = HierarchicalTorus(4, 4, 2, 2)
+        inside = hier.linear_id(0, 0), hier.linear_id(0, 1)
+        across = hier.linear_id(0, 1), hier.linear_id(0, 2)
+        assert not hier.crosses_pods(*inside)
+        assert hier.crosses_pods(*across)
+        assert hier.pairs_cross_pods([across])
+        assert not hier.pairs_cross_pods([inside])
+
+    def test_single_pod_never_crosses(self):
+        hier = HierarchicalTorus(2, 2, 1, 1)
+        for direction in DIRECTIONS:
+            assert not hier.pairs_cross_pods(hier.shift_pairs(direction))
+
+    def test_halo_shifts_cross_pods_on_multi_pod_grids(self):
+        hier = HierarchicalTorus(4, 4, 2, 2)
+        for direction in DIRECTIONS:
+            assert hier.pairs_cross_pods(hier.shift_pairs(direction))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            HierarchicalTorus(4, 4, 3, 2)
+        with pytest.raises(ValueError, match="positive"):
+            HierarchicalTorus(4, 4, 0, 2)
+        with pytest.raises(ValueError, match="outside"):
+            HierarchicalTorus(4, 4, 2, 2).pod_coords(4)
+
+
+class TestDegradedPodGrid:
+    def test_sheds_one_pod_keeps_pod_shape(self):
+        hier = HierarchicalTorus(4, 4, 2, 2)
+        survivor = degraded_pod_grid(hier, (32, 32))
+        assert survivor is not None
+        assert survivor.pod_shape == hier.pod_shape
+        assert survivor.num_pods < hier.num_pods
+        # Ties prefer more pod rows: 2x1 over 1x2.
+        assert survivor.pod_grid == (2, 1)
+        assert (32 // survivor.rows) % 2 == 0
+        assert (32 // survivor.cols) % 2 == 0
+
+    def test_single_pod_is_unrecoverable(self):
+        hier = HierarchicalTorus(2, 2, 1, 1)
+        assert degraded_pod_grid(hier, (8, 8)) is None
+
+    def test_respects_even_local_sides(self):
+        # Global 6 x 8 over a 2x2-pod grid of 1x1-core pods: keeping two
+        # pod rows would give odd (3-row) local lattices, so the even-
+        # sides constraint forces the surviving grid to one pod row.
+        hier = HierarchicalTorus(2, 2, 2, 2)
+        survivor = degraded_pod_grid(hier, (6, 8))
+        assert survivor is not None
+        assert survivor.pod_grid == (1, 2)
