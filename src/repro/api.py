@@ -1,10 +1,11 @@
 """The blessed, stable entry point: one config, three factories, one loader.
 
-The three simulation drivers (:class:`~repro.core.simulation.IsingSimulation`,
+The simulation drivers (:class:`~repro.core.simulation.IsingSimulation`,
 :class:`~repro.core.ensemble.EnsembleSimulation`,
-:class:`~repro.core.distributed.DistributedIsing`) grew three divergent
-kwarg lists.  This module puts one validated, frozen
-:class:`SimulationConfig` in front of all of them:
+:class:`~repro.core.distributed.DistributedIsing`,
+:class:`~repro.core.tempering.TemperingEnsemble`) grew divergent kwarg
+lists.  This module puts one validated, frozen :class:`SimulationConfig`
+in front of all of them:
 
     >>> import repro
     >>> cfg = repro.SimulationConfig(shape=128, temperature=2.0, seed=7)
@@ -12,15 +13,32 @@ kwarg lists.  This module puts one validated, frozen
     >>> chains = repro.ensemble(cfg, n_chains=8)      # vectorized ensemble
     >>> pod = repro.distributed(replace(cfg, grid=(2, 2)))  # SPMD pod run
 
-and one loader that dispatches any ``checkpoint/v2`` envelope (or legacy
-v1 dict, with a :class:`DeprecationWarning`) back to the class that wrote
+What the run simulates (the physics) and how the ensemble is laddered
+are first-class sub-configs rather than bolt-on kwargs:
+
+    >>> model = repro.ModelSpec(couplings="bimodal", disorder_seed=3)
+    >>> ladder = repro.LadderSpec(betas=(0.2, 0.5, 1.0, 2.0))
+    >>> pt = repro.tempering(repro.SimulationConfig(
+    ...     shape=64, updater="masked_conv", model=model, ladder=ladder))
+
+**Canonicalization:** the flat spellings keep working.  ``field=0.1``
+is shorthand for ``model=ModelSpec(field=0.1)``, and ``beta=`` /
+``temperature=`` stay the way to temper non-ladder runs;
+:attr:`SimulationConfig.resolved_model` folds the flat field into the
+model spec (setting conflicting values in both places is an error), so
+every downstream consumer — factories, scheduler cache keys, coalescer
+— sees one canonical spec regardless of spelling.
+
+One loader dispatches any ``checkpoint/v2`` envelope (or legacy v1
+dict, with a :class:`DeprecationWarning`) back to the class that wrote
 it:
 
     >>> sim2 = repro.load(sim.state_dict())
 
 Renamed keyword arguments stay usable for one release through
-:func:`deprecated_kwargs`, which warns once per call site name and
-forwards to the new spelling.
+:func:`deprecated_kwargs`, then fail fast: the PR-4 spellings
+(``core_grid=``, ``T=``) have finished their warning release and now
+raise :class:`TypeError` naming the replacement.
 """
 
 from __future__ import annotations
@@ -41,18 +59,23 @@ from .core.config import (
     resolve_overlap,
     resolve_traced,
 )
+from .core.couplings import COUPLING_KINDS, BondCouplings
 from .core.distributed import DistributedIsing
 from .core.ensemble import EnsembleSimulation
 from .core.simulation import IsingSimulation
+from .core.tempering import TemperingEnsemble
 from .mesh.faults import FaultPlan
 from .sched.client import Client, submit
 from .telemetry.report import RunTelemetry
 from .tpu.dtypes import DType, resolve_dtype
 
 __all__ = [
+    "ModelSpec",
+    "LadderSpec",
     "SimulationConfig",
     "simulate",
     "ensemble",
+    "tempering",
     "distributed",
     "load",
     "submit",
@@ -108,6 +131,117 @@ def deprecated_kwargs(**renames: str):
 
 
 @dataclass(frozen=True)
+class ModelSpec:
+    """What the run simulates: the Hamiltonian's quenched parameters.
+
+    Every field has a default (``ModelSpec()`` is the clean zero-field
+    ferromagnet, exactly the historical implicit model), and instances
+    are frozen and hashable so they can live inside the frozen
+    :class:`SimulationConfig` and its cache keys.
+
+    Fields
+    ------
+    couplings:
+        "ferro" (J = +1 everywhere, default), "bimodal" (+/-J spin
+        glass) or "gaussian" (J ~ N(0, 1)).  Disordered kinds currently
+        require ``updater="masked_conv"`` and an unpacked dtype (see
+        ``docs/tempering.md`` for the support matrix).
+    disorder_seed:
+        Seed of the quenched bond draw; the realisation is a pure
+        function of (couplings, shape, disorder_seed).  Ignored for
+        "ferro".
+    field:
+        External magnetic field h.  ``SimulationConfig(field=...)`` is
+        shorthand for setting it here (see ``resolved_model``).
+    lattice:
+        Lattice geometry; "square" is the only kind wired up today —
+        the field exists so triangular/3D variants extend the spec
+        instead of growing new flat kwargs.
+    """
+
+    couplings: str = "ferro"
+    disorder_seed: int = 0
+    field: float = 0.0
+    lattice: str = "square"
+
+    def __post_init__(self) -> None:
+        if self.couplings not in COUPLING_KINDS:
+            raise ValueError(
+                f"couplings must be one of {COUPLING_KINDS}, "
+                f"got {self.couplings!r}"
+            )
+        if self.lattice != "square":
+            raise ValueError(
+                f"lattice must be 'square' (the only wired-up geometry), "
+                f"got {self.lattice!r}"
+            )
+        object.__setattr__(self, "disorder_seed", int(self.disorder_seed))
+        object.__setattr__(self, "field", float(self.field))
+
+
+@dataclass(frozen=True)
+class LadderSpec:
+    """How a tempering run ladders its temperatures.
+
+    Pass either ``betas`` or ``temperatures`` (not both); the sequence
+    *order defines swap adjacency* — replica exchange proposes swaps
+    between adjacent entries as given, so the order is part of the
+    trajectory, and the two spellings of the same ladder canonicalise
+    to the same :attr:`resolved_betas` (and the same scheduler cache
+    key).
+
+    Fields
+    ------
+    betas:
+        Inverse-temperature ladder, in adjacency order.
+    temperatures:
+        The same ladder spelled as temperatures (converted on read).
+    n_replicas:
+        Independent replicas of the full ladder (>= 2 enables the
+        replica-overlap observables).
+    swap_interval:
+        Sweeps between swap rounds.
+    """
+
+    betas: "tuple[float, ...]" = ()
+    temperatures: "tuple[float, ...]" = ()
+    n_replicas: int = 2
+    swap_interval: int = 1
+
+    def __post_init__(self) -> None:
+        betas = tuple(float(b) for b in self.betas)
+        temps = tuple(float(t) for t in self.temperatures)
+        if betas and temps:
+            raise ValueError(
+                "set LadderSpec betas or temperatures, not both "
+                f"(got betas={betas}, temperatures={temps})"
+            )
+        if any(b <= 0 for b in betas):
+            raise ValueError(f"betas must be positive, got {betas}")
+        if any(t <= 0 for t in temps):
+            raise ValueError(f"temperatures must be positive, got {temps}")
+        if int(self.n_replicas) < 1:
+            raise ValueError(
+                f"n_replicas must be >= 1, got {self.n_replicas}"
+            )
+        if int(self.swap_interval) < 1:
+            raise ValueError(
+                f"swap_interval must be >= 1, got {self.swap_interval}"
+            )
+        object.__setattr__(self, "betas", betas)
+        object.__setattr__(self, "temperatures", temps)
+        object.__setattr__(self, "n_replicas", int(self.n_replicas))
+        object.__setattr__(self, "swap_interval", int(self.swap_interval))
+
+    @property
+    def resolved_betas(self) -> "tuple[float, ...]":
+        """The beta ladder in adjacency order, whichever spelling built it."""
+        if self.betas:
+            return self.betas
+        return tuple(1.0 / t for t in self.temperatures)
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """One validated, immutable description of an Ising run.
 
@@ -123,8 +257,18 @@ class SimulationConfig:
     temperature, beta:
         Temperature in J / k_B units, or its inverse; set at most one
         (``beta`` is converted on read; both unset means T = 2.0).
+        Ladder runs set neither — the :class:`LadderSpec` carries them.
     field:
-        External magnetic field h.
+        External magnetic field h — flat shorthand for
+        ``model=ModelSpec(field=...)``; :attr:`resolved_model` folds it
+        in, and setting conflicting values in both places is an error.
+    model:
+        Optional :class:`ModelSpec` (couplings, disorder seed, field,
+        lattice).  None means the clean zero-field ferromagnet (plus
+        the flat ``field``).
+    ladder:
+        Optional :class:`LadderSpec`; required by :func:`tempering`,
+        rejected by the other factories.
     updater:
         "compact" (default), "conv", "checkerboard" or "masked_conv".
     dtype:
@@ -183,6 +327,8 @@ class SimulationConfig:
     temperature: "float | None" = None
     beta: "float | None" = None
     field: float = 0.0
+    model: "ModelSpec | None" = None
+    ladder: "LadderSpec | None" = None
     updater: str = "compact"
     dtype: "DType | str" = "float32"
     backend: "Backend | str | None" = None
@@ -204,6 +350,34 @@ class SimulationConfig:
             raise ValueError(
                 "set temperature or beta, not both "
                 f"(got temperature={self.temperature}, beta={self.beta})"
+            )
+        if self.model is not None and not isinstance(self.model, ModelSpec):
+            raise TypeError(
+                f"model must be a ModelSpec or None, got "
+                f"{type(self.model).__name__}"
+            )
+        if self.ladder is not None and not isinstance(self.ladder, LadderSpec):
+            raise TypeError(
+                f"ladder must be a LadderSpec or None, got "
+                f"{type(self.ladder).__name__}"
+            )
+        if (
+            self.model is not None
+            and self.field != 0.0
+            and self.model.field != 0.0
+            and self.field != self.model.field
+        ):
+            raise ValueError(
+                f"conflicting fields: flat field={self.field} vs "
+                f"model.field={self.model.field}; set one spelling (they "
+                "canonicalise to the same resolved model)"
+            )
+        if self.ladder is not None and (
+            self.temperature is not None or self.beta is not None
+        ):
+            raise ValueError(
+                "a ladder config carries its temperatures in the "
+                "LadderSpec; drop the flat temperature=/beta= kwargs"
             )
         if self.temperature is not None and self.temperature <= 0:
             raise ValueError(f"temperature must be positive, got {self.temperature}")
@@ -243,6 +417,18 @@ class SimulationConfig:
                     "engine is workspace-backed only; drop fused=False or "
                     "use dtype='float32'"
                 )
+        if self.model is not None and self.model.couplings != "ferro":
+            if self.updater != "masked_conv":
+                raise ValueError(
+                    f"disordered couplings ({self.model.couplings!r}) require "
+                    f"updater='masked_conv' (the compact/blocked updaters "
+                    f"have no per-bond kernels yet); got {self.updater!r}"
+                )
+            if dtype.name == "packed":
+                raise ValueError(
+                    "dtype='packed' supports couplings='ferro' only: the "
+                    "three-case Metropolis collapse assumes uniform J = 1"
+                )
         if isinstance(self.backend, str) and self.backend not in ("numpy", "tpu"):
             raise ValueError(
                 f"backend must be 'numpy', 'tpu', a Backend or None, "
@@ -276,6 +462,22 @@ class SimulationConfig:
         if self.beta is not None:
             return 1.0 / float(self.beta)
         return 2.0
+
+    @property
+    def resolved_model(self) -> ModelSpec:
+        """The canonical :class:`ModelSpec`, whichever spelling built it.
+
+        ``model=None`` yields the clean ferromagnet carrying the flat
+        ``field``; a model with ``field=0.0`` inherits a non-zero flat
+        ``field``.  Flat kwargs and spec-built configs of the same
+        physics therefore resolve to equal specs — and to the same
+        scheduler cache key.
+        """
+        if self.model is None:
+            return ModelSpec(field=self.field)
+        if self.field != 0.0 and self.model.field == 0.0:
+            return replace(self.model, field=self.field)
+        return self.model
 
     def evolve(self, **changes) -> "SimulationConfig":
         """A copy with ``changes`` applied (frozen-dataclass update).
@@ -313,8 +515,33 @@ class SimulationConfig:
         return None
 
 
-# Deprecated spellings accepted for one release on the config itself.
-SimulationConfig.__init__ = deprecated_kwargs(
+def _removed_kwargs(**renames: str):
+    """Decorator: fail fast on kwargs whose deprecation window has closed.
+
+    The second half of the :func:`deprecated_kwargs` lifecycle — after
+    one release of warnings the old spelling stops being forwarded and
+    raises a :class:`TypeError` that names its replacement.
+    """
+
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            for old, new in renames.items():
+                if old in kwargs:
+                    raise TypeError(
+                        f"{func.__qualname__}() no longer accepts {old!r} "
+                        f"(removed after its deprecation release); use {new!r}"
+                    )
+            return func(*args, **kwargs)
+
+        wrapper.__removed_kwargs__ = dict(renames)
+        return wrapper
+
+    return decorate
+
+
+# The PR-4 deprecated spellings finished their warning release.
+SimulationConfig.__init__ = _removed_kwargs(
     core_grid="grid", T="temperature"
 )(SimulationConfig.__init__)
 
@@ -342,15 +569,27 @@ def _reject_trace(config: SimulationConfig, factory: str) -> None:
         )
 
 
+def _reject_disorder(config: SimulationConfig, factory: str) -> None:
+    model = config.resolved_model
+    if model.couplings != "ferro":
+        raise ValueError(
+            f"{factory}() runs the clean ferromagnet only; disordered "
+            f"couplings ({model.couplings!r}) run on ensemble() or "
+            "tempering()"
+        )
+
+
 def simulate(config: SimulationConfig) -> IsingSimulation:
     """Build the single-chain simulation a config describes.
 
     Rejects distributed-only fields (``grid``, ``pod_grid``, ``overlap``,
-    ``fault_plan``, ``checkpoint_interval``, ``record_trace``) instead of
-    silently ignoring them.
+    ``fault_plan``, ``checkpoint_interval``, ``record_trace``) and
+    tempering-only fields (``ladder``) instead of silently ignoring
+    them.
     """
-    _reject(config, "simulate", "grid", "pod_grid", "fault_plan", "checkpoint_interval")
+    _reject(config, "simulate", "grid", "pod_grid", "fault_plan", "checkpoint_interval", "ladder")
     _reject_trace(config, "simulate")
+    _reject_disorder(config, "simulate")
     return IsingSimulation(
         config.shape,
         config.resolved_temperature,
@@ -359,7 +598,7 @@ def simulate(config: SimulationConfig) -> IsingSimulation:
         seed=config.seed,
         initial=config.initial,
         block_shape=config.block_shape,
-        field=config.field,
+        field=config.resolved_model.field,
         fused=config.fused,
         traced=config.traced,
         telemetry=config._resolved_telemetry(),
@@ -384,8 +623,9 @@ def ensemble(
         if n_chains < 1:
             raise ValueError(f"n_chains must be >= 1, got {n_chains}")
         temperatures = [config.resolved_temperature] * n_chains
-    _reject(config, "ensemble", "grid", "pod_grid", "fault_plan", "checkpoint_interval")
+    _reject(config, "ensemble", "grid", "pod_grid", "fault_plan", "checkpoint_interval", "ladder")
     _reject_trace(config, "ensemble")
+    model = config.resolved_model
     return EnsembleSimulation(
         config.shape,
         temperatures,
@@ -394,10 +634,61 @@ def ensemble(
         seed=config.seed,
         initial=config.initial,
         block_shape=config.block_shape,
-        field=config.field,
+        field=model.field,
         fused=config.fused,
         traced=config.traced,
         telemetry=config._resolved_telemetry(),
+        couplings=_build_couplings(model, config.shape),
+    )
+
+
+def _build_couplings(
+    model: ModelSpec, shape: "int | tuple[int, int]"
+) -> "BondCouplings | None":
+    """Materialise the model's quenched bond realisation (None for ferro)."""
+    if model.couplings == "ferro":
+        return None
+    return BondCouplings.generate(model.couplings, shape, model.disorder_seed)
+
+
+def tempering(config: SimulationConfig) -> TemperingEnsemble:
+    """Build the replica-exchange ladder a config describes.
+
+    Requires ``config.ladder`` (a :class:`LadderSpec` with a non-empty
+    ladder); the model — couplings, disorder seed, field — comes from
+    :attr:`SimulationConfig.resolved_model`.  Flat ``temperature=`` /
+    ``beta=`` kwargs are rejected: the ladder carries the temperatures.
+    """
+    if config.ladder is None:
+        raise ValueError(
+            "tempering() needs config.ladder — e.g. SimulationConfig("
+            "shape=64, ladder=LadderSpec(betas=(0.2, 0.5, 1.0)))"
+        )
+    betas = config.ladder.resolved_betas
+    if not betas:
+        raise ValueError(
+            "config.ladder has an empty ladder; set LadderSpec betas= or "
+            "temperatures="
+        )
+    _reject(config, "tempering", "grid", "pod_grid", "fault_plan", "checkpoint_interval")
+    _reject_trace(config, "tempering")
+    model = config.resolved_model
+    return TemperingEnsemble(
+        config.shape,
+        betas,
+        n_replicas=config.ladder.n_replicas,
+        swap_interval=config.ladder.swap_interval,
+        couplings=model.couplings,
+        disorder_seed=model.disorder_seed,
+        updater=config.updater,
+        backend=config._resolved_backend(),
+        seed=config.seed,
+        field=model.field,
+        fused=config.fused,
+        traced=config.traced,
+        telemetry=config._resolved_telemetry(),
+        initial=config.initial,
+        block_shape=config.block_shape,
     )
 
 
@@ -412,6 +703,8 @@ def distributed(config: SimulationConfig) -> DistributedIsing:
             "distributed() needs config.grid=(rows, cols) — e.g. "
             "SimulationConfig(shape=128, grid=(2, 2))"
         )
+    _reject(config, "distributed", "ladder")
+    _reject_disorder(config, "distributed")
     if config.backend is not None and config.backend != "tpu":
         raise ValueError(
             "distributed() always runs on simulated-TPU per-core backends; "
@@ -436,7 +729,7 @@ def distributed(config: SimulationConfig) -> DistributedIsing:
         initial=config.initial,
         record_trace=config.record_trace,
         updater="conv" if config.updater == "conv" else "compact",
-        field=config.field,
+        field=config.resolved_model.field,
         fused=config.fused,
         traced=config.traced,
         telemetry=config._resolved_telemetry(),
@@ -449,7 +742,8 @@ def load(state: dict, **kwargs):
     """Restore any checkpoint to the class that wrote it.
 
     Dispatches on the ``checkpoint/v2`` envelope's ``kind`` ("single" /
-    "ensemble" / "distributed"); legacy v1 dicts (no ``schema`` key) are
+    "ensemble" / "distributed" / "tempering"); legacy v1 dicts (no
+    ``schema`` key) are
     classified by their distinguishing keys and decode with a
     :class:`DeprecationWarning`.  Extra keyword arguments forward to the
     target class's ``from_state_dict`` (e.g. ``fault_plan=`` /
@@ -477,5 +771,6 @@ def load(state: dict, **kwargs):
         "single": IsingSimulation.from_state_dict,
         "ensemble": EnsembleSimulation.from_state_dict,
         "distributed": DistributedIsing.from_state_dict,
+        "tempering": TemperingEnsemble.from_state_dict,
     }[kind]
     return loader(state, **kwargs)

@@ -40,8 +40,10 @@ from .lattice import (
     random_lattice,
     validate_spins,
 )
+from .couplings import BondCouplings
 from .ensemble import EnsembleSimulation
 from .metropolis import metropolis_chain, metropolis_sweep
+from .tempering import TemperingEnsemble, swap_acceptance_probability
 from .packed import PackedState, PackedUpdater, record_packed_metrics
 from .wolff import WolffUpdater
 from .simulation import ChainResult, IsingSimulation, run_temperature_scan, summarize_chain
@@ -76,8 +78,11 @@ __all__ = [
     "PackedUpdater",
     "record_packed_metrics",
     "WolffUpdater",
+    "BondCouplings",
     "ChainResult",
     "EnsembleSimulation",
+    "TemperingEnsemble",
+    "swap_acceptance_probability",
     "IsingSimulation",
     "run_temperature_scan",
     "summarize_chain",

@@ -23,9 +23,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..backend.base import Backend
-from .update import acceptance_ratio
+from .couplings import BondCouplings
+from .update import _cached_device_scalar, acceptance_ratio
 
-__all__ = ["AcceptanceTable", "NN_VALUES"]
+__all__ = ["AcceptanceTable", "BondedAcceptance", "NN_VALUES"]
 
 # Reachable 4-neighbour sums of a +/-1 checkerboard lattice.
 NN_VALUES = (-4.0, -2.0, 0.0, 2.0, 4.0)
@@ -131,3 +132,110 @@ class AcceptanceTable:
         if self.offsets is not None:
             total += self.offsets.nbytes
         return int(total)
+
+
+class BondedAcceptance:
+    """Per-bond variant of :class:`AcceptanceTable` for disordered couplings.
+
+    With ``"ferro"`` or ``"bimodal"`` couplings (J = +/-1 per bond) the
+    weighted neighbour sum still lands on the five values of
+    :data:`NN_VALUES` — the bonds change *which* slot a site hits, never
+    the slot alphabet — so acceptance stays the standard table gather,
+    delegated to an internal :class:`AcceptanceTable`.  Gaussian
+    couplings make the neighbour sum continuous, so no finite table
+    exists; :meth:`flip_into` then evaluates the elementwise
+    ``exp(-2 beta sigma (nn + h))`` through the ``*_into`` vocabulary —
+    allocation-free in steady state and fully replayable by the traced
+    executor, mirroring :func:`~repro.core.update.acceptance_ratio` and
+    :func:`~repro.core.update.metropolis_flip` op for op (including the
+    shared ``-2 * beta`` device-scalar cache) so fused and elementwise
+    disordered sweeps stay bit-identical.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        beta: "float | np.ndarray",
+        couplings: BondCouplings,
+        field: float = 0.0,
+    ) -> None:
+        self.backend = backend
+        self.field = float(field)
+        self.couplings = couplings
+        self.beta = beta
+        if couplings.kind == "gaussian":
+            self.table = None
+        else:
+            self.table = AcceptanceTable(backend, beta, field=field)
+
+    @property
+    def kind(self) -> str:
+        return self.couplings.kind
+
+    @property
+    def n_entries(self) -> int:
+        return 0 if self.table is None else self.table.n_entries
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self.table is None else self.table.nbytes
+
+    def flip_into(
+        self,
+        sigma: np.ndarray,
+        nn: np.ndarray,
+        probs: np.ndarray,
+        workspace,
+        mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """In-place Metropolis step on weighted neighbour sums.
+
+        Mutates ``sigma`` (and, when ``field != 0``, shifts ``nn`` in
+        place — callers recompute ``nn`` every phase from a workspace
+        buffer) and returns ``sigma``.
+        """
+        if self.table is not None:
+            # Local import: fused.py imports this module for the table type.
+            from .fused import fused_metropolis_flip
+
+            return fused_metropolis_flip(
+                self.backend, sigma, nn, probs, self.table, workspace, mask=mask
+            )
+        backend = self.backend
+        if sigma.shape != nn.shape or sigma.shape != probs.shape:
+            raise ValueError(
+                f"shape mismatch: sigma {sigma.shape}, nn {nn.shape}, "
+                f"probs {probs.shape}"
+            )
+        beta_arr = np.asarray(self.beta, dtype=np.float64)
+        if beta_arr.ndim == 0:
+            beta_key = ("beta", float(beta_arr))
+        else:
+            beta_key = ("beta", beta_arr.shape, beta_arr.tobytes())
+        factor = _cached_device_scalar(backend, beta_key, lambda: -2.0 * beta_arr)
+        if self.field != 0.0:
+            field_scalar = _cached_device_scalar(
+                backend, ("field", float(self.field)), float(self.field)
+            )
+            backend.add_into(nn, field_scalar, nn)
+        local = workspace.buffer("bonded_local", sigma.shape)
+        backend.multiply_into(sigma, nn, local)
+        backend.multiply_into(factor, local, local)
+        backend.exp_into(local, local)
+        flips = workspace.buffer("flip_flips", sigma.shape)
+        backend.less_into(probs, local, flips)
+        if mask is not None:
+            backend.multiply_into(flips, mask, flips)
+        neg_two = _cached_device_scalar(backend, ("const", -2.0), -2.0)
+        one = _cached_device_scalar(backend, ("const", 1.0), 1.0)
+        backend.multiply_into(flips, neg_two, flips)
+        backend.add_into(flips, one, flips)
+        backend.multiply_into(sigma, flips, sigma)
+        # Allocation savings only — the exp still runs, so no table_hits.
+        n_temps = 5
+        if mask is not None:
+            n_temps += 1
+        if self.field != 0.0:
+            n_temps += 1
+        workspace.bytes_saved += n_temps * sigma.size * backend.dtype.itemsize
+        return sigma

@@ -76,10 +76,24 @@ class CheckerboardUpdater:
     def _fused_ctx(self) -> tuple[AcceptanceTable, SweepWorkspace]:
         if self._workspace is None:
             self._workspace = SweepWorkspace()
+        if self._accept_table is None:
             self._accept_table = AcceptanceTable(
                 self.backend, self.beta, field=self.field
             )
         return self._accept_table, self._workspace
+
+    def retemper(self, beta: float | np.ndarray) -> None:
+        """Swap in new (per-chain) inverse temperatures, in place.
+
+        Keeps the workspace (its buffers are beta-independent) and drops
+        only the acceptance table, so replica-exchange swap rounds pay a
+        table rebuild instead of a full updater rebuild.  Callers holding
+        a traced executor must ``rebind`` it afterwards.
+        """
+        if np.any(np.asarray(beta) <= 0):
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = float(beta) if np.ndim(beta) == 0 else np.asarray(beta, dtype=np.float64)
+        self._accept_table = None
 
     def _masks(self, grid_shape: tuple[int, ...]) -> dict[str, np.ndarray]:
         """Colour masks ``M`` / ``1 - M`` in grid form, cached per shape.

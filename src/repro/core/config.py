@@ -46,7 +46,7 @@ __all__ = [
 CHECKPOINT_SCHEMA = "checkpoint/v2"
 
 #: Checkpoint kinds a v2 envelope may carry.
-CHECKPOINT_KINDS = ("single", "ensemble", "distributed")
+CHECKPOINT_KINDS = ("single", "ensemble", "distributed", "tempering")
 
 
 def resolve_fused(fused: "bool | str") -> "bool | str":

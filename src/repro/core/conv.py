@@ -25,8 +25,13 @@ import numpy as np
 from ..backend.base import Backend
 from ..backend.numpy_backend import NumpyBackend
 from ..rng.streams import PhiloxStream
-from .accept import AcceptanceTable
+from .accept import AcceptanceTable, BondedAcceptance
 from .compact import CompactUpdater
+from .couplings import (
+    BondCouplings,
+    weighted_neighbor_sum,
+    weighted_neighbor_sum_into,
+)
 from .fused import SweepWorkspace, fused_metropolis_flip
 from .lattice import checkerboard_mask
 from .update import metropolis_flip
@@ -70,6 +75,7 @@ class MaskedConvUpdater:
         backend: Backend | None = None,
         field: float = 0.0,
         fused: bool = False,
+        couplings: BondCouplings | None = None,
     ) -> None:
         if np.any(np.asarray(beta) <= 0):
             raise ValueError(f"beta must be positive, got {beta}")
@@ -79,22 +85,48 @@ class MaskedConvUpdater:
         self.field = float(field)
         self.backend = backend if backend is not None else NumpyBackend()
         self.fused = bool(fused)
+        # Ferro couplings collapse to None so the clean model keeps the
+        # conv fast path and its exact historical bit-stream.
+        if couplings is not None and couplings.kind == "ferro":
+            couplings = None
+        self.couplings = couplings
         self._mask_cache: dict[tuple[int, int], dict[str, np.ndarray]] = {}
         self._workspace: SweepWorkspace | None = None
-        self._accept_table: AcceptanceTable | None = None
+        self._accept_table: "AcceptanceTable | BondedAcceptance | None" = None
 
     @property
     def workspace(self) -> SweepWorkspace | None:
         """The fused engine's scratch workspace (None until first use)."""
         return self._workspace
 
-    def _fused_ctx(self) -> tuple[AcceptanceTable, SweepWorkspace]:
+    def _fused_ctx(self) -> "tuple[AcceptanceTable | BondedAcceptance, SweepWorkspace]":
         if self._workspace is None:
             self._workspace = SweepWorkspace()
-            self._accept_table = AcceptanceTable(
-                self.backend, self.beta, field=self.field
-            )
+        if self._accept_table is None:
+            if self.couplings is None:
+                self._accept_table = AcceptanceTable(
+                    self.backend, self.beta, field=self.field
+                )
+            else:
+                self._accept_table = BondedAcceptance(
+                    self.backend, self.beta, self.couplings, field=self.field
+                )
         return self._accept_table, self._workspace
+
+    def retemper(self, beta: float | np.ndarray) -> None:
+        """Swap in new (per-chain) inverse temperatures, in place.
+
+        Keeps the lattice-shaped workspace buffers (they are
+        beta-independent) and drops only the acceptance table, so a
+        replica-exchange swap round costs a ten-entry-per-chain table
+        rebuild rather than a full updater rebuild.  Callers holding a
+        traced executor must ``rebind`` it afterwards — the recorded
+        sweep references the old table's entries.
+        """
+        if np.any(np.asarray(beta) <= 0):
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = float(beta) if np.ndim(beta) == 0 else np.asarray(beta, dtype=np.float64)
+        self._accept_table = None
 
     def _masks(self, shape: tuple[int, ...]) -> dict[str, np.ndarray]:
         # Masks depend only on the trailing (rows, cols); a batched plain
@@ -131,10 +163,15 @@ class MaskedConvUpdater:
                 raise ValueError(
                     f"probs shape {probs.shape} != lattice shape {plain.shape}"
                 )
+            mask = self._masks(plain.shape)[color]
+            if self.couplings is not None:
+                nn = weighted_neighbor_sum_into(
+                    self.backend, plain, self.couplings, ws
+                )
+                return table.flip_into(plain, nn, probs, ws, mask=mask)
             nn = ws.buffer("conv_nn", plain.shape)
             tmp = ws.buffer("conv_roll_tmp", plain.shape)
             self.backend.conv2d_neighbors_into(plain, nn, tmp)
-            mask = self._masks(plain.shape)[color]
             return fused_metropolis_flip(
                 self.backend, plain, nn, probs, table, ws, mask=mask
             )
@@ -146,7 +183,10 @@ class MaskedConvUpdater:
             raise ValueError(
                 f"probs shape {probs.shape} != lattice shape {plain.shape}"
             )
-        nn = self.backend.conv2d_neighbors(plain)
+        if self.couplings is not None:
+            nn = weighted_neighbor_sum(self.backend, plain, self.couplings)
+        else:
+            nn = self.backend.conv2d_neighbors(plain)
         mask = self._masks(plain.shape)[color]
         return metropolis_flip(
             self.backend, plain, nn, probs, self.beta, mask=mask, field=self.field

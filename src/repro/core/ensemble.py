@@ -35,6 +35,7 @@ from ..telemetry.report import RunReport, RunTelemetry
 from .checkerboard import CheckerboardUpdater
 from .compact import CompactUpdater
 from .conv import ConvUpdater, MaskedConvUpdater
+from .couplings import BondCouplings, bond_total_energy
 from .fused import record_fused_metrics
 from .lattice import cold_lattice, random_lattice, validate_spins
 from .config import (
@@ -124,6 +125,7 @@ class EnsembleSimulation:
         fused: "bool | str" = "auto",
         traced: "bool | str" = "auto",
         telemetry: RunTelemetry | None = None,
+        couplings: BondCouplings | None = None,
     ) -> None:
         if isinstance(shape, (int, np.integer)):
             shape = (int(shape), int(shape))
@@ -225,6 +227,33 @@ class EnsembleSimulation:
         elif block_shape is None:
             block_shape = default_block_shape(updater, self.shape)
         self.block_shape = block_shape
+
+        # Quenched per-bond disorder: ferro collapses to None (the clean
+        # fast path); real disorder currently runs on the plain-lattice
+        # masked_conv updater, whose weighted neighbour sum carries the
+        # bond planes (see docs/tempering.md for the support matrix).
+        if couplings is not None and couplings.kind == "ferro":
+            couplings = None
+        if couplings is not None:
+            if self.packed:
+                raise ValueError(
+                    "dtype='packed' supports couplings='ferro' only: the "
+                    "three-case Metropolis collapse assumes uniform J = 1; "
+                    "use dtype='float32' with updater='masked_conv' for "
+                    "disordered bonds"
+                )
+            if updater != "masked_conv":
+                raise ValueError(
+                    f"disordered couplings ({couplings.kind!r}) require "
+                    f"updater='masked_conv' (the compact/blocked updaters "
+                    f"have no per-bond kernels yet); got {updater!r}"
+                )
+            if tuple(couplings.shape) != self.shape:
+                raise ValueError(
+                    f"bond coupling shape {tuple(couplings.shape)} != "
+                    f"lattice shape {self.shape}"
+                )
+        self.couplings = couplings
         self._updater = self._build_updater()
         self.block_shape = getattr(self._updater, "block_shape", None)
         self._executor = TracedExecutor(self._updater) if self.traced else None
@@ -281,7 +310,11 @@ class EnsembleSimulation:
         beta_vec = self.betas.reshape((self.n_chains,) + (1,) * (state_rank - 1))
         if self.updater_name == "masked_conv":
             return MaskedConvUpdater(
-                beta_vec, self.backend, field=self.field, fused=self.fused
+                beta_vec,
+                self.backend,
+                field=self.field,
+                fused=self.fused,
+                couplings=self.couplings,
             )
         if self.updater_name == "checkerboard":
             return CheckerboardUpdater(
@@ -322,6 +355,12 @@ class EnsembleSimulation:
             raise IndexError(
                 f"chain index {index} out of range for {self.n_chains} chains"
             )
+        if self.couplings is not None:
+            raise ValueError(
+                "disordered-coupling chains cannot split out: "
+                "IsingSimulation runs the clean ferromagnet only; keep "
+                "them batched in the ensemble"
+            )
         sim = IsingSimulation(
             self.shape,
             float(self.temperatures[index]),
@@ -351,6 +390,7 @@ class EnsembleSimulation:
         fused: "bool | str" = "auto",
         traced: "bool | str" = "auto",
         telemetry: RunTelemetry | None = None,
+        couplings: BondCouplings | None = None,
     ) -> "EnsembleSimulation":
         """Build an ensemble from explicit ``(temperature, stream, lattice)`` rows.
 
@@ -382,6 +422,7 @@ class EnsembleSimulation:
             fused=fused,
             traced=traced,
             telemetry=telemetry,
+            couplings=couplings,
         )
         ensemble.stream = BatchedPhiloxStream.from_streams(streams)
         ensemble.seeds = [s.seed for s in streams]
@@ -467,6 +508,41 @@ class EnsembleSimulation:
         )
         return removed
 
+    def set_temperatures(self, temperatures: "Sequence[float] | np.ndarray") -> None:
+        """Re-temper every chain in place, at a sweep boundary.
+
+        This is the replica-exchange primitive: lattices and Philox
+        counters are untouched (states never move between chains — only
+        the betas do), so each chain's future trajectory is exactly the
+        one it would have had if constructed at the new temperature with
+        its current lattice and counter.  Cheap by design: updaters that
+        expose :meth:`retemper` keep their workspaces and rebuild only
+        the per-chain acceptance table; the packed engine rebuilds its
+        threshold updater.  Any recorded trace is dropped and re-records
+        on the next sweep.
+        """
+        temps = np.asarray(temperatures, dtype=np.float64)
+        if temps.shape != (self.n_chains,):
+            raise ValueError(
+                f"expected {self.n_chains} temperatures, got shape {temps.shape}"
+            )
+        if np.any(temps <= 0):
+            raise ValueError(f"temperatures must be positive, got {temps}")
+        self.temperatures = temps
+        self.betas = 1.0 / temps
+        retemper = getattr(self._updater, "retemper", None)
+        if retemper is None or self.packed:
+            self._updater = self._build_updater()
+        else:
+            state_rank = 3 if self.updater_name == "masked_conv" else 5
+            retemper(
+                self.betas.reshape((self.n_chains,) + (1,) * (state_rank - 1))
+            )
+        if self._executor is not None:
+            # The recorded sweep references the old acceptance table's
+            # entries; drop it and re-record on the next sweep.
+            self._executor.rebind(self._updater)
+
     # -- evolution -----------------------------------------------------------
 
     def _advance(self, n_sweeps: int) -> None:
@@ -493,9 +569,15 @@ class EnsembleSimulation:
             mean_m = float(
                 np.mean([magnetization(p) for p in plains])
             )
-            mean_e = float(
-                np.mean([energy_per_spin(p) for p in plains])
-            )
+            if self.couplings is not None:
+                mean_e = float(
+                    np.mean(bond_total_energy(plains, self.couplings))
+                    / self.n_sites
+                )
+            else:
+                mean_e = float(
+                    np.mean([energy_per_spin(p) for p in plains])
+                )
             telemetry.record_physics(plains, mean_m, mean_e)
 
     def run(self, n_sweeps: int) -> None:
@@ -522,9 +604,25 @@ class EnsembleSimulation:
         return np.array([magnetization(p) for p in plains], dtype=np.float64)
 
     def energies_per_spin(self) -> np.ndarray:
-        """Per-chain energy per site, shaped ``(B,)``."""
+        """Per-chain (zero-field) energy per site, shaped ``(B,)``.
+
+        With disordered couplings the bond energy uses the quenched
+        ``J_ij`` planes; the clean ferromagnet keeps the historical
+        :func:`~repro.observables.energy.energy_per_spin` estimator.
+        """
         plains = self.lattices
+        if self.couplings is not None:
+            return bond_total_energy(plains, self.couplings) / self.n_sites
         return np.array([energy_per_spin(p) for p in plains], dtype=np.float64)
+
+    def total_energies(self) -> np.ndarray:
+        """Per-chain total Hamiltonian (couplings- and field-aware), ``(B,)``.
+
+        This is the energy the replica-exchange swap test consumes:
+        ``H = -sum_<ij> J_ij s_i s_j - h sum_i s_i`` evaluated in float64
+        on the plain lattices, vectorised over the whole batch.
+        """
+        return bond_total_energy(self.lattices, self.couplings, field=self.field)
 
     # -- sampling ------------------------------------------------------------
 
@@ -553,7 +651,13 @@ class EnsembleSimulation:
             plains = self.lattices
             for b in range(self.n_chains):
                 m_series[b, k] = magnetization(plains[b])
-                e_series[b, k] = energy_per_spin(plains[b])
+            if self.couplings is not None:
+                e_series[:, k] = (
+                    bond_total_energy(plains, self.couplings) / self.n_sites
+                )
+            else:
+                for b in range(self.n_chains):
+                    e_series[b, k] = energy_per_spin(plains[b])
         return [
             summarize_chain(self.temperatures[b], m_series[b], e_series[b])
             for b in range(self.n_chains)
@@ -599,6 +703,12 @@ class EnsembleSimulation:
                 "sweeps_done": self.sweeps_done,
                 "fused": self.fused,
                 "traced": self.traced,
+                "couplings": (
+                    "ferro" if self.couplings is None else self.couplings.kind
+                ),
+                "disorder_seed": (
+                    None if self.couplings is None else self.couplings.disorder_seed
+                ),
             },
             rng={"streams": streams},
         )
@@ -630,6 +740,9 @@ class EnsembleSimulation:
             "stream": self.stream.state(),
             "sweeps_done": self.sweeps_done,
         }
+        if self.couplings is not None:
+            # The arrays regenerate bit-identically from the token.
+            payload["couplings"] = self.couplings.state_token()
         if self.packed:
             payload["packed"] = {
                 "word_bits": 64,
@@ -659,6 +772,14 @@ class EnsembleSimulation:
             )
         check_checkpoint_dtype(state["dtype"], backend)
         block_shape = state.get("block_shape")
+        coup = state.get("couplings")
+        couplings = (
+            BondCouplings.generate(
+                coup["kind"], tuple(state["shape"]), coup["disorder_seed"]
+            )
+            if coup is not None
+            else None
+        )
         ensemble = cls(
             tuple(state["shape"]),
             state["temperatures"],
@@ -671,6 +792,7 @@ class EnsembleSimulation:
             field=state["field"],
             fused=state.get("fused", "auto"),
             traced=state.get("traced", "auto"),
+            couplings=couplings,
         )
         if ensemble.packed:
             ensemble._restore_packed(state.get("packed"))

@@ -1,6 +1,11 @@
 """Physics observables, exact references and MCMC error analysis."""
 
-from .binder import binder_cumulant, binder_from_moments
+from .binder import (
+    binder_cumulant,
+    binder_from_moments,
+    replica_overlap,
+    spin_glass_binder,
+)
 from .correlation import correlation_function, correlation_length, susceptibility
 from .energy import energy_per_spin, specific_heat, total_energy
 from .exact import (
@@ -29,6 +34,8 @@ from .stats import (
 __all__ = [
     "binder_cumulant",
     "binder_from_moments",
+    "replica_overlap",
+    "spin_glass_binder",
     "correlation_function",
     "correlation_length",
     "susceptibility",

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["binder_cumulant", "binder_from_moments"]
+__all__ = [
+    "binder_cumulant",
+    "binder_from_moments",
+    "replica_overlap",
+    "spin_glass_binder",
+]
 
 
 def binder_from_moments(m2: float, m4: float) -> float:
@@ -30,3 +35,40 @@ def binder_cumulant(m_samples: np.ndarray) -> float:
         raise ValueError("need at least one magnetization sample")
     m_sq = m * m
     return binder_from_moments(float(np.mean(m_sq)), float(np.mean(m_sq * m_sq)))
+
+
+def replica_overlap(lattice_a: np.ndarray, lattice_b: np.ndarray) -> float:
+    """Edwards-Anderson site overlap ``q = (1/N) sum_i s_i^(a) s_i^(b)``.
+
+    The two lattices are independent thermal replicas of the *same*
+    disorder realisation at the same temperature.  In a spin glass
+    magnetization self-averages to zero, so q (not m) is the order
+    parameter whose distribution the Binder analysis probes.
+    """
+    a = np.asarray(lattice_a, dtype=np.float64)
+    b = np.asarray(lattice_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"replica shapes differ: {a.shape} vs {b.shape}"
+        )
+    if a.size == 0:
+        raise ValueError("replica lattices must be non-empty")
+    return float(np.mean(a * b))
+
+
+def spin_glass_binder(q_samples: np.ndarray) -> float:
+    """Spin-glass Binder cumulant ``g = 1 - <q^4> / (3 <q^2>^2)``.
+
+    ``q_samples`` is any array of replica-overlap samples for one
+    (temperature, disorder) point — e.g. the ``(n_samples, n_pairs)``
+    slice of :meth:`TemperingEnsemble.sample_overlaps` at one ladder
+    slot; all axes are pooled.  Like U4, g is size-independent at the
+    spin-glass transition, so curves for different L cross at T_SG
+    (for the 2D +/-J model the crossing drifts toward T = 0, the
+    standard signature that T_SG = 0 in 2D).
+    """
+    q = np.asarray(q_samples, dtype=np.float64).ravel()
+    if q.size == 0:
+        raise ValueError("need at least one overlap sample")
+    q_sq = q * q
+    return binder_from_moments(float(np.mean(q_sq)), float(np.mean(q_sq * q_sq)))

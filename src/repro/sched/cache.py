@@ -11,7 +11,14 @@ normalises every trajectory-determining field of a frozen
 * ``shape=64`` and ``shape=(64, 64)`` normalise to one tuple, and an
   unset ``block_shape`` resolves to the updater's default decomposition
   (so spelling the default explicitly still hits);
-* an explicit initial lattice hashes by content (shape + bytes).
+* an explicit initial lattice hashes by content (shape + bytes);
+* the nested specs serialise deterministically (fields in sorted-key
+  order, floats by bit pattern): ``field=0.1`` and
+  ``model=ModelSpec(field=0.1)`` hash via one
+  :attr:`~repro.api.SimulationConfig.resolved_model`, and a
+  :class:`~repro.api.LadderSpec` hashes by its
+  :attr:`~repro.api.LadderSpec.resolved_betas` — ``betas=`` and
+  ``temperatures=`` spellings of the same ladder dedup to one entry.
 
 Fields that provably do **not** change the trajectory are excluded, so
 equivalent requests share cache entries across them: the backend kind
@@ -40,7 +47,9 @@ __all__ = ["CACHE_KEY_SCHEMA", "canonical_cache_key", "ResultCache"]
 
 #: Versioned prefix folded into every key; bump when key semantics change
 #: (a stale persisted key can then never alias a new-scheme entry).
-CACHE_KEY_SCHEMA = "repro.sched/cache-key/v1"
+#: v2: the flat ``field`` part became a full model token (couplings kind,
+#: disorder seed, field bits, lattice) and a ladder token was added.
+CACHE_KEY_SCHEMA = "repro.sched/cache-key/v2"
 
 
 def _normalized_shape(shape) -> tuple[int, int]:
@@ -72,12 +81,60 @@ def _initial_token(initial) -> str:
     return f"array:{plain.shape}:{digest}"
 
 
+def _spec_token(name: str, fields: dict) -> str:
+    """Deterministic serialisation of one nested spec: sorted-key pairs.
+
+    Floats render by exact bit pattern (``float.hex``) so tokens are
+    spelling-invariant; sequences render element-wise in given order
+    (ladder order is adjacency order — trajectory-relevant).
+    """
+    def render(value):
+        if isinstance(value, float):
+            return value.hex()
+        if isinstance(value, tuple):
+            return "(" + ",".join(render(v) for v in value) + ")"
+        return str(value)
+
+    pairs = ",".join(f"{k}={render(fields[k])}" for k in sorted(fields))
+    return f"{name}({pairs})"
+
+
+def _model_token(config) -> str:
+    """Canonical token of the resolved model spec (flat-kwarg invariant)."""
+    model = config.resolved_model
+    return _spec_token(
+        "model",
+        {
+            "couplings": model.couplings,
+            "disorder_seed": int(model.disorder_seed),
+            "field": float(model.field),
+            "lattice": model.lattice,
+        },
+    )
+
+
+def _ladder_token(config) -> str:
+    """Canonical token of the ladder spec (betas/temperatures invariant)."""
+    ladder = getattr(config, "ladder", None)
+    if ladder is None:
+        return "none"
+    return _spec_token(
+        "ladder",
+        {
+            "betas": tuple(float(b) for b in ladder.resolved_betas),
+            "n_replicas": int(ladder.n_replicas),
+            "swap_interval": int(ladder.swap_interval),
+        },
+    )
+
+
 def canonical_cache_key(config, sweeps: int) -> str:
     """The content address of (config, seed, sweep count) as a sha256 hex.
 
     Includes every trajectory-determining field (shape, temperature,
-    field, updater, dtype, block decomposition, initial state, seed,
-    sweep count); excludes execution details that are bit-identical by
+    model spec — couplings/disorder seed/field/lattice — ladder spec,
+    updater, dtype, block decomposition, initial state, seed, sweep
+    count); excludes execution details that are bit-identical by
     contract (backend kind, fused selection, telemetry).
     """
     shape = _normalized_shape(config.shape)
@@ -85,7 +142,8 @@ def canonical_cache_key(config, sweeps: int) -> str:
         CACHE_KEY_SCHEMA,
         f"shape={shape}",
         f"temperature={float(config.resolved_temperature).hex()}",
-        f"field={float(config.field).hex()}",
+        f"model={_model_token(config)}",
+        f"ladder={_ladder_token(config)}",
         f"updater={config.updater}",
         f"dtype={resolve_dtype(config.dtype).name}",
         f"block_shape={_resolved_block_shape(config, shape)}",

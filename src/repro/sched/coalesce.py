@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..tpu.dtypes import resolve_dtype
-from .cache import _normalized_shape, _resolved_block_shape
+from .cache import _ladder_token, _model_token, _normalized_shape, _resolved_block_shape
 from .job import Job
 
 __all__ = ["compat_key", "BatchPlan", "Coalescer"]
@@ -29,11 +29,16 @@ def compat_key(config) -> tuple:
     """The batching-compatibility key of a config.
 
     Two jobs coalesce into one ensemble iff their keys are equal:
-    (shape, updater, dtype, backend kind, field bits, resolved block
-    decomposition, resolved fused flag, resolved traced flag).
-    Temperature and seed are deliberately absent — they are per-chain
-    inside a batch.  Batched jobs with tracing on all ride one recorded
-    sweep program per engine key.
+    (shape, updater, dtype, backend kind, (model token, ladder token),
+    resolved block decomposition, resolved fused flag, resolved traced
+    flag).  The model token folds couplings kind, disorder seed, field
+    bits and lattice through :attr:`~repro.api.SimulationConfig.resolved_model`,
+    so a flat ``field=`` and its ``ModelSpec`` spelling coalesce;
+    distinct disorder realisations never share a batch (chains of one
+    ensemble share one bond configuration).  Temperature and seed are
+    deliberately absent — they are per-chain inside a batch.  Batched
+    jobs with tracing on all ride one recorded sweep program per engine
+    key.
     """
     shape = _normalized_shape(config.shape)
     backend = "tpu" if config.backend == "tpu" else "numpy"
@@ -48,7 +53,7 @@ def compat_key(config) -> tuple:
         config.updater,
         resolve_dtype(config.dtype).name,
         backend,
-        float(config.field).hex(),
+        (_model_token(config), _ladder_token(config)),
         _resolved_block_shape(config, shape),
         bool(fused),
         bool(traced),

@@ -98,6 +98,12 @@ class JobSpec:
                     f"(got {getattr(self.config, name)!r}); the scheduler "
                     "owns the device pool and telemetry"
                 )
+        if getattr(self.config, "ladder", None) is not None:
+            raise ValueError(
+                "scheduler jobs must leave config.ladder unset; a "
+                "replica-exchange ladder is one coupled simulation — "
+                "run it with repro.tempering(config) instead"
+            )
         if self.config.record_trace:
             raise ValueError(
                 "scheduler jobs must leave config.record_trace unset; "

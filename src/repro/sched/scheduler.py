@@ -37,6 +37,7 @@ import numpy as np
 
 from ..backend.numpy_backend import NumpyBackend
 from ..backend.tpu_backend import TPUBackend
+from ..core.couplings import BondCouplings, bond_energy_per_spin
 from ..core.ensemble import EnsembleSimulation
 from ..core.lattice import cold_lattice, random_lattice, validate_spins
 from ..mesh.faults import CoreLostError
@@ -368,13 +369,22 @@ class Scheduler:
         shape, updater, _, _, _, block_shape, fused, traced = key
         try:
             chains = [self._chain_of(job) for job in jobs]
+            # Equal compat keys guarantee equal model tokens, so the
+            # first job's resolved model speaks for the whole batch.
+            model = jobs[0].spec.config.resolved_model
+            couplings = None
+            if model.couplings != "ferro":
+                couplings = BondCouplings.generate(
+                    model.couplings, shape, model.disorder_seed
+                )
             ensemble = EnsembleSimulation.from_chains(
                 shape,
                 chains,
                 updater=updater,
                 backend=self._backend_for(key, lease),
                 block_shape=block_shape,
-                field=jobs[0].spec.config.field,
+                field=model.field,
+                couplings=couplings,
                 fused=fused,
                 traced=traced,
             )
@@ -457,11 +467,16 @@ class Scheduler:
         if not finished:
             return
         plains = batch.ensemble.lattices
+        couplings = batch.ensemble.couplings
         for index, job in finished:
             lattice = np.array(plains[index], copy=True)
+            if couplings is not None:
+                energy = bond_energy_per_spin(lattice, couplings)
+            else:
+                energy = energy_per_spin(lattice)
             job.result = JobResult(
                 magnetization=float(magnetization(lattice)),
-                energy=float(energy_per_spin(lattice)),
+                energy=float(energy),
                 sweeps=job.spec.sweeps,
                 lattice=lattice,
             )

@@ -99,6 +99,16 @@ def _traced_spans_of(source) -> list[dict]:
     return list(getattr(source, "traced_log", ()) or ())
 
 
+def _tempering_spans_of(source) -> list[dict]:
+    """Replica-exchange swap-round spans, if any.
+
+    Accepts anything exposing ``swap_log``
+    (:class:`~repro.core.tempering.TemperingEnsemble` records one span
+    per swap round with attempted/accepted counts in ``args``).
+    """
+    return list(getattr(source, "swap_log", ()) or ())
+
+
 def chrome_trace(source) -> dict:
     """Build a Chrome trace-event JSON object from recorded trace buffers.
 
@@ -116,10 +126,18 @@ def chrome_trace(source) -> dict:
     track showing which sweeps ran as recorded programs; a run under the
     split-phase overlap schedule (non-empty ``overlap_log``) gets a
     "halo overlap" track showing each window's hidden vs exposed
-    communication.  Raises if no trace events were recorded (build the
-    profilers with ``record_trace=True``).
+    communication; a tempering run (non-empty ``swap_log``) gets a
+    "tempering swaps" track with one span per swap round, attempted and
+    accepted exchange counts in the span args.  Raises if no trace
+    events were recorded (build the profilers with ``record_trace=True``).
     """
-    rows = _profilers_of(source)
+    try:
+        rows = _profilers_of(source)
+    except (TypeError, ValueError):
+        # Not a profiler-bearing source — a TemperingEnsemble carries
+        # only its swap_log; export succeeds iff some span track is
+        # non-empty (the total_events == 0 check below still raises).
+        rows = []
     events: list[dict] = []
     total_events = 0
     for core_id, coords, profiler in rows:
@@ -145,7 +163,7 @@ def chrome_trace(source) -> dict:
                     "dur": ev.duration * _US,
                 }
             )
-    next_tid = max(core_id for core_id, _, _ in rows) + 1
+    next_tid = max((core_id for core_id, _, _ in rows), default=-1) + 1
     sched_spans = _sched_spans_of(source)
     if sched_spans:
         sched_tid = next_tid
@@ -195,6 +213,33 @@ def chrome_trace(source) -> dict:
                     "cat": "traced",
                     "pid": 0,
                     "tid": traced_tid,
+                    "ts": span["start"] * _US,
+                    "dur": span["duration"] * _US,
+                    "args": span.get("args", {}),
+                }
+            )
+    tempering_spans = _tempering_spans_of(source)
+    if tempering_spans:
+        tempering_tid = next_tid
+        next_tid += 1
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": tempering_tid,
+                "args": {"name": "tempering swaps"},
+            }
+        )
+        for span in tempering_spans:
+            total_events += 1
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span["name"],
+                    "cat": "tempering",
+                    "pid": 0,
+                    "tid": tempering_tid,
                     "ts": span["start"] * _US,
                     "dur": span["duration"] * _US,
                     "args": span.get("args", {}),
@@ -272,6 +317,7 @@ def chrome_trace(source) -> dict:
             "num_fault_spans": len(fault_spans),
             "num_sched_spans": len(sched_spans),
             "num_traced_spans": len(traced_spans),
+            "num_tempering_spans": len(tempering_spans),
             "num_overlap_spans": len(overlap_spans),
         },
     }

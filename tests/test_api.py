@@ -15,12 +15,15 @@ import pytest
 
 import repro
 from repro.api import (
+    LadderSpec,
+    ModelSpec,
     SimulationConfig,
     deprecated_kwargs,
     distributed,
     ensemble,
     load,
     simulate,
+    tempering,
 )
 from repro.backend import NumpyBackend
 from repro.core.distributed import DistributedIsing
@@ -211,25 +214,149 @@ class TestDeprecatedKwargs:
         with pytest.raises(TypeError, match="both"):
             f(old=1, new=2)
 
-    def test_config_accepts_core_grid_spelling(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            cfg = SimulationConfig(shape=32, core_grid=(2, 2))
-        assert cfg.grid == (2, 2)
+    def test_core_grid_spelling_removed(self):
+        """PR-4's ``core_grid=`` finished its deprecation window: it now
+        fails fast with a TypeError that names the replacement."""
+        with pytest.raises(TypeError, match="'grid'"):
+            SimulationConfig(shape=32, core_grid=(2, 2))
 
-    def test_config_accepts_T_spelling(self):
+    def test_T_spelling_removed(self):
+        with pytest.raises(TypeError, match="'temperature'"):
+            SimulationConfig(T=2.5)
+
+    def test_removed_spellings_do_not_warn_they_raise(self):
         with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            cfg = SimulationConfig(T=2.5)
-        assert cfg.resolved_temperature == 2.5
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(TypeError, match="no longer accepts"):
+                SimulationConfig(T=2.5)
+
+
+class TestModelSpec:
+    def test_default_is_the_clean_ferromagnet(self):
+        spec = ModelSpec()
+        assert spec.couplings == "ferro"
+        assert spec.field == 0.0
+        assert spec.disorder_seed == 0
+        assert spec.lattice == "square"
+
+    def test_frozen_and_hashable(self):
+        spec = ModelSpec(couplings="bimodal", disorder_seed=3)
+        with pytest.raises(AttributeError):
+            spec.couplings = "gaussian"
+        assert spec == ModelSpec(couplings="bimodal", disorder_seed=3)
+        assert hash(spec) == hash(ModelSpec(couplings="bimodal", disorder_seed=3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="couplings"):
+            ModelSpec(couplings="antiferro")
+        with pytest.raises(ValueError, match="lattice"):
+            ModelSpec(lattice="triangular")
+
+    def test_resolved_model_folds_flat_field(self):
+        """Flat kwargs and spec-built configs of the same physics
+        resolve to equal ModelSpecs."""
+        flat = SimulationConfig(field=0.25)
+        spec = SimulationConfig(model=ModelSpec(field=0.25))
+        assert flat.resolved_model == spec.resolved_model
+        mixed = SimulationConfig(
+            field=0.25,
+            updater="masked_conv",
+            model=ModelSpec(couplings="bimodal"),
+        )
+        assert mixed.resolved_model == ModelSpec(couplings="bimodal", field=0.25)
+
+    def test_conflicting_field_spellings_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            SimulationConfig(field=0.1, model=ModelSpec(field=0.2))
+
+
+class TestLadderSpec:
+    def test_betas_or_temperatures_not_both(self):
+        with pytest.raises(ValueError, match="not both"):
+            LadderSpec(betas=(0.4, 0.5), temperatures=(2.0, 2.5))
+
+    def test_two_spellings_canonicalise_to_same_betas(self):
+        by_beta = LadderSpec(betas=(0.4, 0.5))
+        by_temp = LadderSpec(temperatures=(2.5, 2.0))
+        assert by_beta.resolved_betas == by_temp.resolved_betas
+
+    def test_order_is_preserved(self):
+        # Adjacency order is part of the trajectory — never sorted.
+        assert LadderSpec(betas=(0.5, 0.3, 0.4)).resolved_betas == (0.5, 0.3, 0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            LadderSpec(betas=(0.4, -0.5))
+        with pytest.raises(ValueError, match="positive"):
+            LadderSpec(temperatures=(2.0, 0.0))
+        with pytest.raises(ValueError, match="n_replicas"):
+            LadderSpec(betas=(0.4,), n_replicas=0)
+        with pytest.raises(ValueError, match="swap_interval"):
+            LadderSpec(betas=(0.4,), swap_interval=0)
+
+    def test_ladder_config_rejects_flat_temperature(self):
+        with pytest.raises(ValueError, match="ladder"):
+            SimulationConfig(
+                temperature=2.0, ladder=LadderSpec(betas=(0.4, 0.5))
+            )
+
+
+class TestTemperingFactory:
+    def test_builds_the_described_ladder(self):
+        cfg = SimulationConfig(
+            shape=16,
+            updater="masked_conv",
+            model=ModelSpec(couplings="bimodal", disorder_seed=7),
+            ladder=LadderSpec(betas=(0.4, 0.5, 0.6), n_replicas=2,
+                              swap_interval=3),
+            seed=11,
+        )
+        sim = tempering(cfg)
+        assert sim.n_temps == 3
+        assert sim.n_replicas == 2
+        assert sim.swap_interval == 3
+        assert sim.couplings.kind == "bimodal"
+        assert sim.couplings.disorder_seed == 7
+        np.testing.assert_array_equal(sim.betas, [0.4, 0.5, 0.6])
+
+    def test_factory_matches_direct_construction(self):
+        from repro.core.tempering import TemperingEnsemble
+
+        cfg = SimulationConfig(
+            shape=16, ladder=LadderSpec(betas=(0.4, 0.45)), seed=3
+        )
+        a = tempering(cfg)
+        b = TemperingEnsemble(16, (0.4, 0.45), n_replicas=2, seed=3)
+        a.run(8)
+        b.run(8)
+        np.testing.assert_array_equal(a.lattices, b.lattices)
+        np.testing.assert_array_equal(a.pairing, b.pairing)
+
+    def test_needs_a_ladder(self):
+        with pytest.raises(ValueError, match="ladder"):
+            tempering(SimulationConfig(shape=16))
+
+    def test_other_factories_reject_ladder(self):
+        cfg = SimulationConfig(
+            shape=16, ladder=LadderSpec(betas=(0.4, 0.5))
+        )
+        with pytest.raises(ValueError, match="ladder"):
+            simulate(cfg)
+        with pytest.raises(ValueError, match="ladder"):
+            ensemble(cfg, n_chains=2)
+        with pytest.raises(ValueError, match="ladder"):
+            distributed(cfg.evolve(grid=(1, 1)))
 
 
 class TestPublicSurface:
     def test_api_symbols_reexported_from_repro(self):
         for name in (
             "SimulationConfig",
+            "ModelSpec",
+            "LadderSpec",
             "simulate",
             "ensemble",
+            "tempering",
             "distributed",
             "load",
             "deprecated_kwargs",

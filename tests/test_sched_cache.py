@@ -70,6 +70,58 @@ class TestCanonicalKey:
         config = SimulationConfig(shape=16)
         assert canonical_cache_key(config, 5) != canonical_cache_key(config, 6)
 
+    def test_flat_field_and_model_spec_collide(self):
+        """Satellite of the ModelSpec redesign: flat kwargs and
+        spec-built configs of the same physics dedup to one entry."""
+        from repro.api import ModelSpec
+
+        flat = SimulationConfig(shape=16, field=0.25)
+        spec = SimulationConfig(shape=16, model=ModelSpec(field=0.25))
+        assert canonical_cache_key(flat, 5) == canonical_cache_key(spec, 5)
+
+    def test_default_model_and_none_collide(self):
+        from repro.api import ModelSpec
+
+        implicit = SimulationConfig(shape=16)
+        explicit = SimulationConfig(shape=16, model=ModelSpec())
+        assert canonical_cache_key(implicit, 5) == canonical_cache_key(explicit, 5)
+
+    def test_disorder_fields_included(self):
+        from repro.api import ModelSpec
+
+        base = SimulationConfig(
+            shape=16, updater="masked_conv",
+            model=ModelSpec(couplings="bimodal", disorder_seed=1),
+        )
+        other_kind = SimulationConfig(
+            shape=16, updater="masked_conv",
+            model=ModelSpec(couplings="gaussian", disorder_seed=1),
+        )
+        other_seed = SimulationConfig(
+            shape=16, updater="masked_conv",
+            model=ModelSpec(couplings="bimodal", disorder_seed=2),
+        )
+        keys = {
+            canonical_cache_key(c, 5) for c in (base, other_kind, other_seed)
+        }
+        assert len(keys) == 3
+
+    def test_ladder_spellings_collide_but_order_matters(self):
+        from repro.api import LadderSpec
+
+        by_beta = SimulationConfig(
+            shape=16, ladder=LadderSpec(betas=(0.4, 0.5))
+        )
+        by_temp = SimulationConfig(
+            shape=16, ladder=LadderSpec(temperatures=(2.5, 2.0))
+        )
+        reordered = SimulationConfig(
+            shape=16, ladder=LadderSpec(betas=(0.5, 0.4))
+        )
+        assert canonical_cache_key(by_beta, 5) == canonical_cache_key(by_temp, 5)
+        # Adjacency order is part of the trajectory, not a spelling.
+        assert canonical_cache_key(by_beta, 5) != canonical_cache_key(reordered, 5)
+
     def test_explicit_initial_hashed_by_content(self):
         lattice = np.ones((8, 8), dtype=np.float32)
         a = SimulationConfig(shape=8, initial=lattice)

@@ -35,6 +35,30 @@ class TestCompatKey:
         base = SimulationConfig(shape=16)
         assert compat_key(base) != compat_key(base.evolve(**changes))
 
+    def test_disorder_splits_batches(self):
+        """Jobs with different quenched disorder cannot share one
+        vectorized ensemble — the compat key carries the model token."""
+        from repro.api import ModelSpec
+
+        ferro = SimulationConfig(shape=16, updater="masked_conv")
+        glass = SimulationConfig(
+            shape=16, updater="masked_conv",
+            model=ModelSpec(couplings="bimodal", disorder_seed=1),
+        )
+        other_seed = SimulationConfig(
+            shape=16, updater="masked_conv",
+            model=ModelSpec(couplings="bimodal", disorder_seed=2),
+        )
+        keys = {compat_key(c) for c in (ferro, glass, other_seed)}
+        assert len(keys) == 3
+
+    def test_flat_field_and_model_field_coalesce(self):
+        from repro.api import ModelSpec
+
+        flat = SimulationConfig(shape=16, field=0.1)
+        spec = SimulationConfig(shape=16, model=ModelSpec(field=0.1))
+        assert compat_key(flat) == compat_key(spec)
+
     def test_fused_auto_resolves_per_backend(self):
         # "auto" means fused on numpy and elementwise on tpu, so an
         # explicit spelling of the resolved value still coalesces.

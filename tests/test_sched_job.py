@@ -70,6 +70,26 @@ class TestJobSpecValidation:
     def test_nameable_backends_accepted(self, backend):
         JobSpec(config=SimulationConfig(shape=8, backend=backend), sweeps=5)
 
+    def test_rejects_ladder(self):
+        """A replica-exchange ladder is one coupled simulation, not a
+        batch of independent jobs — the error points at tempering()."""
+        from repro.api import LadderSpec
+
+        config = SimulationConfig(shape=8, ladder=LadderSpec(betas=(0.4, 0.5)))
+        with pytest.raises(ValueError, match="tempering"):
+            JobSpec(config=config, sweeps=5)
+
+    def test_accepts_disordered_model(self):
+        from repro.api import ModelSpec
+
+        config = SimulationConfig(
+            shape=8,
+            updater="masked_conv",
+            model=ModelSpec(couplings="bimodal", disorder_seed=3),
+        )
+        spec = JobSpec(config=config, sweeps=5)
+        assert spec.config.resolved_model.couplings == "bimodal"
+
 
 class TestLifecycle:
     def test_normal_path(self):

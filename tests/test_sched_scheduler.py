@@ -73,6 +73,33 @@ class TestBitIdentity:
         assert job.result.energy == energy_per_spin(job.result.lattice)
         assert job.result.sweeps == 5
 
+    def test_disordered_job_matches_solo_ensemble(self):
+        """Scheduler-served disordered jobs run the same masked_conv
+        per-bond kernels as a directly built ensemble, and the reported
+        energy uses the quenched bond energies."""
+        from repro.api import ModelSpec
+        from repro.core.couplings import BondCouplings, bond_energy_per_spin
+        from repro.core.ensemble import EnsembleSimulation
+
+        config = SimulationConfig(
+            shape=12, temperature=2.0, seed=6, updater="masked_conv",
+            model=ModelSpec(couplings="bimodal", disorder_seed=9),
+        )
+        scheduler = Scheduler(n_devices=1, max_batch=4)
+        job = scheduler.submit(config, 7)
+        scheduler.drain()
+
+        bonds = BondCouplings.generate("bimodal", (12, 12), 9)
+        solo = EnsembleSimulation(
+            12, [2.0], updater="masked_conv", couplings=bonds, seed=6,
+            traced=False,
+        )
+        solo.run(7)
+        np.testing.assert_array_equal(job.result.lattice, solo.lattices[0])
+        assert job.result.energy == bond_energy_per_spin(
+            job.result.lattice, bonds
+        )
+
     def test_late_joiner_disturbs_nobody(self):
         """Continuous batching: a chain joining mid-flight leaves the
         running siblings' trajectories bit-identical."""

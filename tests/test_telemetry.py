@@ -305,6 +305,29 @@ class TestChromeTrace:
         with pytest.raises(ValueError, match="record_trace"):
             chrome_trace(sim)
 
+    def test_tempering_swap_track(self):
+        from repro.core.tempering import TemperingEnsemble
+
+        sim = TemperingEnsemble(
+            16, (0.40, 0.43, 0.46), n_replicas=2, swap_interval=2, seed=1
+        )
+        sim.run(8)
+        trace = chrome_trace(sim)
+        events = trace["traceEvents"]
+        swap_tid = next(
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        )
+        assert swap_tid == "tempering swaps"
+        spans = [e for e in events if e.get("cat") == "tempering"]
+        assert len(spans) == sim.swap_rounds == 4
+        for span in spans:
+            assert span["ph"] == "X"
+            assert span["args"]["attempted"] >= 0
+            assert 0 <= span["args"]["accepted"] <= span["args"]["attempted"]
+        assert trace["otherData"]["num_tempering_spans"] == 4
+
 
 # -- bench report schema ---------------------------------------------------
 

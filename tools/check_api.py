@@ -9,10 +9,11 @@ Two invariants keep the public surface deliberate:
    (not imported into it) must be listed.  Helpers stay underscored or
    get blessed explicitly; nothing leaks by accident.
 
-2. **Config fields always default** — every field of
-   ``repro.api.SimulationConfig`` carries a default (or factory), so
-   ``SimulationConfig()`` stays constructible and adding a field is
-   never a breaking change for existing call sites.
+2. **Config fields always default** — every field of the public config
+   dataclasses (``repro.api.SimulationConfig`` and its nested
+   ``ModelSpec`` / ``LadderSpec``) carries a default (or factory), so
+   each stays constructible bare and adding a field is never a breaking
+   change for existing call sites.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -106,18 +107,19 @@ def check_config_defaults() -> list[str]:
     import dataclasses
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.api import SimulationConfig
+    from repro.api import LadderSpec, ModelSpec, SimulationConfig
 
     errors = []
-    for field in dataclasses.fields(SimulationConfig):
-        if (
-            field.default is dataclasses.MISSING
-            and field.default_factory is dataclasses.MISSING
-        ):
-            errors.append(
-                f"repro.api.SimulationConfig: field {field.name!r} has no "
-                "default — every config field must default"
-            )
+    for cls in (SimulationConfig, ModelSpec, LadderSpec):
+        for field in dataclasses.fields(cls):
+            if (
+                field.default is dataclasses.MISSING
+                and field.default_factory is dataclasses.MISSING
+            ):
+                errors.append(
+                    f"repro.api.{cls.__name__}: field {field.name!r} has no "
+                    "default — every config field must default"
+                )
     return errors
 
 
