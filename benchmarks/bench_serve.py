@@ -1,0 +1,388 @@
+"""Serve-layer load bench: affinity under skew, admission latency, shedding.
+
+Three acceptance gates for the :mod:`repro.serve` front door:
+
+1. **Cache-affinity parity** — an open-loop mix of 2048 mixed-tenant
+   jobs drawn from a Zipf-skewed config popularity curve is routed
+   through 4 shards and through 1 shard.  Content-addressed rendezvous
+   routing must keep the sharded fleet's cache hit rate within 10% of
+   the single giant scheduler (``hit_multi >= 0.9 * hit_single``) —
+   the whole point of config-hash affinity is that sharding does not
+   cost dedup.
+
+2. **Admission latency** — a smaller mix posted over real loopback HTTP
+   must admit with p99 round-trip latency under the CI budget, and a
+   sampled result fetched over the wire must be bit-identical to the
+   in-process client (exact floats, matching lattice sha256).
+
+3. **Load shedding** — offered 2x beyond a deliberately tiny fleet's
+   capacity, the server must shed with ``429`` + ``Retry-After`` and
+   every job it answered ``202`` for must still complete: zero accepted
+   jobs lost.
+
+The routed comparison runs on the cooperative scheduler directly (no
+sockets), so gate 1 judges placement quality, not HTTP overhead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from time import perf_counter
+
+import numpy as np
+
+from repro.api import SimulationConfig
+from repro.sched import Client, Scheduler, SchedulerSaturatedError
+from repro.serve import ServeApp, ShardRouter, http_request
+
+_N_JOBS = 2048
+_N_UNIQUE = 96
+_ZIPF_S = 1.1
+_N_SHARDS = 4
+_SIDE = 8
+_SWEEPS = 8
+_TENANTS = ("alice", "bob", "carol", "dave", "erin", "frank")
+_SUBMIT_STRIDE = 4  # router steps between submissions (open-loop pacing)
+
+_HTTP_JOBS = 96
+_P99_BUDGET_S = 0.25
+
+_SHED_OFFERED = 12  # vs. capacity max_queue=2 + 1 running: > 2x
+
+
+def _zipf_counts(n_jobs: int, n_unique: int, s: float) -> list[int]:
+    """How many of the ``n_jobs`` submissions each config rank receives.
+
+    Deterministic closed-form Zipf allocation (no RNG, so the mix is
+    identical on every platform): rank r gets a share proportional to
+    ``r**-s``, every rank appears at least once, and leftovers from
+    rounding go to the most popular ranks.
+    """
+    weights = [rank ** -s for rank in range(1, n_unique + 1)]
+    total = sum(weights)
+    counts = [max(1, int(n_jobs * w / total)) for w in weights]
+    excess = sum(counts) - n_jobs
+    rank = 0
+    while excess != 0:
+        if excess > 0 and counts[rank] > 1:
+            counts[rank] -= 1
+            excess -= 1
+        elif excess < 0:
+            counts[rank] += 1
+            excess += 1
+        rank = (rank + 1) % n_unique
+    return counts
+
+
+def build_workload() -> list[tuple[SimulationConfig, int, str]]:
+    """The deterministic 2048-row mix: (config, sweeps, tenant) rows.
+
+    96 unique configs with Zipf(1.1)-skewed popularity — the head rank
+    repeats hundreds of times, the tail appears once — interleaved by a
+    content hash of the row index so duplicates are spread through the
+    arrival order rather than clumped, and tenants rotate so every
+    shard sees mixed-tenant traffic.
+    """
+    counts = _zipf_counts(_N_JOBS, _N_UNIQUE, _ZIPF_S)
+    pool = []
+    for rank, count in enumerate(counts):
+        config = SimulationConfig(
+            shape=(_SIDE, _SIDE), temperature=1.5 + 0.01 * rank, seed=rank
+        )
+        pool.extend([config] * count)
+    order = sorted(
+        range(_N_JOBS),
+        key=lambda i: hashlib.sha256(str(i).encode("ascii")).digest(),
+    )
+    return [
+        (pool[i], _SWEEPS, _TENANTS[n % len(_TENANTS)])
+        for n, i in enumerate(order)
+    ]
+
+
+def run_routed(n_shards: int) -> tuple[ShardRouter, list]:
+    """Push the whole mix through an ``n_shards`` router, open loop.
+
+    Submissions outrun the drain rate on purpose; saturation backpressure
+    is absorbed by stepping the pool and retrying, exactly what the HTTP
+    client's capped backoff does.  Returns ``(router, job_handles)``.
+    """
+    router = ShardRouter(n_shards=n_shards)
+    jobs = []
+    for n, (config, sweeps, tenant) in enumerate(build_workload()):
+        for _ in range(10_000):
+            try:
+                _, job = router.submit(config, sweeps, tenant=tenant)
+                break
+            except SchedulerSaturatedError:
+                router.step()
+        else:
+            raise RuntimeError("router never accepted under retry")
+        jobs.append(job)
+        if n % _SUBMIT_STRIDE == 0:
+            router.step()
+    router.drain()
+    return router, jobs
+
+
+def measure_affinity() -> dict:
+    """Gate 1 numbers: sharded vs single-scheduler cache hit rates."""
+    single_router, single_jobs = run_routed(1)
+    multi_router, multi_jobs = run_routed(_N_SHARDS)
+    single = single_router.aggregate_cache_stats()
+    multi = multi_router.aggregate_cache_stats()
+    placed = multi_router.routed_affine + multi_router.routed_spilled
+    return {
+        "n_jobs": len(multi_jobs),
+        "single_done": sum(job.done for job in single_jobs),
+        "multi_done": sum(job.done for job in multi_jobs),
+        "single_hit_rate": single["hit_rate"],
+        "multi_hit_rate": multi["hit_rate"],
+        "hit_rate_ratio": (
+            multi["hit_rate"] / single["hit_rate"]
+            if single["hit_rate"]
+            else 0.0
+        ),
+        "multi_affine_fraction": (
+            multi_router.routed_affine / placed if placed else 0.0
+        ),
+        "multi_entries": multi["entries"],
+        "single_entries": single["entries"],
+    }
+
+
+# -- HTTP admission latency + bit-identity ------------------------------------
+
+
+def _wire_rows(n: int) -> list[tuple[dict, int, str]]:
+    """The first ``n`` workload rows as JSON-wire submissions."""
+    rows = []
+    for config, sweeps, tenant in build_workload()[:n]:
+        wire = {
+            "shape": list(config.shape),
+            "temperature": config.temperature,
+            "seed": config.seed,
+        }
+        rows.append((wire, sweeps, tenant))
+    return rows
+
+
+async def _http_scenario(app: ServeApp) -> dict:
+    latencies = []
+    posted = []
+    for wire, sweeps, tenant in _wire_rows(_HTTP_JOBS):
+        start = perf_counter()
+        status, _, body = await http_request(
+            "127.0.0.1", app.port, "POST", "/v1/jobs",
+            {"config": wire, "sweeps": sweeps, "tenant": tenant},
+        )
+        latencies.append(perf_counter() - start)
+        assert status == 202, f"expected 202, got {status}: {body}"
+        posted.append((wire, sweeps, body["id"]))
+    # Bit-identity spot checks on three distinct configs.
+    samples = []
+    seen = set()
+    for wire, sweeps, job_id in posted:
+        key = (tuple(wire["shape"]), wire["temperature"], wire["seed"], sweeps)
+        if key not in seen:
+            seen.add(key)
+            samples.append((wire, sweeps, job_id))
+        if len(samples) == 3:
+            break
+    wire_results = []
+    for wire, sweeps, job_id in samples:
+        status, _, res = await http_request(
+            "127.0.0.1", app.port, "GET", f"/v1/jobs/{job_id}/result"
+        )
+        assert status == 200
+        wire_results.append((wire, sweeps, res["result"]))
+    latencies.sort()
+    return {
+        "n_http_jobs": len(posted),
+        "admission_p50_s": latencies[len(latencies) // 2],
+        "admission_p99_s": latencies[min(
+            len(latencies) - 1, int(len(latencies) * 0.99)
+        )],
+        "_wire_results": wire_results,
+    }
+
+
+def measure_http() -> dict:
+    """Gate 2 numbers: p99 admission latency and wire bit-identity."""
+
+    async def main():
+        async with ServeApp(
+            router=ShardRouter(n_shards=_N_SHARDS), autoscale=False
+        ) as app:
+            return await _http_scenario(app)
+
+    numbers = asyncio.run(main())
+    wire_results = numbers.pop("_wire_results")
+    client = Client()
+    identical = 0
+    for wire, sweeps, res in wire_results:
+        config = SimulationConfig(
+            shape=tuple(wire["shape"]),
+            temperature=wire["temperature"],
+            seed=wire["seed"],
+        )
+        local = client.result(client.submit(config, sweeps))
+        lattice = np.asarray(res["lattice"], dtype=np.float32)
+        expected_hash = hashlib.sha256(
+            np.ascontiguousarray(local.lattice.astype(np.float32)).tobytes()
+        ).hexdigest()
+        if (
+            res["magnetization"] == float(local.magnetization)
+            and res["energy"] == float(local.energy)
+            and np.array_equal(lattice, local.lattice)
+            and res["lattice_sha256"] == expected_hash
+        ):
+            identical += 1
+    numbers["bit_identical_samples"] = identical
+    numbers["bit_identity_checked"] = len(wire_results)
+    return numbers
+
+
+# -- 2x-capacity shedding -----------------------------------------------------
+
+
+def _shed_factory(shard_id: int) -> Scheduler:
+    return Scheduler(n_devices=1, max_batch=1, quantum=4, max_queue=2)
+
+
+async def _shed_scenario(app: ServeApp) -> dict:
+    accepted, shed, missing_header = [], 0, 0
+    for seed in range(_SHED_OFFERED):
+        status, headers, body = await http_request(
+            "127.0.0.1", app.port, "POST", "/v1/jobs",
+            {
+                "config": {"shape": [_SIDE, _SIDE],
+                           "temperature": 2.0, "seed": seed},
+                "sweeps": 150,
+            },
+        )
+        if status == 202:
+            accepted.append(body["id"])
+        else:
+            assert status == 429, f"expected 429, got {status}"
+            shed += 1
+            if "retry-after" not in headers or int(headers["retry-after"]) < 1:
+                missing_header += 1
+    completed = 0
+    for job_id in accepted:
+        status, _, res = await http_request(
+            "127.0.0.1", app.port, "GET", f"/v1/jobs/{job_id}/result"
+        )
+        if status == 200 and res["state"] == "done":
+            completed += 1
+    return {
+        "shed_offered": _SHED_OFFERED,
+        "shed_accepted": len(accepted),
+        "shed_rejected": shed,
+        "shed_429_missing_retry_after": missing_header,
+        "shed_accepted_completed": completed,
+    }
+
+
+def measure_shed() -> dict:
+    """Gate 3 numbers: sheds at 2x capacity, zero accepted jobs lost."""
+
+    async def main():
+        async with ServeApp(
+            router=ShardRouter(n_shards=1, scheduler_factory=_shed_factory),
+            autoscale=False,
+        ) as app:
+            return await _shed_scenario(app)
+
+    return asyncio.run(main())
+
+
+# -- acceptance gates ---------------------------------------------------------
+
+
+def test_sharded_hit_rate_within_ten_percent_of_single():
+    """Gate 1: affinity keeps sharded hit rate >= 0.9x single-shard."""
+    numbers = measure_affinity()
+    assert numbers["n_jobs"] == _N_JOBS
+    assert numbers["single_done"] == _N_JOBS
+    assert numbers["multi_done"] == _N_JOBS
+    assert numbers["hit_rate_ratio"] >= 0.9, (
+        f"4-shard hit rate {numbers['multi_hit_rate']:.3f} vs single-shard "
+        f"{numbers['single_hit_rate']:.3f} is only "
+        f"{numbers['hit_rate_ratio']:.2f}x (need >= 0.9x)"
+    )
+    # Affinity, not luck: the overwhelming majority routed to the shard
+    # their content hash ranks first.
+    assert numbers["multi_affine_fraction"] >= 0.8
+
+
+def test_http_admission_p99_under_budget():
+    """Gate 2: p99 POST /v1/jobs round-trip under the CI budget, and
+    results over the wire bit-identical to the in-process client."""
+    numbers = measure_http()
+    assert numbers["n_http_jobs"] == _HTTP_JOBS
+    assert numbers["admission_p99_s"] < _P99_BUDGET_S, (
+        f"p99 admission {numbers['admission_p99_s'] * 1e3:.1f} ms exceeds "
+        f"{_P99_BUDGET_S * 1e3:.0f} ms budget"
+    )
+    assert numbers["bit_identical_samples"] == numbers["bit_identity_checked"]
+
+
+def test_sheds_at_2x_capacity_without_losing_accepted_jobs():
+    """Gate 3: past capacity -> 429 + Retry-After; every 202 completes."""
+    numbers = measure_shed()
+    assert numbers["shed_accepted"] >= 1, "nothing was admitted"
+    assert numbers["shed_rejected"] >= 1, "offered load never exceeded capacity"
+    assert numbers["shed_429_missing_retry_after"] == 0
+    assert numbers["shed_accepted_completed"] == numbers["shed_accepted"]
+
+
+def test_serve_throughput(benchmark):
+    benchmark.group = "serve-zipf-mix"
+    benchmark(lambda: run_routed(_N_SHARDS))
+
+
+def bench_payload() -> tuple[dict, dict]:
+    """Machine-readable summary across all three gates."""
+    numbers = measure_affinity()
+    numbers.update(measure_http())
+    numbers.update(measure_shed())
+    return (
+        numbers,
+        {
+            "n_jobs": _N_JOBS,
+            "n_unique": _N_UNIQUE,
+            "zipf_s": _ZIPF_S,
+            "n_shards": _N_SHARDS,
+            "side": _SIDE,
+            "sweeps": _SWEEPS,
+            "tenants": list(_TENANTS),
+            "n_http_jobs": _HTTP_JOBS,
+            "p99_budget_s": _P99_BUDGET_S,
+            "shed_offered": _SHED_OFFERED,
+        },
+    )
+
+
+def main() -> None:
+    numbers = measure_affinity()
+    print(f"{_N_JOBS}-job Zipf({_ZIPF_S}) mix, {_N_UNIQUE} unique configs, "
+          f"{len(_TENANTS)} tenants")
+    print(f"single-shard hit rate {numbers['single_hit_rate']:8.3f}")
+    print(f"{_N_SHARDS}-shard hit rate     {numbers['multi_hit_rate']:8.3f} "
+          f"({numbers['hit_rate_ratio']:.2f}x)")
+    print(f"affine fraction       {numbers['multi_affine_fraction']:8.3f}")
+    http_numbers = measure_http()
+    print(f"HTTP admission p50    {http_numbers['admission_p50_s'] * 1e3:8.2f} ms")
+    print(f"HTTP admission p99    {http_numbers['admission_p99_s'] * 1e3:8.2f} ms")
+    print(f"bit-identical samples {http_numbers['bit_identical_samples']:8d} "
+          f"/ {http_numbers['bit_identity_checked']}")
+    shed = measure_shed()
+    print(f"shed at 2x capacity   {shed['shed_rejected']:8d} rejected, "
+          f"{shed['shed_accepted']} accepted, "
+          f"{shed['shed_accepted_completed']} completed")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,7 @@ tables (see ``docs/observability.md`` for the schemas)::
 ``--telemetry-out`` writes a versioned RunReport JSON; ``--trace-out``
 writes a Chrome trace-event file (load it at https://ui.perfetto.dev or
 ``chrome://tracing``) and is supported by experiments that execute on
-simulated devices (currently ``smoke`` and ``serve``).
+simulated devices (currently ``smoke``, ``sched`` and ``serve``).
 
 ``--fault-plan PATH`` loads a JSON-serialized
 :class:`~repro.mesh.faults.FaultPlan` (``FaultPlan.to_json_dict``
@@ -36,7 +36,7 @@ import sys
 from ..mesh.faults import FaultPlan
 from ..telemetry.report import RunTelemetry
 from ..version import __version__
-from . import figure4, figure7, figure8, figure9, serve, smoke
+from . import figure4, figure7, figure8, figure9, sched_demo, serve, smoke
 from . import table1, table2, table3, table4, table5, table6, table7
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
@@ -56,7 +56,8 @@ EXPERIMENTS = {
     "figure8": (figure8.run, "throughput vs problem size, all platforms"),
     "figure9": (figure9.run, "strong scaling vs ideal"),
     "smoke": (smoke.run, "instrumented distributed run + telemetry artifacts [runs MCMC]"),
-    "serve": (serve.run, "mixed-priority job mix through the repro.sched service"),
+    "sched": (sched_demo.run, "mixed-priority job mix through the repro.sched service"),
+    "serve": (serve.run, "multi-tenant HTTP workload through the repro.serve front door"),
 }
 
 _MCMC_EXPERIMENTS = {"figure4", "figure7"}

@@ -1,24 +1,33 @@
-"""Scheduler smoke: a mixed-priority job mix through the simulation service.
+"""Serving smoke: a multi-tenant HTTP workload through repro.serve.
 
-Where the other experiments drive one simulation, this one exercises
-:mod:`repro.sched` end to end: a deterministic mix of tenants, shapes,
-dtypes, priorities and duplicate submissions flows through one
-:class:`~repro.sched.scheduler.Scheduler`, demonstrating coalesced
-batching, content-addressed cache servings, and a priority preemption —
-then reports how every job was served.
+Where the ``sched`` experiment drives one scheduler in-process, this one
+stands up the full front door — :class:`~repro.serve.app.ServeApp` on a
+loopback socket — and pushes a deterministic mixed-tenant workload over
+*real HTTP*: a temperature scan, exact duplicates (routed to the same
+affine shard, served by dedup/cache), and a bursty tenant whose tight
+token bucket demonstrates 429 + ``Retry-After`` shedding.  Every
+accepted job's result is fetched back over the wire, and one is checked
+bit-identical against an in-process :class:`~repro.sched.client.Client`
+run of the same config.
 
 Run it through the CLI to archive the artifacts::
 
-    ising-tpu serve --telemetry-out sched_run.json --trace-out sched_trace.json
+    ising-tpu serve --telemetry-out serve_run.json --trace-out serve_trace.json
 
-The telemetry report is a ``kind="sched"`` RunReport (queue depth, batch
-occupancy, cache hit rate, preemption counters); the trace renders
-per-device op tracks plus a "scheduler batches" track.
+The telemetry report is a ``kind="serve"`` RunReport (``serve_*`` gauges:
+shards, pressure, queue depth, outstanding jobs); the trace renders the
+"serve front door" track of accept/shed events on the modeled timeline.
 """
 
 from __future__ import annotations
 
-from ..sched.scheduler import Scheduler
+import asyncio
+
+from ..sched.client import Client
+from ..serve.app import ServeApp
+from ..serve.limits import RateLimiter, TenantQuota
+from ..serve.protocol import http_request, stream_frames
+from ..serve.router import ShardRouter
 from ..telemetry.report import RunTelemetry
 from ..telemetry.trace import chrome_trace
 from .report import ExperimentResult
@@ -26,125 +35,165 @@ from .report import ExperimentResult
 __all__ = ["run"]
 
 
-def _workload(scheduler: Scheduler) -> list:
-    """Submit the deterministic demo mix; returns jobs in submit order.
+async def _workload(app: ServeApp) -> dict:
+    """Drive the deterministic tenant mix; returns observed outcomes."""
+    host, port = app.host, app.port
+    counts: dict = {}
 
-    Eight coalescable low-priority jobs (one hot compat key), four more
-    on a second key (so every device is busy), two exact duplicates
-    (cache / in-flight dedup), and — once both batches are running — two
-    high-priority jobs of a third key, which must preempt.
-    """
-    from ..api import SimulationConfig
+    async def post(tenant: str, temperature: float, seed: int) -> tuple:
+        wire = {
+            "config": {
+                "shape": [16, 16],
+                "temperature": temperature,
+                "seed": seed,
+            },
+            "sweeps": 24,
+            "tenant": tenant,
+        }
+        status, headers, body = await http_request(
+            host, port, "POST", "/v1/jobs", wire
+        )
+        row = counts.setdefault(
+            tenant, {"submitted": 0, "accepted": 0, "throttled": 0}
+        )
+        row["submitted"] += 1
+        if status == 202:
+            row["accepted"] += 1
+        elif status == 429:
+            row["throttled"] += 1
+        return status, headers, body
 
-    jobs = []
+    accepted: "list[str]" = []
+    # Tenant "scan": eight distinct configs across the temperature range.
     for i in range(8):
-        config = SimulationConfig(
-            shape=16, temperature=1.8 + 0.1 * i, seed=i, backend="tpu"
+        _, _, body = await post("scan", 1.8 + 0.1 * i, seed=i)
+        accepted.append(body["id"])
+    # Tenant "repeat": exact duplicates of the first scan point — all
+    # land on its affine shard and are served by dedup or cache.
+    for _ in range(4):
+        _, _, body = await post("repeat", 1.8, seed=0)
+        accepted.append(body["id"])
+    # Tenant "bursty": a tight token bucket (burst 3) sheds the tail of
+    # an 8-request burst with 429 + Retry-After.
+    retry_after = None
+    for i in range(8):
+        status, headers, body = await post("bursty", 2.3, seed=100 + i)
+        if status == 429:
+            retry_after = headers.get("retry-after")
+        else:
+            accepted.append(body["id"])
+
+    frames = await stream_frames(
+        host, port, f"/v1/jobs/{accepted[0]}/stream"
+    )
+    results = {}
+    for ref_id in accepted:
+        status, _, body = await http_request(
+            host, port, "GET", f"/v1/jobs/{ref_id}/result"
         )
-        jobs.append(
-            scheduler.submit(config, 24, priority=0, tenant="scan")
-        )
-    for i in range(4):
-        config = SimulationConfig(
-            shape=16, temperature=2.0 + 0.1 * i, seed=20 + i,
-            updater="checkerboard", backend="tpu",
-        )
-        jobs.append(
-            scheduler.submit(config, 24, priority=0, tenant="scan")
-        )
-    # Exact duplicates of the first submission: in-flight dedup now,
-    # cache hit on any later resubmission.
-    duplicate = SimulationConfig(shape=16, temperature=1.8, seed=0, backend="tpu")
-    for _ in range(2):
-        jobs.append(scheduler.submit(duplicate, 24, priority=0, tenant="repeat"))
-    for _ in range(2):
-        scheduler.step()
-    for i in range(2):
-        config = SimulationConfig(
-            shape=32, temperature=2.1, updater="conv", seed=40 + i,
-            dtype="bfloat16", backend="tpu",
-        )
-        jobs.append(
-            scheduler.submit(config, 12, priority=5, tenant="urgent")
-        )
-    scheduler.drain()
-    return jobs
+        assert status == 200, (status, body)
+        results[ref_id] = body
+    _, _, statsz = await http_request(host, port, "GET", "/v1/statsz")
+    return {
+        "counts": counts,
+        "accepted": accepted,
+        "results": results,
+        "frames": frames,
+        "retry_after": retry_after,
+        "statsz": statsz,
+    }
 
 
 def run(
-    n_devices: int = 2,
-    max_batch: int = 8,
-    quantum: int = 4,
+    n_shards: int = 2,
     telemetry: RunTelemetry | None = None,
     record_trace: bool = False,
 ) -> ExperimentResult:
-    """Run the scheduler smoke and return its result.
+    """Run the serving smoke and return its result.
 
-    Always instrumented (a recorder is created when none is passed); the
-    ``kind="sched"`` run report — and with ``record_trace`` the Chrome
-    trace — land in ``result.artifacts``.
+    Always instrumented; the ``kind="serve"`` run report — and with
+    ``record_trace`` the Chrome trace of the "serve front door" track —
+    land in ``result.artifacts``.
     """
     if telemetry is None:
         telemetry = RunTelemetry()
-    scheduler = Scheduler(
-        n_devices=n_devices,
-        max_batch=max_batch,
-        quantum=quantum,
-        telemetry=telemetry,
-        record_trace=record_trace,
+    limiter = RateLimiter(
+        per_tenant={"bursty": TenantQuota(rate=1.0, burst=3.0)}
     )
-    jobs = _workload(scheduler)
-    stats = scheduler.stats()
+    app = ServeApp(
+        router=ShardRouter(n_shards=n_shards),
+        limiter=limiter,
+        metrics=telemetry.registry,
+        autoscale=False,  # deterministic topology for the printed table
+    )
+
+    async def main() -> dict:
+        async with app:
+            return await _workload(app)
+
+    observed = asyncio.run(main())
+
+    # Bit-identity spot check: the first scan job's wire result vs an
+    # in-process client run of the identical config.
+    from ..api import SimulationConfig
+
+    client = Client()
+    local = client.result(
+        client.submit(SimulationConfig(shape=(16, 16), temperature=1.8, seed=0), 24)
+    )
+    first = observed["results"][observed["accepted"][0]]["result"]
+    identical = (
+        first["magnetization"] == float(local.magnetization)
+        and first["energy"] == float(local.energy)
+    )
 
     rows = []
-    for job in jobs:
-        config = job.spec.config
+    for tenant in sorted(observed["counts"]):
+        row = observed["counts"][tenant]
+        quota = limiter.quota_for(tenant)
         rows.append(
             [
-                job.id,
-                job.spec.tenant,
-                job.spec.priority,
-                f"{config.updater}/{config.dtype}",
-                f"{config.shape}^2" if isinstance(config.shape, int) else str(config.shape),
-                job.spec.sweeps,
-                job.state,
-                "cache" if job.from_cache else "computed",
-                job.preemptions,
+                tenant,
+                row["submitted"],
+                row["accepted"],
+                row["throttled"],
+                f"{quota.rate:g}/s burst {quota.burst:g}",
             ]
         )
-    artifacts = {"run_report": scheduler.report().to_json_dict()}
+
+    router_stats = observed["statsz"]["router"]
+    cache = router_stats["cache"]
+    artifacts = {
+        "run_report": telemetry.build_report(
+            kind="serve",
+            run={
+                "n_shards": n_shards,
+                "jobs_accepted": len(observed["accepted"]),
+                "bit_identical": identical,
+            },
+        ).to_json_dict()
+    }
     if record_trace:
-        artifacts["trace"] = chrome_trace(scheduler)
-    cache = stats["cache"]
+        artifacts["trace"] = chrome_trace(app)
     return ExperimentResult(
-        name="Scheduler smoke",
+        name="Serving smoke",
         description=(
-            f"{stats['jobs']['submitted']} mixed-priority jobs through a "
-            f"{n_devices}-device scheduler (max_batch={max_batch}, "
-            f"quantum={quantum})"
+            f"{sum(r['submitted'] for r in observed['counts'].values())} "
+            f"HTTP submissions from 3 tenants across {n_shards} scheduler "
+            "shard(s), with per-tenant token-bucket quotas"
         ),
-        headers=[
-            "job",
-            "tenant",
-            "prio",
-            "updater/dtype",
-            "shape",
-            "sweeps",
-            "state",
-            "served",
-            "preempts",
-        ],
+        headers=["tenant", "submitted", "202 accepted", "429 shed", "quota"],
         rows=rows,
         notes=(
-            f"Batches started {stats['batches']['started']} "
-            f"(max occupancy {stats['batches']['max_occupancy']} chains); "
-            f"cache {cache['hits']} hit(s) / {cache['misses']} miss(es); "
-            f"{stats['preemptions']} preemption(s); modeled makespan "
-            f"{stats['pool']['makespan_seconds'] * 1e3:.2f} ms across "
-            f"{stats['pool']['n_devices']} device(s).  Every job's "
-            "observables are bit-identical to a solo repro.simulate() run "
-            "of its config.  Use --telemetry-out / --trace-out to archive "
-            "the JSON artifacts."
+            f"Affinity routing: {router_stats['routed_affine']} affine / "
+            f"{router_stats['routed_spilled']} spilled; cache "
+            f"{cache['hits']} hit(s) / {cache['misses']} miss(es) "
+            f"(hit rate {cache['hit_rate']:.2f}).  Shed requests carried "
+            f"Retry-After: {observed['retry_after']} s.  Stream returned "
+            f"{len(observed['frames'])} frame(s).  Wire results "
+            f"{'are' if identical else 'ARE NOT'} bit-identical to the "
+            "in-process client.  Use --telemetry-out / --trace-out to "
+            "archive the JSON artifacts."
         ),
         artifacts=artifacts,
     )

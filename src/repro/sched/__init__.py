@@ -26,7 +26,7 @@ from .client import Client, submit
 from .coalesce import BatchPlan, Coalescer, compat_key
 from .job import Job, JobResult, JobSpec, JobState
 from .pool import DeviceLease, DevicePool
-from .scheduler import Scheduler, SchedulerSaturatedError
+from .scheduler import Scheduler, SchedulerDrainingError, SchedulerSaturatedError
 
 __all__ = [
     "BatchPlan",
@@ -40,6 +40,7 @@ __all__ = [
     "JobState",
     "ResultCache",
     "Scheduler",
+    "SchedulerDrainingError",
     "SchedulerSaturatedError",
     "canonical_cache_key",
     "compat_key",

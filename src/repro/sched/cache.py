@@ -196,6 +196,27 @@ class ResultCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def export(self) -> "list[tuple[str, JobResult]]":
+        """Snapshot every entry as ``(key, result copy)`` pairs, LRU first.
+
+        The scale-down flush: a draining shard exports its index so the
+        routing layer can :meth:`absorb` the entries into the surviving
+        shards and keep content-addressed hit rates intact.  Bookkeeping
+        (hits/misses) is untouched.
+        """
+        return [(key, result.copy()) for key, result in self._entries.items()]
+
+    def absorb(self, entries: "list[tuple[str, JobResult]]") -> None:
+        """Merge exported entries, keeping any result already present.
+
+        Existing entries win (they are at least as recent); new keys are
+        inserted through :meth:`put`, so the LRU bound and eviction
+        accounting apply as usual.
+        """
+        for key, result in entries:
+            if key not in self._entries:
+                self.put(key, result)
+
     def stats(self) -> dict:
         """Hit/miss/eviction counts plus current occupancy."""
         return {

@@ -19,10 +19,20 @@ function bodies here.
 
 from __future__ import annotations
 
+import random
+import threading
+
 from .job import Job, JobResult
-from .scheduler import Scheduler
+from .scheduler import Scheduler, SchedulerDrainingError, SchedulerSaturatedError
 
 __all__ = ["Client", "submit", "default_client", "reset_default_client"]
+
+#: Fallback backoff base when a saturation error carries no hint
+#: (modeled seconds), and the per-attempt backoff ceiling.
+_BACKOFF_FALLBACK_S = 0.01
+_BACKOFF_CAP_S = 2.0
+#: Bound on scheduler rounds one backoff wait may drive (safety valve).
+_BACKOFF_MAX_STEPS = 4096
 
 
 class Client:
@@ -37,12 +47,20 @@ class Client:
         ``tenant_weights``, ``telemetry``, ``record_trace``, ...).
     tenant:
         Default fair-share bucket for this client's submissions.
+    max_retries:
+        Backpressure retries per submit.  A saturated scheduler's
+        ``retry_after_s`` hint is honored with capped exponential
+        backoff plus deterministic jitter — the client *absorbs* the
+        backpressure by driving scheduler rounds (in-process, advancing
+        the scheduler is how time passes) instead of failing straight
+        through to the caller.  ``0`` restores fail-fast behaviour.
     """
 
     def __init__(
         self,
         scheduler: Scheduler | None = None,
         tenant: str = "default",
+        max_retries: int = 4,
         **scheduler_kwargs,
     ) -> None:
         if scheduler is not None and scheduler_kwargs:
@@ -50,10 +68,17 @@ class Client:
                 "pass either an existing scheduler or constructor kwargs, "
                 f"not both (got {sorted(scheduler_kwargs)})"
             )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.scheduler = scheduler if scheduler is not None else Scheduler(
             **scheduler_kwargs
         )
         self.tenant = str(tenant)
+        self.max_retries = int(max_retries)
+        self.backoff_waits = 0
+        # Deterministic jitter source: backoff spread without perturbing
+        # any simulation RNG (reproducible retry schedules in tests).
+        self._retry_rng = random.Random(0x5EEDED)
 
     def submit(
         self,
@@ -79,12 +104,47 @@ class Client:
                 "pass either a config or config fields, not both "
                 f"(got {sorted(config_kwargs)})"
             )
-        return self.scheduler.submit(
-            config,
-            sweeps,
-            priority=priority,
-            tenant=self.tenant if tenant is None else str(tenant),
-        )
+        resolved_tenant = self.tenant if tenant is None else str(tenant)
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self.scheduler.submit(
+                    config, sweeps, priority=priority, tenant=resolved_tenant
+                )
+            except SchedulerDrainingError:
+                # Retrying a draining scheduler can never succeed.
+                raise
+            except SchedulerSaturatedError as exc:
+                if attempt == self.max_retries:
+                    raise
+                self._absorb_backpressure(exc.retry_after_s, attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _absorb_backpressure(
+        self, retry_after_s: float | None, attempt: int
+    ) -> None:
+        """Wait out one saturation: capped exponential backoff + jitter.
+
+        The wait honors the scheduler's machine-readable hint: base
+        delay = ``retry_after_s`` (fallback 10 ms) doubled per attempt,
+        capped at 2 s, with +-25% deterministic jitter.  In-process,
+        "waiting" means driving scheduler rounds — we step until the
+        modeled clock advanced by the delay or a queue slot freed,
+        whichever comes first.
+        """
+        base = retry_after_s if retry_after_s else _BACKOFF_FALLBACK_S
+        delay = min(base * (2 ** attempt), _BACKOFF_CAP_S)
+        delay *= 1.0 + 0.25 * (2.0 * self._retry_rng.random() - 1.0)
+        self.backoff_waits += 1
+        scheduler = self.scheduler
+        start = scheduler.pool.makespan()
+        for _ in range(_BACKOFF_MAX_STEPS):
+            if scheduler.queue_depth < scheduler.max_queue:
+                return
+            if not scheduler.busy:
+                return
+            scheduler.step()
+            if scheduler.pool.makespan() - start >= delay:
+                return
 
     def result(self, job: Job) -> JobResult:
         """The job's result, draining the scheduler first if needed.
@@ -109,20 +169,28 @@ class Client:
 
 #: Process-wide client backing the module-level :func:`submit`.
 _default_client: Client | None = None
+#: Guards the lazy init: concurrent HTTP handler threads (or tasks
+#: hopping threads via an executor) must never race two default
+#: schedulers into existence — the second would silently own a cold
+#: cache and its own device pool.
+_default_client_lock = threading.Lock()
 
 
 def default_client() -> Client:
-    """The shared process-wide client (built on first use)."""
+    """The shared process-wide client (built on first use, thread-safe)."""
     global _default_client
     if _default_client is None:
-        _default_client = Client()
+        with _default_client_lock:
+            if _default_client is None:
+                _default_client = Client()
     return _default_client
 
 
 def reset_default_client() -> None:
     """Drop the shared client (tests; frees its cache and pool)."""
     global _default_client
-    _default_client = None
+    with _default_client_lock:
+        _default_client = None
 
 
 def submit(

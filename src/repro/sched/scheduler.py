@@ -51,11 +51,41 @@ from .coalesce import Coalescer, compat_key
 from .job import Job, JobResult, JobSpec, JobState
 from .pool import DevicePool
 
-__all__ = ["Scheduler", "SchedulerSaturatedError"]
+__all__ = ["Scheduler", "SchedulerSaturatedError", "SchedulerDrainingError"]
+
+#: Bounds on the modeled :meth:`Scheduler.modeled_retry_after` hint, and
+#: the fallback when no service history exists yet (modeled seconds).
+_RETRY_AFTER_MIN_S = 1e-3
+_RETRY_AFTER_MAX_S = 60.0
+_RETRY_AFTER_DEFAULT_S = 0.05
 
 
 class SchedulerSaturatedError(RuntimeError):
-    """Backpressure: the admission queue is full; resubmit later."""
+    """Backpressure: the admission queue is full; resubmit later.
+
+    ``retry_after_s`` is the machine-readable hint derived from the
+    modeled queue drain rate (see :meth:`Scheduler.modeled_retry_after`):
+    how long, in modeled seconds, a caller should wait before its retry
+    has a fair chance of finding a free queue slot.  The serve layer
+    surfaces it as an HTTP 429 ``Retry-After``; the in-process
+    :class:`~repro.sched.client.Client` honors it with capped
+    exponential backoff.
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class SchedulerDrainingError(SchedulerSaturatedError):
+    """The scheduler is shutting down and admits no new work.
+
+    Raised by :meth:`Scheduler.submit` after :meth:`Scheduler.shutdown`
+    stopped admission.  A subclass of :class:`SchedulerSaturatedError`
+    so shard routers treat both as "this shard cannot take the job" —
+    but retrying the *same* scheduler is pointless, so the client's
+    backoff loop re-raises it immediately instead of retrying.
+    """
 
 
 @dataclass
@@ -151,6 +181,8 @@ class Scheduler:
         self._next_batch_id = 0
 
         self.ticks = 0
+        self.service_done = 0.0
+        self._admitting = True
         self.jobs_submitted = 0
         self.jobs_completed = 0
         self.jobs_failed = 0
@@ -182,6 +214,12 @@ class Scheduler:
         served from the cache the moment the primary completes.  Raises
         :class:`SchedulerSaturatedError` when the queue is full.
         """
+        if not self._admitting:
+            raise SchedulerDrainingError(
+                "scheduler is draining (shutdown() was called); submit to "
+                "another shard",
+                retry_after_s=self.modeled_retry_after(),
+            )
         spec = JobSpec(
             config=config, sweeps=int(sweeps), priority=int(priority),
             tenant=str(tenant),
@@ -207,7 +245,8 @@ class Scheduler:
         if len(self._queue) >= self.max_queue:
             raise SchedulerSaturatedError(
                 f"admission queue full ({self.max_queue} jobs); "
-                "drain or resubmit later"
+                "drain or resubmit later",
+                retry_after_s=self.modeled_retry_after(),
             )
         self._register(job)
         self._inflight[key] = job
@@ -257,6 +296,190 @@ class Scheduler:
                     f"scheduler did not drain within {max_ticks} ticks"
                 )
             self.step()
+
+    # -- serve-layer hooks: backpressure, drain/handoff, introspection -------
+
+    @property
+    def admitting(self) -> bool:
+        """False once :meth:`shutdown` stopped admission."""
+        return self._admitting
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting in the admission queue right now."""
+        return len(self._queue)
+
+    @property
+    def running_chains(self) -> int:
+        """Chains currently placed on leased devices."""
+        return sum(batch.n_chains for batch in self._batches)
+
+    @property
+    def busy(self) -> bool:
+        """True while any work is queued or running."""
+        return bool(self._queue or self._batches)
+
+    def is_duplicate(self, cache_key: str) -> bool:
+        """Would a submit of ``cache_key`` be served without queue space?
+
+        True when the key is already cached, or an identical primary is
+        queued/running here (the duplicate would become a follower).
+        Shard routers use this to keep duplicates on their affine shard
+        even when its queue is full — dedup never costs a queue slot.
+        """
+        if cache_key in self.cache:
+            return True
+        primary = self._inflight.get(cache_key)
+        return primary is not None and not primary.done
+
+    def _sites_of(self, job: Job) -> int:
+        rows, cols = _normalized_shape(job.spec.config.shape)
+        return rows * cols
+
+    def outstanding_service(self) -> float:
+        """Unfinished service (sweeps x sites) across queued + running jobs."""
+        total = 0.0
+        for job in self._queue:
+            total += job.sweeps_remaining * self._sites_of(job)
+        for batch in self._batches:
+            for job in batch.jobs:
+                total += job.sweeps_remaining * self._sites_of(job)
+        return total
+
+    def modeled_retry_after(self) -> float:
+        """Modeled seconds until a resubmit has a fair chance of admission.
+
+        Derived from the modeled queue drain rate: the outstanding
+        service (sweeps x sites still owed to queued and running jobs)
+        divided by the observed service rate on the cost-model clock
+        (service done so far over the pool makespan).  Before any
+        history exists the hint falls back to a small constant.  The
+        estimate is clamped to [1 ms, 60 s].
+        """
+        outstanding = self.outstanding_service()
+        if outstanding <= 0:
+            return _RETRY_AFTER_MIN_S
+        makespan = self.pool.makespan()
+        if self.service_done > 0 and makespan > 0:
+            estimate = outstanding / (self.service_done / makespan)
+        else:
+            estimate = _RETRY_AFTER_DEFAULT_S
+        return min(max(estimate, _RETRY_AFTER_MIN_S), _RETRY_AFTER_MAX_S)
+
+    def shutdown(self, finish: bool = False) -> dict:
+        """Graceful-shutdown path: stop admitting, then drain or hand off.
+
+        With ``finish=True`` every accepted job runs to completion (or
+        failure) before returning.  With ``finish=False`` (the serve
+        layer's scale-down path) running batches are *checkpointed*
+        through their ``checkpoint/v2`` snapshots — exactly the
+        preemption machinery — and every unfinished job is returned as a
+        handoff token another scheduler re-admits bit-identically via
+        :meth:`adopt`.  Either way the content-addressed result cache is
+        flushed into the return value so the routing layer can re-home
+        hot entries and keep hit rates intact.
+
+        Returns ``{"jobs": [token, ...], "cache": [(key, result), ...]}``;
+        ``jobs`` is empty when ``finish=True`` succeeded.  Each token
+        carries ``spec`` / ``cache_key`` / ``resume`` / ``sweeps_done``
+        / ``priority`` plus the original ``job`` handle (so a front door
+        can re-point its references after the move).
+        """
+        self._admitting = False
+        if finish:
+            self.drain()
+        else:
+            for batch in list(self._batches):
+                self._preempt(batch)
+        handoff = []
+        for job in self._queue:
+            handoff.append(self._handoff_token(job))
+        for followers in self._followers.values():
+            for job in followers:
+                handoff.append(self._handoff_token(job))
+        self._queue.clear()
+        self._followers.clear()
+        self._inflight.clear()
+        return {"jobs": handoff, "cache": self.cache.export()}
+
+    def _handoff_token(self, job: Job) -> dict:
+        return {
+            "spec": job.spec,
+            "cache_key": job.cache_key,
+            "resume": job.resume,
+            "sweeps_done": int(job.sweeps_done),
+            "preemptions": int(job.preemptions),
+            "job": job,
+        }
+
+    def adopt(self, token: dict) -> Job:
+        """Re-admit one handed-off job from another scheduler's shutdown.
+
+        The token's ``resume`` snapshot (lattice + Philox state) makes
+        the adopted job continue bit-identically from where the old
+        shard checkpointed it.  Adoption deliberately bypasses the
+        ``max_queue`` bound — scale-down must never lose an accepted job
+        — but still dedups against this scheduler's cache and in-flight
+        primaries.
+        """
+        if not self._admitting:
+            raise SchedulerDrainingError(
+                "cannot adopt into a draining scheduler",
+                retry_after_s=self.modeled_retry_after(),
+            )
+        spec: JobSpec = token["spec"]
+        key = token["cache_key"]
+        job = Job(self._next_job_id, spec, key)
+        job.submitted_tick = self.ticks
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._register(job)
+            job.result = cached
+            job.from_cache = True
+            self._finish(job)
+            return job
+        primary = self._inflight.get(key)
+        if primary is not None and not primary.done:
+            self._register(job)
+            self._followers.setdefault(primary.id, []).append(job)
+            return job
+        job.resume = token.get("resume")
+        job.sweeps_done = int(token.get("sweeps_done", 0))
+        job.preemptions = int(token.get("preemptions", 0))
+        self._register(job)
+        self._inflight[key] = job
+        self._queue.append(job)
+        return job
+
+    def peek(self, job: Job) -> dict:
+        """Incremental observables of a job without disturbing its run.
+
+        Always reports ``state`` and ``sweeps_done``; when the job is
+        running in a batch (or already done) the current lattice's
+        ``magnetization`` and ``energy`` ride along — the serve layer
+        streams these as progress frames.  Reading never touches the
+        chain's RNG or state, so streamed runs stay bit-identical.
+        """
+        info: dict = {"state": job.state, "sweeps_done": int(job.sweeps_done)}
+        if job.result is not None:
+            info["magnetization"] = job.result.magnetization
+            info["energy"] = job.result.energy
+            return info
+        for batch in self._batches:
+            if job in batch.jobs:
+                index = batch.jobs.index(job)
+                lattice = np.asarray(
+                    batch.ensemble.lattices[index], dtype=np.float32
+                )
+                couplings = batch.ensemble.couplings
+                if couplings is not None:
+                    energy = bond_energy_per_spin(lattice, couplings)
+                else:
+                    energy = energy_per_spin(lattice)
+                info["magnetization"] = float(magnetization(lattice))
+                info["energy"] = float(energy)
+                break
+        return info
 
     # -- admission -----------------------------------------------------------
 
@@ -427,6 +650,7 @@ class Scheduler:
         clock1 = batch.lease.device.busy_seconds
         rows, cols = batch.ensemble.shape
         service = n_sweeps * rows * cols
+        self.service_done += service * batch.n_chains
         for job in batch.jobs:
             job.sweeps_done += n_sweeps
             tenant = job.spec.tenant
@@ -573,6 +797,10 @@ class Scheduler:
         """Machine-readable scheduler counters (always available)."""
         return {
             "ticks": self.ticks,
+            "admitting": self._admitting,
+            "outstanding_service": self.outstanding_service(),
+            "service_done": self.service_done,
+            "retry_after_s": self.modeled_retry_after(),
             "jobs": {
                 "submitted": self.jobs_submitted,
                 "completed": self.jobs_completed,

@@ -1,0 +1,64 @@
+"""repro.serve — the async front-door service layer over repro.sched.
+
+Where :mod:`repro.sched` schedules jobs inside one process, this package
+puts a network in front of a *fleet* of schedulers:
+
+* :mod:`repro.serve.protocol` — versioned JSON wire schemas plus a
+  dependency-free asyncio HTTP/1.1 codec (server and client halves);
+* :mod:`repro.serve.router` — :class:`ShardRouter`: config-hash
+  affinity via rendezvous hashing, power-of-two-choices spill, and
+  zero-loss shard removal with checkpoint handoff;
+* :mod:`repro.serve.limits` — per-tenant token-bucket rate limits and
+  outstanding-job quotas behind HTTP 429 + ``Retry-After``;
+* :mod:`repro.serve.autoscale` — queue-driven shard autoscaling with
+  hysteresis and cooldown, emitting ``serve_*`` gauges and the "serve"
+  Chrome-trace track;
+* :mod:`repro.serve.app` — :class:`ServeApp`, the asyncio HTTP server
+  tying the above together on a single event loop.
+
+Results fetched over HTTP are bit-identical to in-process
+``repro.submit()`` for the same (config, seed, sweeps) — floats
+round-trip exactly through JSON and spins are exact ±1.  See
+``docs/serving.md``.
+"""
+
+from .app import JobRef, ServeApp
+from .autoscale import Autoscaler, AutoscalePolicy
+from .limits import RateLimiter, TenantQuota, TokenBucket
+from .protocol import (
+    LAST_CHUNK,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    config_from_wire,
+    encode_chunk,
+    http_request,
+    http_response,
+    read_http_request,
+    result_to_wire,
+    stream_frames,
+)
+from .router import Shard, ShardRouter
+
+__all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
+    "JobRef",
+    "LAST_CHUNK",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RateLimiter",
+    "Request",
+    "ServeApp",
+    "Shard",
+    "ShardRouter",
+    "TenantQuota",
+    "TokenBucket",
+    "config_from_wire",
+    "encode_chunk",
+    "http_request",
+    "http_response",
+    "read_http_request",
+    "result_to_wire",
+    "stream_frames",
+]

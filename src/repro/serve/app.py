@@ -1,0 +1,547 @@
+"""The repro.serve front door: an asyncio HTTP/JSON service.
+
+:class:`ServeApp` binds a stdlib asyncio socket server in front of a
+:class:`~repro.serve.router.ShardRouter` and exposes the scheduler fleet
+as six endpoints:
+
+=========================== ==================================================
+``POST /v1/jobs``           submit a config; 202 + job id (or 429/503)
+``GET /v1/jobs/{id}``        job state + incremental observables
+``GET /v1/jobs/{id}/result`` block until done, return the full result
+``GET /v1/jobs/{id}/stream`` chunked NDJSON progress frames, then the result
+``GET /v1/healthz``          liveness + admission state
+``GET /v1/statsz``           router / limiter / autoscaler / HTTP counters
+=========================== ==================================================
+
+Everything runs on **one event loop**: request handlers and the driver
+task (which steps busy shards and ticks the autoscaler) interleave
+cooperatively, so the synchronous schedulers underneath are never
+touched from two threads.  Handlers that must wait — ``/result``,
+``/stream`` — await a per-job event the driver sets, yielding the loop
+to the very stepping that finishes their job.
+
+Backpressure is layered: the per-tenant :class:`~repro.serve.limits.
+RateLimiter` refuses before any shard is consulted (429 with a
+bucket-derived ``Retry-After``), and a fleet-wide saturated submit
+surfaces the scheduler's modeled drain hint the same way.  A 202 is a
+contract: accepted jobs survive autoscaler scale-downs via checkpoint
+handoff (:meth:`_rehome` re-points the serve-side reference at the
+adopting shard's new handle).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+from ..telemetry.metrics import MetricsRegistry
+from ..sched.scheduler import SchedulerDrainingError, SchedulerSaturatedError
+from .autoscale import Autoscaler, AutoscalePolicy
+from .limits import RateLimiter
+from .protocol import (
+    LAST_CHUNK,
+    ProtocolError,
+    Request,
+    encode_chunk,
+    http_response,
+    read_http_request,
+    result_to_wire,
+    config_from_wire,
+)
+from .router import ShardRouter
+
+__all__ = ["JobRef", "ServeApp"]
+
+_SUBMIT_FIELDS = frozenset({"config", "sweeps", "priority", "tenant"})
+
+
+class _HttpError(Exception):
+    """Internal: a handler-raised response with a specific status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+#: Nominal span width for wall-clock-free serve events on the modeled
+#: timeline (matches the autoscaler's event spans).
+_EVENT_SPAN_S = 1e-3
+#: Driver nap between polls when the fleet is idle (real seconds).
+_IDLE_SLEEP_S = 0.005
+
+
+class JobRef:
+    """The serve-side identity of one accepted job.
+
+    ``job``/``shard`` are *mutable*: a scale-down re-points them at the
+    adopting shard's handle while the public ``id`` stays stable — the
+    tenant's URL never changes because the topology did.
+    """
+
+    __slots__ = ("id", "tenant", "shard", "job", "cache_key", "event", "rehomes")
+
+    def __init__(self, ref_id: str, tenant: str, shard, job, cache_key: str):
+        self.id = ref_id
+        self.tenant = tenant
+        self.shard = shard
+        self.job = job
+        self.cache_key = cache_key
+        self.event = asyncio.Event()
+        self.rehomes = 0
+
+    def status(self) -> dict:
+        info = self.shard.scheduler.peek(self.job)
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "shard": self.shard.id,
+            "cache_key": self.cache_key,
+            "from_cache": self.job.from_cache,
+            "preemptions": self.job.preemptions,
+            "rehomes": self.rehomes,
+            **info,
+        }
+
+
+class ServeApp:
+    """HTTP/JSON front door over a shard router (stdlib asyncio only).
+
+    Parameters
+    ----------
+    router:
+        The shard fleet; a default 2-shard router is built when omitted.
+    limiter:
+        Per-tenant admission quotas (default: permissive defaults).
+    policy:
+        Autoscaler thresholds; ``None`` uses :class:`AutoscalePolicy`
+        defaults.  Pass ``autoscale=False`` to pin the topology.
+    host / port:
+        Bind address; port 0 picks a free port (read ``app.port`` after
+        :meth:`start`).
+    autoscale_every:
+        Driver steps between autoscaler observations.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter | None = None,
+        limiter: RateLimiter | None = None,
+        policy: AutoscalePolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        autoscale: bool = True,
+        autoscale_every: int = 8,
+    ) -> None:
+        self.router = router if router is not None else ShardRouter(n_shards=2)
+        self.limiter = limiter if limiter is not None else RateLimiter()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.autoscaler = Autoscaler(
+            self.router,
+            policy=policy,
+            metrics=self.metrics,
+            on_rehome=self._rehome,
+        )
+        self.autoscale = bool(autoscale)
+        self.autoscale_every = int(autoscale_every)
+        self.host = host
+        self._requested_port = int(port)
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._driver: asyncio.Task | None = None
+        self._running = False
+        self._wake = asyncio.Event()
+        self._refs: "dict[str, JobRef]" = {}
+        self._unsettled: "list[JobRef]" = []
+        self._outstanding: "dict[str, int]" = {}
+        self._next_ref = 0
+        self._steps = 0
+        self.http_requests = 0
+        self.accepted = 0
+        self.throttled = 0
+        self.saturated = 0
+        self._request_log: "list[dict]" = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and launch the driver task."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._running = True
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._driver = asyncio.create_task(self._drive())
+
+    async def stop(self, finish: bool = True) -> None:
+        """Stop serving; ``finish=True`` drains accepted work first."""
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._driver is not None:
+            self._wake.set()
+            await self._driver
+            self._driver = None
+        if finish:
+            self.router.drain()
+            self._settle()
+
+    async def __aenter__(self) -> "ServeApp":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- driver --------------------------------------------------------------
+
+    async def _drive(self) -> None:
+        """Step busy shards and tick the autoscaler until stopped.
+
+        The loop yields after every scheduling round so request handlers
+        run interleaved; when the fleet goes idle it naps on the wake
+        event a submit handler sets.
+        """
+        while self._running:
+            if any(shard.busy for shard in self.router.shards):
+                self.router.step()
+                self._steps += 1
+                if self._steps % self.autoscale_every == 0:
+                    if self.autoscale:
+                        self.autoscaler.observe()
+                    else:
+                        self.autoscaler.publish()
+                self._settle()
+                await asyncio.sleep(0)
+            else:
+                if self.autoscale:
+                    self.autoscaler.observe()
+                else:
+                    self.autoscaler.publish()
+                self._settle()
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), _IDLE_SLEEP_S)
+                except asyncio.TimeoutError:
+                    pass
+
+    def _settle(self) -> None:
+        """Release waiters and quota for refs whose jobs finished."""
+        still = []
+        for ref in self._unsettled:
+            if ref.job.done:
+                count = self._outstanding.get(ref.tenant, 0)
+                self._outstanding[ref.tenant] = max(0, count - 1)
+                ref.event.set()
+            else:
+                still.append(ref)
+        self._unsettled = still
+        self.metrics.gauge("serve_jobs_outstanding").set(len(still))
+
+    def _rehome(self, token: dict, shard, new_job) -> None:
+        """Re-point refs whose backing job moved in a scale-down."""
+        old = token["job"]
+        for ref in self._refs.values():
+            if ref.job is old:
+                ref.job = new_job
+                ref.shard = shard
+                ref.rehomes += 1
+
+    def _now(self) -> float:
+        return self.autoscaler._now()
+
+    def _log_span(self, name: str, **args) -> None:
+        self._request_log.append(
+            {
+                "name": name,
+                "start": self._now(),
+                "duration": _EVENT_SPAN_S,
+                "args": args,
+            }
+        )
+
+    @property
+    def serve_log(self) -> "list[dict]":
+        """Front-door + autoscaler spans, merged for the "serve" track."""
+        spans = self._request_log + self.autoscaler.serve_log
+        spans.sort(key=lambda span: span["start"])
+        return spans
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_http_request(reader)
+                except ProtocolError as exc:
+                    writer.write(
+                        http_response(400, {"error": str(exc)})
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                self.http_requests += 1
+                try:
+                    done = await self._dispatch(request, writer)
+                except ProtocolError as exc:
+                    writer.write(http_response(400, {"error": str(exc)}))
+                    await writer.drain()
+                    done = False
+                except _HttpError as exc:
+                    writer.write(
+                        http_response(exc.status, {"error": str(exc)})
+                    )
+                    await writer.drain()
+                    done = False
+                except Exception as exc:  # handler bug: fail the request
+                    writer.write(
+                        http_response(
+                            500, {"error": f"{type(exc).__name__}: {exc}"}
+                        )
+                    )
+                    await writer.drain()
+                    done = False
+                if done or not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request, writer) -> bool:
+        """Route one request; returns True when the connection must close."""
+        path = request.path
+        if path == "/v1/jobs":
+            self._require(request, "POST")
+            writer.write(self._post_job(request))
+            await writer.drain()
+            return False
+        if path == "/v1/healthz":
+            self._require(request, "GET")
+            writer.write(self._healthz())
+            await writer.drain()
+            return False
+        if path == "/v1/statsz":
+            self._require(request, "GET")
+            writer.write(http_response(200, self.stats()))
+            await writer.drain()
+            return False
+        if path.startswith("/v1/jobs/"):
+            parts = path[len("/v1/jobs/"):].split("/")
+            ref = self._refs.get(parts[0])
+            if ref is None:
+                writer.write(
+                    http_response(404, {"error": f"no such job: {parts[0]}"})
+                )
+                await writer.drain()
+                return False
+            if len(parts) == 1:
+                self._require(request, "GET")
+                writer.write(http_response(200, ref.status()))
+                await writer.drain()
+                return False
+            if len(parts) == 2 and parts[1] == "result":
+                self._require(request, "GET")
+                await self._send_result(ref, writer)
+                return False
+            if len(parts) == 2 and parts[1] == "stream":
+                self._require(request, "GET")
+                await self._stream(ref, writer)
+                return True  # chunked stream ends the connection
+        writer.write(
+            http_response(404, {"error": f"no route for {path}"})
+        )
+        await writer.drain()
+        return False
+
+    @staticmethod
+    def _require(request: Request, method: str) -> None:
+        if request.method != method:
+            raise _HttpError(
+                405, f"{request.path} requires {method}, got {request.method}"
+            )
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _post_job(self, request: Request) -> bytes:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ProtocolError("submit body must be a JSON object")
+        unknown = set(payload) - _SUBMIT_FIELDS
+        if unknown:
+            raise ProtocolError(
+                f"unknown submit field(s): {sorted(unknown)}; "
+                f"allowed: {sorted(_SUBMIT_FIELDS)}"
+            )
+        if "config" not in payload:
+            raise ProtocolError("submit body requires a 'config' object")
+        config = config_from_wire(payload["config"])
+        sweeps = payload.get("sweeps", 100)
+        if not isinstance(sweeps, int) or isinstance(sweeps, bool) or sweeps < 1:
+            raise ProtocolError(f"sweeps must be a positive integer, got {sweeps!r}")
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ProtocolError(f"priority must be an integer, got {priority!r}")
+        tenant = str(payload.get("tenant", "default"))
+
+        wait = self.limiter.admit(
+            tenant, outstanding=self._outstanding.get(tenant, 0)
+        )
+        if wait > 0.0:
+            self.throttled += 1
+            self.metrics.counter("serve_http_429").inc()
+            self._log_span("shed quota", tenant=tenant, retry_after_s=wait)
+            return self._throttle_response(wait, "tenant quota exceeded")
+        try:
+            shard, job = self.router.submit(
+                config, sweeps, priority=priority, tenant=tenant
+            )
+        except SchedulerDrainingError as exc:
+            return http_response(
+                503,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers=self._retry_headers(exc.retry_after_s),
+            )
+        except SchedulerSaturatedError as exc:
+            self.saturated += 1
+            self.metrics.counter("serve_http_429").inc()
+            self._log_span(
+                "shed saturated", tenant=tenant, retry_after_s=exc.retry_after_s
+            )
+            return self._throttle_response(
+                exc.retry_after_s, "all shards saturated"
+            )
+
+        self._next_ref += 1
+        ref = JobRef(f"j{self._next_ref:06d}", tenant, shard, job, job.cache_key)
+        self._refs[ref.id] = ref
+        if job.done:
+            ref.event.set()
+        else:
+            self._outstanding[tenant] = self._outstanding.get(tenant, 0) + 1
+            self._unsettled.append(ref)
+        self.accepted += 1
+        self.metrics.counter("serve_http_accepted").inc()
+        self._log_span("accept", tenant=tenant, shard=shard.id, job=ref.id)
+        self._wake.set()
+        return http_response(
+            202,
+            {
+                "id": ref.id,
+                "state": job.state,
+                "shard": shard.id,
+                "cache_key": job.cache_key,
+                "from_cache": job.from_cache,
+            },
+        )
+
+    @staticmethod
+    def _retry_headers(retry_after_s: "float | None") -> dict:
+        seconds = retry_after_s if retry_after_s is not None else 1.0
+        return {"Retry-After": str(max(1, math.ceil(seconds)))}
+
+    def _throttle_response(
+        self, retry_after_s: "float | None", reason: str
+    ) -> bytes:
+        return http_response(
+            429,
+            {"error": reason, "retry_after_s": retry_after_s},
+            headers=self._retry_headers(retry_after_s),
+        )
+
+    async def _send_result(self, ref: JobRef, writer) -> None:
+        self._wake.set()
+        await ref.event.wait()
+        job = ref.job
+        if job.state == "failed":
+            writer.write(
+                http_response(
+                    500,
+                    {
+                        "id": ref.id,
+                        "state": job.state,
+                        "error": str(job.error),
+                    },
+                )
+            )
+        else:
+            writer.write(
+                http_response(
+                    200,
+                    {
+                        "id": ref.id,
+                        "state": job.state,
+                        "cache_key": ref.cache_key,
+                        "from_cache": job.from_cache,
+                        "result": result_to_wire(job.result),
+                    },
+                )
+            )
+        await writer.drain()
+
+    async def _stream(self, ref: JobRef, writer) -> None:
+        """Chunked NDJSON: one frame per progress change, then the result."""
+        writer.write(http_response(200, chunked=True))
+        last_reported = None
+        self._wake.set()
+        while not ref.job.done:
+            info = ref.shard.scheduler.peek(ref.job)
+            snapshot = (info["state"], info["sweeps_done"])
+            if snapshot != last_reported:
+                last_reported = snapshot
+                writer.write(encode_chunk({"id": ref.id, **info}))
+                await writer.drain()
+            try:
+                await asyncio.wait_for(ref.event.wait(), _IDLE_SLEEP_S)
+            except asyncio.TimeoutError:
+                pass
+        job = ref.job
+        final: dict = {"id": ref.id, "state": job.state, "final": True}
+        if job.state == "failed":
+            final["error"] = str(job.error)
+        else:
+            final["result"] = result_to_wire(job.result)
+        writer.write(encode_chunk(final))
+        writer.write(LAST_CHUNK)
+        await writer.drain()
+
+    def _healthz(self) -> bytes:
+        admitting = any(shard.admitting for shard in self.router.shards)
+        return http_response(
+            200 if admitting else 503,
+            {
+                "status": "ok" if admitting else "draining",
+                "n_shards": self.router.n_shards,
+                "admitting": admitting,
+            },
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Everything ``/v1/statsz`` reports, as plain JSON data."""
+        return {
+            "http": {
+                "requests": self.http_requests,
+                "accepted": self.accepted,
+                "throttled": self.throttled,
+                "saturated": self.saturated,
+            },
+            "jobs": {
+                "total": len(self._refs),
+                "unsettled": len(self._unsettled),
+                "outstanding": dict(self._outstanding),
+            },
+            "router": self.router.stats(),
+            "limiter": self.limiter.stats(),
+            "autoscaler": self.autoscaler.stats(),
+            "metrics": self.metrics.as_dict(),
+        }

@@ -1,0 +1,258 @@
+"""Queue-driven shard autoscaling with hysteresis.
+
+The :class:`Autoscaler` watches the router's queue-depth and occupancy
+telemetry and grows or shrinks the shard pool between configured bounds.
+Three guards keep it from flapping:
+
+* **hysteresis** — the pressure signal must sit past the high (or low)
+  water mark for N *consecutive* observations before a scale event; one
+  spiky sample never moves the topology;
+* **cooldown** — after any event, a minimum number of observations must
+  pass before the next one, so a scale-up gets time to absorb load
+  before the (now lower) pressure reading triggers a scale-down;
+* **zero loss** — scale-down routes through
+  :meth:`~repro.serve.router.ShardRouter.remove_shard`, which
+  checkpoints the victim's running batches and adopts every unfinished
+  job into surviving shards; accepted work is never shed.
+
+Every observation books ``serve_*`` gauges into the metrics registry,
+and every scale decision lands on ``serve_log`` — the span buffer the
+Chrome-trace exporter renders as the "serve autoscale" track, so scale
+events line up against the per-device timelines that caused them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..telemetry.metrics import NULL_REGISTRY
+
+__all__ = ["Autoscaler", "AutoscalePolicy"]
+
+#: Nominal span width for instantaneous scale decisions on the modeled
+#: timeline (pure decisions have no modeled cost; zero-width "X" events
+#: render invisibly in Perfetto).
+_EVENT_SPAN_S = 1e-3
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Bounds and thresholds for the hysteresis controller.
+
+    ``high_water`` / ``low_water`` are pressure thresholds on the pool's
+    mean queue load factor (queue depth over ``max_queue``, averaged
+    across shards).  ``hysteresis`` is the consecutive-observation count
+    required past a threshold; ``cooldown`` the observations that must
+    elapse after any scale event before the next.
+    """
+
+    min_shards: int = 1
+    max_shards: int = 8
+    high_water: float = 0.75
+    low_water: float = 0.15
+    hysteresis: int = 3
+    cooldown: int = 5
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ValueError(f"min_shards must be >= 1, got {self.min_shards}")
+        if self.max_shards < self.min_shards:
+            raise ValueError(
+                f"max_shards ({self.max_shards}) must be >= "
+                f"min_shards ({self.min_shards})"
+            )
+        if not 0.0 <= self.low_water < self.high_water:
+            raise ValueError(
+                f"need 0 <= low_water < high_water, got "
+                f"low={self.low_water} high={self.high_water}"
+            )
+        if self.hysteresis < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {self.hysteresis}")
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+
+
+class Autoscaler:
+    """Grow/shrink a :class:`~repro.serve.router.ShardRouter` from load.
+
+    Parameters
+    ----------
+    router:
+        The shard pool under control.
+    policy:
+        Thresholds and bounds (default :class:`AutoscalePolicy`).
+    metrics:
+        A :class:`~repro.telemetry.metrics.MetricsRegistry` for the
+        ``serve_*`` gauges (default: the shared no-op registry).
+    on_rehome:
+        Forwarded to :meth:`ShardRouter.remove_shard` on scale-down so
+        the front door can re-point job references.
+    """
+
+    def __init__(
+        self, router, policy=None, metrics=None, on_rehome=None
+    ) -> None:
+        self.router = router
+        self.policy = policy if policy is not None else AutoscalePolicy()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.on_rehome = on_rehome
+        self._above = 0
+        self._below = 0
+        # Start past cooldown: an initial overload may scale immediately
+        # (hysteresis still applies).
+        self._since_event = self.policy.cooldown
+        self.observations = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.events: "list[dict]" = []
+        #: Chrome-trace spans ("serve autoscale" track), modeled seconds.
+        self.serve_log: "list[dict]" = []
+
+    # -- signals -------------------------------------------------------------
+
+    def pressure(self) -> float:
+        """Mean queue load factor across shards — the scaling signal.
+
+        Queue depth (not device occupancy) is the leading indicator: a
+        pool can be 100% busy and healthy, but a growing queue means
+        arrivals outrun service and more shards are needed.
+        """
+        shards = self.router.shards
+        if not shards:
+            return 0.0
+        return sum(shard.load_factor for shard in shards) / len(shards)
+
+    def occupancy(self) -> float:
+        """Fraction of shards with work in flight (secondary signal)."""
+        shards = self.router.shards
+        if not shards:
+            return 0.0
+        return sum(1 for shard in shards if shard.busy) / len(shards)
+
+    def _now(self) -> float:
+        """Pool-wide modeled time: the furthest shard clock."""
+        return max(
+            (s.scheduler.pool.makespan() for s in self.router.shards),
+            default=0.0,
+        )
+
+    def publish(self) -> None:
+        """Refresh the ``serve_*`` gauges without a controller tick.
+
+        For deployments that pin the topology (``autoscale=False``) but
+        still want live telemetry.
+        """
+        self._publish(self.pressure(), self.occupancy())
+
+    # -- control loop --------------------------------------------------------
+
+    def observe(self) -> "str | None":
+        """One controller tick; returns ``"up"``, ``"down"`` or ``None``.
+
+        Reads the pressure signal, updates the hysteresis counters, and
+        applies at most one scale event when a counter crosses its
+        threshold outside the cooldown window.  Also refreshes the
+        ``serve_*`` gauges, so the caller's metrics stay live whether or
+        not anything scaled.
+        """
+        policy = self.policy
+        pressure = self.pressure()
+        occupancy = self.occupancy()
+        self.observations += 1
+        self._since_event += 1
+        if pressure >= policy.high_water:
+            self._above += 1
+            self._below = 0
+        elif pressure <= policy.low_water:
+            self._below += 1
+            self._above = 0
+        else:
+            self._above = 0
+            self._below = 0
+
+        action = None
+        if self._since_event > policy.cooldown:
+            if (
+                self._above >= policy.hysteresis
+                and self.router.n_shards < policy.max_shards
+            ):
+                action = self._scale_up(pressure)
+            elif (
+                self._below >= policy.hysteresis
+                and self.router.n_shards > policy.min_shards
+            ):
+                action = self._scale_down(pressure)
+        self._publish(pressure, occupancy)
+        return action
+
+    def _scale_up(self, pressure: float) -> str:
+        shard = self.router.add_shard()
+        self.scale_ups += 1
+        self._record_event(
+            "scale_up", pressure, shard_id=shard.id, jobs_moved=0
+        )
+        return "up"
+
+    def _scale_down(self, pressure: float) -> str:
+        # Victim = least outstanding modeled service: cheapest handoff,
+        # and the laggard shard is the one load no longer justifies.
+        victim = min(
+            self.router.shards,
+            key=lambda s: (s.scheduler.outstanding_service(), s.id),
+        )
+        moved = self.router.remove_shard(victim.id, on_rehome=self.on_rehome)
+        self.scale_downs += 1
+        self._record_event(
+            "scale_down", pressure, shard_id=victim.id, jobs_moved=moved
+        )
+        return "down"
+
+    def _record_event(
+        self, kind: str, pressure: float, shard_id: int, jobs_moved: int
+    ) -> None:
+        event = {
+            "kind": kind,
+            "pressure": pressure,
+            "shard_id": shard_id,
+            "jobs_moved": jobs_moved,
+            "n_shards": self.router.n_shards,
+            "observation": self.observations,
+        }
+        self.events.append(event)
+        self.serve_log.append(
+            {
+                "name": f"{kind} shard {shard_id}",
+                "start": self._now(),
+                "duration": _EVENT_SPAN_S,
+                "args": {
+                    "pressure": pressure,
+                    "jobs_moved": jobs_moved,
+                    "n_shards": self.router.n_shards,
+                },
+            }
+        )
+        self._above = 0
+        self._below = 0
+        self._since_event = 0
+
+    def _publish(self, pressure: float, occupancy: float) -> None:
+        metrics = self.metrics
+        metrics.gauge("serve_shards").set(self.router.n_shards)
+        metrics.gauge("serve_pressure").set(pressure)
+        metrics.gauge("serve_occupancy").set(occupancy)
+        metrics.gauge("serve_queue_depth").set(
+            sum(shard.queue_depth for shard in self.router.shards)
+        )
+        metrics.gauge("serve_scale_ups").set(self.scale_ups)
+        metrics.gauge("serve_scale_downs").set(self.scale_downs)
+
+    def stats(self) -> dict:
+        return {
+            "observations": self.observations,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "n_shards": self.router.n_shards,
+            "pressure": self.pressure(),
+            "occupancy": self.occupancy(),
+            "events": list(self.events),
+        }

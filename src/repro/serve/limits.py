@@ -1,0 +1,166 @@
+"""Per-tenant token-bucket rate limits and quota accounting.
+
+The scheduler's weighted-fair admission decides *who runs next* among
+accepted jobs; this layer decides *what gets accepted at all*.  Each
+tenant owns a token bucket (sustained ``rate`` tokens/second, ``burst``
+capacity) plus an optional ceiling on outstanding jobs.  An admission
+that would overdraw the bucket is refused with a positive
+``retry_after`` — the modeled time until enough tokens refill — which
+the front door surfaces as an HTTP 429 with a ``Retry-After`` header.
+
+The clock is injectable (any ``() -> float`` seconds callable) so tests
+drive refill deterministically; production uses ``time.monotonic``.
+Everything here is synchronous and allocation-light: one dict lookup and
+a couple of float ops per admission, on the front door's hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["RateLimiter", "TenantQuota", "TokenBucket"]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/s refill, ``burst`` cap.
+
+    :meth:`take` either debits ``cost`` tokens and returns ``0.0``, or
+    leaves the bucket untouched and returns the seconds until ``cost``
+    tokens will be available — the retry hint.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=None) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = self.burst
+        self._last = self._clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refilled to the current clock)."""
+        self._refill()
+        return self._tokens
+
+    def take(self, cost: float = 1.0) -> float:
+        """Debit ``cost`` tokens; 0.0 on success, else seconds to retry."""
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        self._refill()
+        if cost <= self._tokens:
+            self._tokens -= cost
+            return 0.0
+        return (cost - self._tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission budget.
+
+    ``rate``/``burst`` parameterise the token bucket (tokens are jobs by
+    default; callers metering in service units pass a matching ``cost``
+    to :meth:`RateLimiter.admit`).  ``max_outstanding`` additionally
+    caps jobs accepted but not yet finished — a concurrency quota on top
+    of the arrival-rate quota (None = unlimited).
+    """
+
+    rate: float = 64.0
+    burst: float = 128.0
+    max_outstanding: int | None = None
+
+
+class RateLimiter:
+    """Per-tenant token buckets + quota accounting for the front door.
+
+    Parameters
+    ----------
+    default:
+        Quota applied to tenants without an explicit entry.
+    per_tenant:
+        ``{tenant: TenantQuota}`` overrides.
+    clock:
+        Shared time source for every bucket (tests inject a fake).
+    """
+
+    def __init__(
+        self,
+        default: TenantQuota | None = None,
+        per_tenant: "dict[str, TenantQuota] | None" = None,
+        clock=None,
+    ) -> None:
+        self.default = default if default is not None else TenantQuota()
+        self.per_tenant = dict(per_tenant or {})
+        self._clock = clock
+        self._buckets: "dict[str, TokenBucket]" = {}
+        self.admitted: "dict[str, int]" = {}
+        self.throttled: "dict[str, int]" = {}
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The effective quota of ``tenant`` (explicit or default)."""
+        return self.per_tenant.get(tenant, self.default)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            quota = self.quota_for(tenant)
+            bucket = TokenBucket(quota.rate, quota.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(
+        self, tenant: str, cost: float = 1.0, outstanding: int | None = None
+    ) -> float:
+        """Try to admit one request; 0.0 admits, else seconds to retry.
+
+        ``outstanding`` is the tenant's count of accepted-but-unfinished
+        jobs (the caller tracks it — this layer holds no job state); when
+        the quota caps it, an over-cap request is throttled with a
+        bucket-derived hint and *no tokens are spent*.
+        """
+        quota = self.quota_for(tenant)
+        if (
+            quota.max_outstanding is not None
+            and outstanding is not None
+            and outstanding >= quota.max_outstanding
+        ):
+            self.throttled[tenant] = self.throttled.get(tenant, 0) + 1
+            # No token refill can lift a concurrency cap; hint one
+            # job-service interval so the caller re-checks soon.
+            return max(cost / quota.rate, 1e-3)
+        wait = self._bucket(tenant).take(cost)
+        if wait > 0.0:
+            self.throttled[tenant] = self.throttled.get(tenant, 0) + 1
+        else:
+            self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+        return wait
+
+    def stats(self) -> dict:
+        """Per-tenant admitted/throttled counts plus live token levels."""
+        tenants = sorted(
+            set(self.admitted) | set(self.throttled) | set(self._buckets)
+        )
+        return {
+            tenant: {
+                "admitted": self.admitted.get(tenant, 0),
+                "throttled": self.throttled.get(tenant, 0),
+                "tokens": (
+                    self._buckets[tenant].tokens
+                    if tenant in self._buckets
+                    else self.quota_for(tenant).burst
+                ),
+                "rate": self.quota_for(tenant).rate,
+                "max_outstanding": self.quota_for(tenant).max_outstanding,
+            }
+            for tenant in tenants
+        }

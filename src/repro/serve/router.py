@@ -1,0 +1,306 @@
+"""Shard routing: config-hash affinity + power-of-two-choices spill.
+
+A :class:`ShardRouter` spreads traffic over N independent
+:class:`~repro.sched.scheduler.Scheduler` + device-pool shards.  Routing
+is **content-addressed**: a request's canonical cache key (the same
+sha256 :mod:`repro.sched.cache` uses) ranks the shards by *rendezvous
+hashing* (highest-random-weight), so
+
+* every duplicate of a config lands on the same "affine" shard — the
+  shard whose content-addressed cache and coalescer already know the
+  config stay hot, which is what keeps per-shard hit rates at parity
+  with a single giant scheduler (the ``bench_serve.py`` gate);
+* adding or removing one shard moves only the keys whose top-ranked
+  shard changed (≈ 1/N of the keyspace), never a full reshuffle — the
+  property modulo hashing lacks and autoscaling needs.
+
+When the affine shard is loaded past ``spill_ratio`` (and the request is
+*not* a duplicate it could dedup for free), the router spills via
+**power of two choices**: of the next two shards in rendezvous order, the
+one with the shorter queue takes the job — bounded load imbalance
+without global coordination.  A duplicate always tries its affine shard
+first regardless of load: dedup costs no queue slot there.
+
+Scale events re-home state: :meth:`remove_shard` drains the victim
+through :meth:`~repro.sched.scheduler.Scheduler.shutdown`, adopts every
+unfinished job into the surviving shard its key now ranks first
+(bit-identical resume from the checkpoint token), and re-files each
+flushed cache entry with its new affine shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..sched.cache import canonical_cache_key
+from ..sched.scheduler import (
+    Scheduler,
+    SchedulerDrainingError,
+    SchedulerSaturatedError,
+)
+
+__all__ = ["Shard", "ShardRouter"]
+
+
+def _default_scheduler_factory(shard_id: int) -> Scheduler:
+    return Scheduler(n_devices=1, max_batch=16, quantum=8, max_queue=64)
+
+
+class Shard:
+    """One scheduler + device pool behind a stable routing identity.
+
+    ``id`` is monotone over the router's lifetime and never reused, so
+    rendezvous scores stay stable across scale events.
+    """
+
+    def __init__(self, shard_id: int, scheduler: Scheduler) -> None:
+        self.id = int(shard_id)
+        self.scheduler = scheduler
+
+    @property
+    def queue_depth(self) -> int:
+        return self.scheduler.queue_depth
+
+    @property
+    def load_factor(self) -> float:
+        """Queue occupancy in [0, 1+): depth over the admission bound."""
+        return self.scheduler.queue_depth / self.scheduler.max_queue
+
+    @property
+    def busy(self) -> bool:
+        return self.scheduler.busy
+
+    @property
+    def admitting(self) -> bool:
+        return self.scheduler.admitting
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard(id={self.id}, queue={self.queue_depth}, "
+            f"running={self.scheduler.running_chains})"
+        )
+
+
+class ShardRouter:
+    """Route config-keyed jobs across scheduler shards.
+
+    Parameters
+    ----------
+    n_shards:
+        Initial shard count (the autoscaler may move it later).
+    scheduler_factory:
+        ``(shard_id) -> Scheduler`` builder; the default builds
+        single-device schedulers (``max_batch=16``, ``quantum=8``,
+        ``max_queue=64``).
+    spill_ratio:
+        Affine-shard load factor beyond which non-duplicate traffic
+        spills to the lesser-loaded of the next two rendezvous choices.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        scheduler_factory=None,
+        spill_ratio: float = 0.75,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if not 0.0 < spill_ratio <= 1.0:
+            raise ValueError(
+                f"spill_ratio must be in (0, 1], got {spill_ratio}"
+            )
+        self._factory = (
+            scheduler_factory
+            if scheduler_factory is not None
+            else _default_scheduler_factory
+        )
+        self.spill_ratio = float(spill_ratio)
+        self.shards: "list[Shard]" = []
+        self._next_shard_id = 0
+        for _ in range(n_shards):
+            self.add_shard()
+        self.routed_affine = 0
+        self.routed_spilled = 0
+        self.rejected = 0
+        self.jobs_rehomed = 0
+        self.cache_entries_rehomed = 0
+
+    # -- placement -----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def _score(self, key: str, shard: Shard) -> int:
+        digest = hashlib.sha256(f"{key}/{shard.id}".encode("ascii")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def ranked(self, key: str) -> "list[Shard]":
+        """All shards in rendezvous (highest-random-weight) order."""
+        return sorted(
+            self.shards, key=lambda shard: self._score(key, shard), reverse=True
+        )
+
+    def route_key(self, config, sweeps: int) -> str:
+        """The canonical content address this router places by."""
+        return canonical_cache_key(config, sweeps)
+
+    def shard_for(self, config, sweeps: int) -> Shard:
+        """The affine shard of (config, sweeps) — no load considered."""
+        return self.ranked(self.route_key(config, sweeps))[0]
+
+    def _candidates(self, key: str) -> "list[Shard]":
+        """Shards in try-order: affinity first, p2c spill, then the rest.
+
+        The affine shard leads unless it is loaded past ``spill_ratio``
+        *and* cannot serve the key as a duplicate for free; then the
+        lesser-loaded of the next two rendezvous choices is promoted and
+        the affine shard demoted behind it (it still backstops).  The
+        remaining shards follow in rendezvous order so a burst that
+        saturates several shards degrades to "first shard with room"
+        before becoming a reject.
+        """
+        order = [shard for shard in self.ranked(key) if shard.admitting]
+        if len(order) < 2:
+            return order
+        affine = order[0]
+        if (
+            affine.load_factor >= self.spill_ratio
+            and not affine.scheduler.is_duplicate(key)
+        ):
+            pair = order[1:3]
+            spill = min(pair, key=lambda s: (s.queue_depth, s.id))
+            rest = [s for s in order if s is not affine and s is not spill]
+            return [spill, affine, *rest]
+        return order
+
+    def submit(
+        self,
+        config,
+        sweeps: int,
+        priority: int = 0,
+        tenant: str = "default",
+    ) -> "tuple[Shard, object]":
+        """Place one job; returns ``(shard, job)`` or raises saturated.
+
+        Walks the candidate order, so a single saturated shard never
+        fails a request the cluster has room for.  When every shard
+        refuses, re-raises :class:`SchedulerSaturatedError` carrying the
+        *minimum* retry hint across shards — the earliest time any slot
+        is modeled to free up.
+        """
+        key = self.route_key(config, sweeps)
+        candidates = self._candidates(key)
+        if not candidates:
+            raise SchedulerDrainingError(
+                "no admitting shards (router is draining)", retry_after_s=1.0
+            )
+        affine_id = self.ranked(key)[0].id
+        hints: "list[float]" = []
+        for shard in candidates:
+            try:
+                job = shard.scheduler.submit(
+                    config, sweeps, priority=priority, tenant=tenant
+                )
+            except SchedulerSaturatedError as exc:
+                if exc.retry_after_s is not None:
+                    hints.append(exc.retry_after_s)
+                continue
+            if shard.id == affine_id:
+                self.routed_affine += 1
+            else:
+                self.routed_spilled += 1
+            return shard, job
+        self.rejected += 1
+        raise SchedulerSaturatedError(
+            f"all {len(candidates)} shard(s) saturated",
+            retry_after_s=min(hints) if hints else None,
+        )
+
+    # -- scaling -------------------------------------------------------------
+
+    def add_shard(self) -> Shard:
+        """Grow the pool by one shard (stable, never-reused id)."""
+        shard = Shard(self._next_shard_id, self._factory(self._next_shard_id))
+        self._next_shard_id += 1
+        self.shards.append(shard)
+        return shard
+
+    def remove_shard(self, shard_id: int, on_rehome=None) -> int:
+        """Drain one shard and re-home its work; returns jobs moved.
+
+        The victim stops admitting, checkpoints its running batches, and
+        hands every unfinished job to the shard its key now ranks first
+        (adoption bypasses queue bounds — scale-down never sheds
+        accepted work).  Flushed cache entries are re-filed with their
+        new affine shards so the content-addressed hit rate survives the
+        topology change.  ``on_rehome(token, new_shard, new_job)`` lets
+        a front door re-point its job references.
+        """
+        victim = None
+        for shard in self.shards:
+            if shard.id == shard_id:
+                victim = shard
+                break
+        if victim is None:
+            raise ValueError(f"no shard with id {shard_id}")
+        if len(self.shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self.shards.remove(victim)
+        flushed = victim.scheduler.shutdown(finish=False)
+        for token in flushed["jobs"]:
+            target = self.ranked(token["cache_key"])[0]
+            new_job = target.scheduler.adopt(token)
+            self.jobs_rehomed += 1
+            if on_rehome is not None:
+                on_rehome(token, target, new_job)
+        for key, result in flushed["cache"]:
+            self.ranked(key)[0].scheduler.cache.absorb([(key, result)])
+            self.cache_entries_rehomed += 1
+        return len(flushed["jobs"])
+
+    # -- driving -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One scheduling round on every busy shard; True while work remains."""
+        busy = False
+        for shard in self.shards:
+            if shard.busy:
+                shard.scheduler.step()
+                busy = True
+        return busy or any(shard.busy for shard in self.shards)
+
+    def drain(self, max_rounds: int = 100_000) -> None:
+        """Step every shard until the whole pool is idle."""
+        for _ in range(max_rounds):
+            if not self.step():
+                return
+        raise RuntimeError(f"router did not drain within {max_rounds} rounds")
+
+    # -- introspection -------------------------------------------------------
+
+    def aggregate_cache_stats(self) -> dict:
+        """Pool-wide content-addressed cache counters (+ derived hit rate)."""
+        totals = {"hits": 0, "misses": 0, "entries": 0, "evictions": 0}
+        for shard in self.shards:
+            stats = shard.scheduler.cache.stats()
+            for field in totals:
+                totals[field] += stats[field]
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        return totals
+
+    def stats(self) -> dict:
+        """Routing counters plus each live shard's scheduler stats."""
+        return {
+            "n_shards": self.n_shards,
+            "routed_affine": self.routed_affine,
+            "routed_spilled": self.routed_spilled,
+            "rejected": self.rejected,
+            "jobs_rehomed": self.jobs_rehomed,
+            "cache_entries_rehomed": self.cache_entries_rehomed,
+            "cache": self.aggregate_cache_stats(),
+            "shards": {
+                str(shard.id): shard.scheduler.stats() for shard in self.shards
+            },
+        }

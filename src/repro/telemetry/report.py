@@ -36,7 +36,7 @@ __all__ = [
 RUN_REPORT_SCHEMA = "repro.telemetry/run-report/v1"
 
 #: Run kinds a v1 report may carry.
-RUN_KINDS = ("single", "ensemble", "distributed", "harness", "sched")
+RUN_KINDS = ("single", "ensemble", "distributed", "harness", "sched", "serve")
 
 
 class RunTelemetry:

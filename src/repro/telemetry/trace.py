@@ -99,6 +99,16 @@ def _traced_spans_of(source) -> list[dict]:
     return list(getattr(source, "traced_log", ()) or ())
 
 
+def _serve_spans_of(source) -> list[dict]:
+    """Front-door serve-layer spans, if any.
+
+    Accepts anything exposing ``serve_log``
+    (:class:`~repro.serve.app.ServeApp` merges request accept/shed
+    spans with the autoscaler's scale events there).
+    """
+    return list(getattr(source, "serve_log", ()) or ())
+
+
 def _tempering_spans_of(source) -> list[dict]:
     """Replica-exchange swap-round spans, if any.
 
@@ -128,7 +138,9 @@ def chrome_trace(source) -> dict:
     "halo overlap" track showing each window's hidden vs exposed
     communication; a tempering run (non-empty ``swap_log``) gets a
     "tempering swaps" track with one span per swap round, attempted and
-    accepted exchange counts in the span args.  Raises if no trace
+    accepted exchange counts in the span args; a serve front door with a
+    non-empty ``serve_log`` gets a "serve front door" track with request
+    accept/shed and autoscale events.  Raises if no trace
     events were recorded (build the profilers with ``record_trace=True``).
     """
     try:
@@ -213,6 +225,33 @@ def chrome_trace(source) -> dict:
                     "cat": "traced",
                     "pid": 0,
                     "tid": traced_tid,
+                    "ts": span["start"] * _US,
+                    "dur": span["duration"] * _US,
+                    "args": span.get("args", {}),
+                }
+            )
+    serve_spans = _serve_spans_of(source)
+    if serve_spans:
+        serve_tid = next_tid
+        next_tid += 1
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": serve_tid,
+                "args": {"name": "serve front door"},
+            }
+        )
+        for span in serve_spans:
+            total_events += 1
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span["name"],
+                    "cat": "serve",
+                    "pid": 0,
+                    "tid": serve_tid,
                     "ts": span["start"] * _US,
                     "dur": span["duration"] * _US,
                     "args": span.get("args", {}),
@@ -316,6 +355,7 @@ def chrome_trace(source) -> dict:
             "num_cores": len(rows),
             "num_fault_spans": len(fault_spans),
             "num_sched_spans": len(sched_spans),
+            "num_serve_spans": len(serve_spans),
             "num_traced_spans": len(traced_spans),
             "num_tempering_spans": len(tempering_spans),
             "num_overlap_spans": len(overlap_spans),

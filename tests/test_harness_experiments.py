@@ -140,7 +140,7 @@ class TestRunner:
         expected = {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "table7", "figure4", "figure7", "figure8", "figure9", "smoke",
-            "serve",
+            "sched", "serve",
         }
         assert set(runner.EXPERIMENTS) == expected
 

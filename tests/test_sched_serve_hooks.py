@@ -1,0 +1,301 @@
+"""The scheduler-side hooks the serve layer stands on.
+
+Covers the retry-hint plumbing (``SchedulerSaturatedError.retry_after_s``
+from the modeled drain rate, honored by the client's capped backoff),
+thread-safe lazy init of the process-wide default client, graceful
+shutdown with checkpoint handoff (``shutdown``/``adopt`` bit-identity),
+queue-full dedup semantics, and weighted-fair admission under heavily
+skewed tenant load.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import SimulationConfig, simulate
+from repro.sched import (
+    Client,
+    Scheduler,
+    SchedulerDrainingError,
+    SchedulerSaturatedError,
+)
+from repro.sched.client import default_client, reset_default_client
+
+
+def tiny_scheduler(**overrides):
+    kwargs = dict(n_devices=1, max_batch=2, quantum=4, max_queue=2)
+    kwargs.update(overrides)
+    return Scheduler(**kwargs)
+
+
+def fill_queue(scheduler, n, sweeps=50, seed0=0):
+    return [
+        scheduler.submit(
+            SimulationConfig(shape=8, temperature=2.0, seed=seed0 + i), sweeps
+        )
+        for i in range(n)
+    ]
+
+
+class TestRetryAfter:
+    def test_queue_full_error_carries_modeled_hint(self):
+        scheduler = tiny_scheduler(max_queue=2)
+        fill_queue(scheduler, 2)
+        with pytest.raises(SchedulerSaturatedError) as excinfo:
+            scheduler.submit(
+                SimulationConfig(shape=8, temperature=2.0, seed=99), 50
+            )
+        hint = excinfo.value.retry_after_s
+        assert hint is not None
+        assert 1e-3 <= hint <= 60.0
+
+    def test_hint_tracks_outstanding_service(self):
+        # The drain rate comes from the modeled device clock, so this
+        # needs the simulated-TPU backend (numpy books no modeled time).
+        def tpu_jobs(scheduler, n, sweeps, seed0=0):
+            for i in range(n):
+                scheduler.submit(
+                    SimulationConfig(
+                        shape=8, temperature=2.0, seed=seed0 + i, backend="tpu"
+                    ),
+                    sweeps,
+                )
+
+        scheduler = tiny_scheduler(max_queue=64)
+        tpu_jobs(scheduler, 2, sweeps=20)
+        scheduler.drain()  # establishes a drain rate
+        assert scheduler.modeled_retry_after() == 1e-3  # nothing pending
+        tpu_jobs(scheduler, 1, sweeps=20, seed0=50)
+        small = scheduler.modeled_retry_after()
+        tpu_jobs(scheduler, 8, sweeps=200, seed0=60)
+        large = scheduler.modeled_retry_after()
+        assert large > small > 0
+
+    def test_stats_expose_serve_hooks(self):
+        scheduler = tiny_scheduler()
+        stats = scheduler.stats()
+        assert stats["admitting"] is True
+        assert stats["outstanding_service"] == 0.0
+        assert stats["retry_after_s"] >= 1e-3
+
+
+class TestClientBackoff:
+    def test_client_absorbs_saturation_the_raw_submit_rejects(self):
+        scheduler = tiny_scheduler(max_queue=2)
+        client = Client(scheduler=scheduler, max_retries=4)
+        jobs = [
+            client.submit(shape=8, temperature=2.0, seed=i, sweeps=30)
+            for i in range(8)
+        ]
+        assert client.backoff_waits > 0
+        client.run()
+        assert all(job.done for job in jobs)
+
+    def test_raw_scheduler_rejects_same_load(self):
+        scheduler = tiny_scheduler(max_queue=2)
+        with pytest.raises(SchedulerSaturatedError):
+            fill_queue(scheduler, 8, sweeps=30)
+
+    def test_zero_retries_fails_fast(self):
+        scheduler = tiny_scheduler(max_queue=2)
+        client = Client(scheduler=scheduler, max_retries=0)
+        with pytest.raises(SchedulerSaturatedError):
+            for i in range(8):
+                client.submit(shape=8, temperature=2.0, seed=i, sweeps=30)
+        assert client.backoff_waits == 0
+
+    def test_draining_error_is_not_retried(self):
+        scheduler = tiny_scheduler()
+        scheduler.shutdown()
+        client = Client(scheduler=scheduler, max_retries=4)
+        with pytest.raises(SchedulerDrainingError):
+            client.submit(shape=8, temperature=2.0, seed=0)
+        assert client.backoff_waits == 0
+
+    def test_max_retries_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            Client(max_retries=-1)
+
+
+class TestDefaultClientThreadSafety:
+    def test_concurrent_first_use_builds_one_client(self):
+        reset_default_client()
+        try:
+            barrier = threading.Barrier(8)
+            seen = []
+            lock = threading.Lock()
+
+            def grab():
+                barrier.wait()
+                client = default_client()
+                with lock:
+                    seen.append(client)
+
+            threads = [threading.Thread(target=grab) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(seen) == 8
+            assert len({id(c) for c in seen}) == 1
+        finally:
+            reset_default_client()
+
+    def test_reset_drops_the_shared_instance(self):
+        reset_default_client()
+        first = default_client()
+        reset_default_client()
+        assert default_client() is not first
+        reset_default_client()
+
+
+class TestShutdownHandoff:
+    def test_shutdown_stops_admission(self):
+        scheduler = tiny_scheduler()
+        scheduler.shutdown()
+        assert not scheduler.admitting
+        with pytest.raises(SchedulerDrainingError) as excinfo:
+            scheduler.submit(
+                SimulationConfig(shape=8, temperature=2.0, seed=0), 10
+            )
+        assert excinfo.value.retry_after_s is not None
+        # A draining error is still a saturation error for old callers.
+        assert isinstance(excinfo.value, SchedulerSaturatedError)
+
+    def test_finish_true_drains_and_flushes_cache(self):
+        scheduler = tiny_scheduler(max_queue=16)
+        jobs = fill_queue(scheduler, 4, sweeps=10)
+        flushed = scheduler.shutdown(finish=True)
+        assert all(job.done for job in jobs)
+        assert flushed["jobs"] == []
+        assert len(flushed["cache"]) == 4
+
+    def test_handoff_resumes_bit_identically_elsewhere(self):
+        origin = tiny_scheduler(max_queue=16)
+        cfgs = [
+            SimulationConfig(shape=10, temperature=1.9 + 0.1 * i, seed=i)
+            for i in range(4)
+        ]
+        jobs = [origin.submit(c, 9) for c in cfgs]
+        origin.step()  # some jobs mid-flight with checkpoints
+        flushed = origin.shutdown(finish=False)
+        assert flushed["jobs"], "expected unfinished jobs to hand off"
+        target = tiny_scheduler(max_queue=16)
+        target.cache.absorb(flushed["cache"])
+        # Adoption mints fresh handles; the front door re-points its
+        # references from the token's old handle to the new one.
+        adopted = {
+            token["cache_key"]: target.adopt(token)
+            for token in flushed["jobs"]
+        }
+        target.drain()
+        for config, old in zip(cfgs, jobs):
+            solo = simulate(config)
+            solo.run(9)
+            job = adopted.get(old.cache_key, old)
+            assert job.done
+            np.testing.assert_array_equal(job.result.lattice, solo.lattice)
+
+    def test_adopt_bypasses_queue_bound(self):
+        origin = tiny_scheduler(max_queue=8)
+        fill_queue(origin, 6, sweeps=20)
+        flushed = origin.shutdown(finish=False)
+        target = tiny_scheduler(max_queue=1)  # far too small for 6 jobs
+        adopted = [target.adopt(token) for token in flushed["jobs"]]
+        assert target.queue_depth > target.max_queue
+        target.drain()
+        assert all(job.done for job in adopted)
+
+    def test_draining_scheduler_refuses_adoption(self):
+        origin = tiny_scheduler()
+        fill_queue(origin, 1)
+        flushed = origin.shutdown(finish=False)
+        closed = tiny_scheduler()
+        closed.shutdown()
+        with pytest.raises(SchedulerDrainingError):
+            closed.adopt(flushed["jobs"][0])
+
+
+class TestQueueFullDedup:
+    def test_duplicate_of_queued_job_dedups_when_queue_is_full(self):
+        scheduler = tiny_scheduler(max_queue=2)
+        jobs = fill_queue(scheduler, 2, sweeps=30)
+        assert scheduler.queue_depth == scheduler.max_queue
+        # A distinct config is refused...
+        with pytest.raises(SchedulerSaturatedError):
+            scheduler.submit(
+                SimulationConfig(shape=8, temperature=2.0, seed=99), 30
+            )
+        # ...but an exact duplicate of a queued job must dedup, because
+        # following a primary never costs a queue slot.
+        duplicate = scheduler.submit(
+            SimulationConfig(shape=8, temperature=2.0, seed=0), 30
+        )
+        assert duplicate is not jobs[0]
+        assert scheduler.queue_depth == scheduler.max_queue
+        scheduler.drain()
+        assert duplicate.from_cache
+        np.testing.assert_array_equal(
+            duplicate.result.lattice, jobs[0].result.lattice
+        )
+
+    def test_is_duplicate_matches_cache_and_inflight(self):
+        from repro.sched import canonical_cache_key
+
+        scheduler = tiny_scheduler(max_queue=8)
+        config = SimulationConfig(shape=8, temperature=2.0, seed=0)
+        key = canonical_cache_key(config, 10)
+        assert not scheduler.is_duplicate(key)
+        job = scheduler.submit(config, 10)
+        assert scheduler.is_duplicate(key)  # in-flight primary
+        scheduler.drain()
+        assert scheduler.is_duplicate(key)  # now via the cache
+        assert job.done
+
+
+class TestWeightedFairUnderSkew:
+    def test_light_tenant_is_not_starved_by_heavy_backlog(self):
+        """A tenant submitting 2 jobs behind a 16-job backlog from one
+        heavy tenant must not wait for the whole backlog: fair-share
+        admission orders by normalized service, not arrival."""
+        scheduler = Scheduler(
+            n_devices=1, max_batch=2, quantum=4, max_queue=64
+        )
+        heavy = [
+            scheduler.submit(
+                SimulationConfig(shape=8, temperature=2.0, seed=i), 12,
+                tenant="heavy",
+            )
+            for i in range(16)
+        ]
+        light = [
+            scheduler.submit(
+                SimulationConfig(shape=8, temperature=2.4, seed=100 + i), 12,
+                tenant="light",
+            )
+            for i in range(2)
+        ]
+        while not all(job.done for job in light):
+            scheduler.step()
+        # The light tenant finished while most of the backlog remains.
+        assert sum(1 for job in heavy if job.done) < len(heavy) // 2
+
+    def test_tenant_weights_bias_service_share(self):
+        scheduler = Scheduler(
+            n_devices=1, max_batch=2, quantum=4, max_queue=64,
+            tenant_weights={"vip": 8.0},
+        )
+        for i in range(8):
+            scheduler.submit(
+                SimulationConfig(shape=8, temperature=2.0, seed=i), 12,
+                tenant="std",
+            )
+            scheduler.submit(
+                SimulationConfig(shape=8, temperature=2.4, seed=100 + i), 12,
+                tenant="vip",
+            )
+        for _ in range(10):
+            scheduler.step()
+        served = scheduler.stats()["tenants"]
+        assert served.get("vip", 0.0) > served.get("std", 0.0)

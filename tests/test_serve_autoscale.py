@@ -1,0 +1,239 @@
+"""Autoscaler hysteresis, cooldown, bounds, gauges, and zero job loss.
+
+The controller tests run against a stub router whose per-shard load is
+set directly — pressure is the input under test, not an emergent
+property — while the zero-loss test drives a real
+:class:`~repro.serve.ShardRouter` so scale-down exercises the actual
+checkpoint-handoff path.
+"""
+
+import pytest
+
+from repro.api import SimulationConfig
+from repro.sched import Scheduler
+from repro.serve import Autoscaler, AutoscalePolicy, ShardRouter
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class StubPool:
+    def makespan(self):
+        return 0.0
+
+
+class StubScheduler:
+    def __init__(self):
+        self.pool = StubPool()
+
+    def outstanding_service(self):
+        return 0.0
+
+
+class StubShard:
+    def __init__(self, shard_id, load=0.0):
+        self.id = shard_id
+        self.load = load
+        self.scheduler = StubScheduler()
+
+    @property
+    def load_factor(self):
+        return self.load
+
+    @property
+    def queue_depth(self):
+        return int(self.load * 10)
+
+    @property
+    def busy(self):
+        return self.load > 0
+
+
+class StubRouter:
+    """Duck-typed router: shards are load dials, scaling is bookkeeping."""
+
+    def __init__(self, n_shards=2):
+        self._next = 0
+        self.shards = []
+        for _ in range(n_shards):
+            self.add_shard()
+
+    @property
+    def n_shards(self):
+        return len(self.shards)
+
+    def add_shard(self):
+        shard = StubShard(self._next)
+        self._next += 1
+        self.shards.append(shard)
+        return shard
+
+    def remove_shard(self, shard_id, on_rehome=None):
+        self.shards = [s for s in self.shards if s.id != shard_id]
+        return 0
+
+    def set_load(self, load):
+        for shard in self.shards:
+            shard.load = load
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        AutoscalePolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(min_shards=0),
+            dict(min_shards=4, max_shards=2),
+            dict(low_water=0.8, high_water=0.5),
+            dict(low_water=-0.1),
+            dict(hysteresis=0),
+            dict(cooldown=-1),
+        ],
+    )
+    def test_rejects_bad_policies(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(**kwargs)
+
+
+class TestHysteresis:
+    def policy(self, **overrides):
+        base = dict(
+            min_shards=1, max_shards=4, high_water=0.8, low_water=0.2,
+            hysteresis=3, cooldown=2,
+        )
+        base.update(overrides)
+        return AutoscalePolicy(**base)
+
+    def test_sustained_pressure_scales_up_after_hysteresis(self):
+        router = StubRouter(n_shards=2)
+        scaler = Autoscaler(router, policy=self.policy())
+        router.set_load(0.9)
+        assert scaler.observe() is None
+        assert scaler.observe() is None
+        assert scaler.observe() == "up"
+        assert router.n_shards == 3
+
+    def test_one_spike_does_not_scale(self):
+        router = StubRouter(n_shards=2)
+        scaler = Autoscaler(router, policy=self.policy())
+        router.set_load(0.9)
+        scaler.observe()
+        scaler.observe()
+        router.set_load(0.5)  # spike ends: counter resets
+        scaler.observe()
+        router.set_load(0.9)
+        scaler.observe()
+        scaler.observe()
+        assert router.n_shards == 2
+
+    def test_cooldown_blocks_back_to_back_events(self):
+        router = StubRouter(n_shards=2)
+        scaler = Autoscaler(router, policy=self.policy(hysteresis=1, cooldown=3))
+        router.set_load(0.9)
+        assert scaler.observe() == "up"
+        router.set_load(0.9)  # the new shard fills up too
+        # Hysteresis is satisfied every tick now, but cooldown holds.
+        assert scaler.observe() is None
+        assert scaler.observe() is None
+        assert scaler.observe() is None
+        assert scaler.observe() == "up"
+        assert router.n_shards == 4
+
+    def test_idle_scales_down_to_min(self):
+        router = StubRouter(n_shards=3)
+        scaler = Autoscaler(
+            router, policy=self.policy(hysteresis=2, cooldown=0)
+        )
+        router.set_load(0.0)
+        downs = [scaler.observe() for _ in range(10)]
+        assert downs.count("down") == 2
+        assert router.n_shards == 1  # pinned at min_shards
+
+    def test_max_shards_is_a_ceiling(self):
+        router = StubRouter(n_shards=2)
+        scaler = Autoscaler(
+            router, policy=self.policy(max_shards=3, hysteresis=1, cooldown=0)
+        )
+        router.set_load(0.9)
+        for _ in range(5):
+            scaler.observe()
+        assert router.n_shards == 3
+
+    def test_events_and_serve_log_recorded(self):
+        router = StubRouter(n_shards=1)
+        scaler = Autoscaler(
+            router, policy=self.policy(hysteresis=1, cooldown=0)
+        )
+        router.set_load(1.0)
+        scaler.observe()
+        assert scaler.events[0]["kind"] == "scale_up"
+        span = scaler.serve_log[0]
+        assert span["name"].startswith("scale_up")
+        assert span["args"]["n_shards"] == 2
+        assert span["duration"] > 0
+
+    def test_gauges_published(self):
+        registry = MetricsRegistry()
+        router = StubRouter(n_shards=2)
+        scaler = Autoscaler(router, policy=self.policy(), metrics=registry)
+        router.set_load(0.6)
+        scaler.observe()
+        snapshot = registry.as_dict()
+        assert snapshot["serve_shards"]["value"] == 2
+        assert snapshot["serve_pressure"]["value"] == pytest.approx(0.6)
+        assert snapshot["serve_queue_depth"]["value"] == 12
+
+    def test_publish_without_tick(self):
+        registry = MetricsRegistry()
+        router = StubRouter(n_shards=2)
+        scaler = Autoscaler(router, metrics=registry)
+        scaler.publish()
+        assert scaler.observations == 0
+        assert registry.as_dict()["serve_shards"]["value"] == 2
+
+
+class TestZeroLoss:
+    def test_scale_down_never_strands_accepted_jobs(self):
+        """Scale-down through the real router: every accepted job
+        completes even though its shard disappeared mid-run."""
+
+        def factory(shard_id):
+            return Scheduler(n_devices=1, max_batch=2, quantum=4, max_queue=32)
+
+        router = ShardRouter(n_shards=3, scheduler_factory=factory)
+        policy = AutoscalePolicy(
+            min_shards=1, max_shards=3, high_water=0.9, low_water=0.3,
+            hysteresis=1, cooldown=0,
+        )
+        # Track each accepted job's *current* handle: adoption mints a
+        # fresh Job on the surviving shard (the serve layer re-points
+        # its references exactly like this).
+        current = {}
+
+        def rehome(token, shard, new_job):
+            current[token["cache_key"]] = new_job
+
+        scaler = Autoscaler(router, policy=policy, on_rehome=rehome)
+        for seed in range(9):
+            _, job = router.submit(
+                SimulationConfig(shape=8, temperature=2.0, seed=seed), 12
+            )
+            current[job.cache_key] = job
+        # Run partway, then let the (now low-pressure) controller shrink
+        # the fleet while work is still in flight.
+        for _ in range(2):
+            router.step()
+        while router.n_shards > 1:
+            action = scaler.observe()
+            assert action in (None, "down")
+            router.step()
+        router.drain()
+        assert scaler.scale_downs == 2
+        assert len(current) == 9
+        for job in current.values():
+            assert job.done
+        # Every key is resolved in some surviving cache.
+        cached = set()
+        for shard in router.shards:
+            cached.update(key for key, _ in shard.scheduler.cache.export())
+        assert set(current) <= cached

@@ -1,0 +1,123 @@
+"""Token buckets, tenant quotas, and the front-door rate limiter.
+
+Every test drives refill through an injected fake clock — no sleeping,
+no wall-time flakiness; the hints the limiter returns are exactly the
+modeled seconds the front door turns into ``Retry-After`` headers.
+"""
+
+import pytest
+
+from repro.serve import RateLimiter, TenantQuota, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_debits(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=4.0, clock=clock)
+        assert bucket.tokens == 4.0
+        for _ in range(4):
+            assert bucket.take() == 0.0
+        assert bucket.tokens == 0.0
+
+    def test_overdraw_returns_modeled_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.take() == 0.0
+        # Empty: one token at 2/s is 0.5 s away.
+        assert bucket.take() == pytest.approx(0.5)
+        # A failed take never debits.
+        assert bucket.take() == pytest.approx(0.5)
+
+    def test_refills_at_rate_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        for _ in range(3):
+            bucket.take()
+        clock.advance(1.0)
+        assert bucket.tokens == pytest.approx(2.0)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(3.0)  # capped
+
+    def test_fractional_cost(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.take(0.25) == 0.0
+        assert bucket.take(1.0) == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("rate,burst", [(0, 1), (-1, 1), (1, 0), (1, -2)])
+    def test_rejects_nonpositive_parameters(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=burst)
+
+    def test_rejects_nonpositive_cost(self):
+        with pytest.raises(ValueError, match="cost"):
+            TokenBucket(rate=1.0, burst=1.0).take(0.0)
+
+
+class TestRateLimiter:
+    def test_default_quota_admits(self):
+        limiter = RateLimiter(clock=FakeClock())
+        assert limiter.admit("alice") == 0.0
+        assert limiter.admitted["alice"] == 1
+
+    def test_per_tenant_override(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            per_tenant={"tight": TenantQuota(rate=1.0, burst=1.0)},
+            clock=clock,
+        )
+        assert limiter.admit("tight") == 0.0
+        wait = limiter.admit("tight")
+        assert wait == pytest.approx(1.0)
+        assert limiter.throttled["tight"] == 1
+        # Tenants without an override keep the generous default.
+        for _ in range(10):
+            assert limiter.admit("other") == 0.0
+
+    def test_refill_lifts_throttle(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            per_tenant={"t": TenantQuota(rate=2.0, burst=1.0)}, clock=clock
+        )
+        assert limiter.admit("t") == 0.0
+        assert limiter.admit("t") > 0.0
+        clock.advance(0.5)
+        assert limiter.admit("t") == 0.0
+
+    def test_outstanding_cap_throttles_without_spending_tokens(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            per_tenant={"t": TenantQuota(rate=4.0, burst=8.0, max_outstanding=2)},
+            clock=clock,
+        )
+        assert limiter.admit("t", outstanding=1) == 0.0
+        wait = limiter.admit("t", outstanding=2)
+        assert wait > 0.0
+        # The refusal did not touch the bucket.
+        assert limiter._bucket("t").tokens == pytest.approx(7.0)
+        # Below the cap again: admitted.
+        assert limiter.admit("t", outstanding=1) == 0.0
+
+    def test_stats_shape(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            per_tenant={"t": TenantQuota(rate=1.0, burst=1.0)}, clock=clock
+        )
+        limiter.admit("t")
+        limiter.admit("t")
+        stats = limiter.stats()
+        assert stats["t"]["admitted"] == 1
+        assert stats["t"]["throttled"] == 1
+        assert stats["t"]["rate"] == 1.0
+        assert stats["t"]["tokens"] == pytest.approx(0.0)

@@ -1,0 +1,224 @@
+"""Shard routing: affinity, spill, scaling, and zero-loss re-homing.
+
+The router's contract has three legs: (1) identical configs always try
+the same "affine" shard, so dedup and the content-addressed cache stay
+effective under sharding; (2) rendezvous hashing moves only ~1/N of the
+keyspace per topology change; (3) removing a shard hands its unfinished
+jobs to survivors with bit-identical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import SimulationConfig, simulate
+from repro.sched import Scheduler, SchedulerSaturatedError
+from repro.serve import ShardRouter
+
+
+def tiny_factory(max_queue=4):
+    def factory(shard_id):
+        return Scheduler(
+            n_devices=1, max_batch=2, quantum=4, max_queue=max_queue
+        )
+
+    return factory
+
+
+def configs(n, **overrides):
+    base = dict(shape=8, temperature=2.0)
+    base.update(overrides)
+    return [
+        SimulationConfig(seed=seed, **base) for seed in range(n)
+    ]
+
+
+class TestAffinity:
+    def test_same_config_same_shard(self):
+        router = ShardRouter(n_shards=4)
+        config = SimulationConfig(shape=8, temperature=2.2, seed=3)
+        first = router.shard_for(config, 10)
+        for _ in range(5):
+            assert router.shard_for(config, 10) is first
+
+    def test_distinct_configs_spread(self):
+        router = ShardRouter(n_shards=4)
+        homes = {router.shard_for(c, 10).id for c in configs(32)}
+        assert len(homes) > 1
+
+    def test_sweep_count_is_part_of_the_key(self):
+        router = ShardRouter(n_shards=8)
+        config = SimulationConfig(shape=8, temperature=2.0, seed=0)
+        homes = {router.shard_for(config, sweeps).id for sweeps in range(1, 30)}
+        assert len(homes) > 1
+
+    def test_duplicates_dedup_on_affine_shard(self):
+        router = ShardRouter(n_shards=4)
+        config = SimulationConfig(shape=8, temperature=2.0, seed=1)
+        shard1, job1 = router.submit(config, 10)
+        shard2, job2 = router.submit(config, 10)
+        assert shard1 is shard2
+        assert job2 is not job1
+        router.drain()
+        # The duplicate was served by its primary, never recomputed.
+        assert job2.from_cache
+        np.testing.assert_array_equal(job1.result.lattice, job2.result.lattice)
+
+    def test_adding_shard_moves_minority_of_keys(self):
+        router = ShardRouter(n_shards=4)
+        keys = [router.route_key(c, 10) for c in configs(64)]
+        before = {key: router.ranked(key)[0].id for key in keys}
+        new = router.add_shard()
+        moved = 0
+        for key in keys:
+            after = router.ranked(key)[0].id
+            if after != before[key]:
+                moved += 1
+                # A key only ever moves TO the new shard.
+                assert after == new.id
+        assert 0 < moved < len(keys) // 2
+
+
+class TestSpill:
+    def test_spills_past_ratio_and_counts(self):
+        router = ShardRouter(
+            n_shards=3, scheduler_factory=tiny_factory(max_queue=2),
+            spill_ratio=0.5,
+        )
+        config = SimulationConfig(shape=8, temperature=2.0, seed=0)
+        affine = router.shard_for(config, 10)
+        # Saturate the affine shard with unrelated keys homed elsewhere.
+        affine.scheduler.submit(
+            SimulationConfig(shape=8, temperature=9.9, seed=77), 10
+        )
+        assert affine.load_factor >= 0.5
+        shard, _job = router.submit(config, 10)
+        assert shard is not affine
+        assert router.routed_spilled == 1
+
+    def test_duplicate_sticks_to_loaded_affine_shard(self):
+        router = ShardRouter(
+            n_shards=3, scheduler_factory=tiny_factory(max_queue=2),
+            spill_ratio=0.5,
+        )
+        config = SimulationConfig(shape=8, temperature=2.0, seed=0)
+        affine, first = router.submit(config, 10)
+        # Load the affine shard past the spill ratio.
+        affine.scheduler.submit(
+            SimulationConfig(shape=8, temperature=9.9, seed=77), 10
+        )
+        assert affine.load_factor >= 0.5
+        shard, job = router.submit(config, 10)  # duplicate: free dedup
+        assert shard is affine
+        assert job is not first and job.cache_key == first.cache_key
+
+    def test_all_saturated_raises_with_min_hint(self):
+        router = ShardRouter(
+            n_shards=2, scheduler_factory=tiny_factory(max_queue=1)
+        )
+        for config in configs(8):
+            try:
+                router.submit(config, 10)
+            except SchedulerSaturatedError:
+                break
+        else:
+            pytest.fail("router never saturated")
+        with pytest.raises(SchedulerSaturatedError) as excinfo:
+            router.submit(
+                SimulationConfig(shape=8, temperature=8.8, seed=99), 10
+            )
+        assert excinfo.value.retry_after_s is not None
+        assert excinfo.value.retry_after_s > 0
+        assert router.rejected >= 1
+
+
+class TestScaling:
+    def test_remove_shard_rehomes_jobs_bit_identically(self):
+        router = ShardRouter(
+            n_shards=3, scheduler_factory=tiny_factory(max_queue=16)
+        )
+        cfgs = configs(6, shape=10)
+        jobs = [router.submit(c, 9)[1] for c in cfgs]
+        for _ in range(2):  # some batches running, some queued
+            router.step()
+        victim = router.shards[0]
+        moved = router.remove_shard(victim.id)
+        assert router.n_shards == 2
+        assert moved == router.jobs_rehomed
+        router.drain()
+        by_key = {}
+        for shard in router.shards:
+            for key, result in shard.scheduler.cache.export():
+                by_key[key] = result
+        for config, job in zip(cfgs, jobs):
+            solo = simulate(config)
+            solo.run(9)
+            expected = solo.lattice
+            key = router.route_key(config, 9)
+            np.testing.assert_array_equal(by_key[key].lattice, expected)
+            if job.done:  # original handle finished before handoff
+                np.testing.assert_array_equal(job.result.lattice, expected)
+
+    def test_remove_shard_rehomes_cache_entries(self):
+        router = ShardRouter(n_shards=2)
+        config = SimulationConfig(shape=8, temperature=2.0, seed=5)
+        affine, _ = router.submit(config, 10)
+        router.drain()
+        other = next(s for s in router.shards if s is not affine)
+        router.remove_shard(affine.id)
+        assert router.cache_entries_rehomed >= 1
+        # Resubmission is a cache hit on the surviving shard.
+        shard, job = router.submit(config, 10)
+        assert shard is other
+        assert job.from_cache
+
+    def test_on_rehome_callback_sees_new_handles(self):
+        router = ShardRouter(
+            n_shards=2, scheduler_factory=tiny_factory(max_queue=16)
+        )
+        jobs = [router.submit(c, 8)[1] for c in configs(4)]
+        seen = []
+        router.remove_shard(
+            router.shards[0].id,
+            on_rehome=lambda token, shard, new_job: seen.append(
+                (token["job"], shard, new_job)
+            ),
+        )
+        assert seen, "expected at least one rehomed job"
+        for old_job, shard, new_job in seen:
+            assert old_job in jobs
+            assert shard in router.shards
+        router.drain()
+        for _, _, new_job in seen:
+            assert new_job.done
+
+    def test_cannot_remove_last_or_unknown_shard(self):
+        router = ShardRouter(n_shards=1)
+        with pytest.raises(ValueError, match="last shard"):
+            router.remove_shard(router.shards[0].id)
+        with pytest.raises(ValueError, match="no shard"):
+            router.remove_shard(999)
+
+    def test_shard_ids_never_reused(self):
+        router = ShardRouter(n_shards=2)
+        router.remove_shard(router.shards[0].id)
+        replacement = router.add_shard()
+        assert replacement.id == 2  # 0 and 1 were taken; 0 is retired
+
+
+class TestValidationAndStats:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardRouter(n_shards=0)
+        with pytest.raises(ValueError, match="spill_ratio"):
+            ShardRouter(spill_ratio=0.0)
+
+    def test_stats_aggregates_cache(self):
+        router = ShardRouter(n_shards=2)
+        config = SimulationConfig(shape=8, temperature=2.0, seed=0)
+        router.submit(config, 10)
+        router.drain()
+        router.submit(config, 10)  # cache hit
+        stats = router.stats()
+        assert stats["n_shards"] == 2
+        assert stats["cache"]["hits"] >= 1
+        assert set(stats["shards"]) == {str(s.id) for s in router.shards}

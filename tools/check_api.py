@@ -15,6 +15,13 @@ Two invariants keep the public surface deliberate:
    each stays constructible bare and adding a field is never a breaking
    change for existing call sites.
 
+3. **The serve facade is total** — ``repro.serve.__all__`` is sorted,
+   duplicate-free, and re-exports (identically, by object) every name
+   its submodules list in their own ``__all__``.  The package is the
+   wire-protocol surface tenants program against; a submodule symbol
+   missing from the facade is an API leak the first out-of-tree client
+   would fossilize.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
 
@@ -123,8 +130,44 @@ def check_config_defaults() -> list[str]:
     return errors
 
 
+def check_serve_surface() -> list[str]:
+    """``repro.serve`` re-exports every submodule symbol, sorted, once."""
+    import importlib
+    import pkgutil
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import repro.serve as serve
+
+    errors = []
+    declared = list(getattr(serve, "__all__", ()))
+    if declared != sorted(declared):
+        errors.append("repro.serve: __all__ is not sorted")
+    if len(declared) != len(set(declared)):
+        errors.append("repro.serve: __all__ has duplicate entries")
+    facade = set(declared)
+    for info in pkgutil.iter_modules(serve.__path__):
+        module = importlib.import_module(f"repro.serve.{info.name}")
+        for name in getattr(module, "__all__", ()):
+            if name not in facade:
+                errors.append(
+                    f"repro.serve: {info.name}.__all__ exports {name!r} "
+                    "missing from the package facade"
+                )
+            elif getattr(serve, name, None) is not getattr(module, name):
+                errors.append(
+                    f"repro.serve: facade {name!r} is not the same object "
+                    f"as serve.{info.name}.{name}"
+                )
+    return errors
+
+
 def main() -> int:
-    errors = check_all_invariant() + check_all_resolves() + check_config_defaults()
+    errors = (
+        check_all_invariant()
+        + check_all_resolves()
+        + check_config_defaults()
+        + check_serve_surface()
+    )
     if errors:
         for line in errors:
             print(f"check_api: {line}")
